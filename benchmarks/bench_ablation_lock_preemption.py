@@ -1,0 +1,99 @@
+"""Ablation: lock-holder preemption (critical-section extension).
+
+The paper motivates co-scheduling with lock-holder preemption (§II.B)
+but evaluates only barrier synchronization; richer mechanisms are its
+§V future work.  This bench runs that future-work experiment: VMs
+whose jobs periodically execute inside a VM-wide spinlock, measuring
+the spin waste each scheduler induces at several critical-section
+frequencies.
+
+Expected shape: spin waste ranks RRS/credit (sibling-oblivious) worst,
+balance slightly better (no stacking, but holders still get preempted),
+RCS better, SCS best (gangs co-stop, so a holder is never off-CPU while
+a waiter runs); the gap widens as critical sections densify.
+"""
+
+from repro.core.results import render_table
+from repro.des import StreamFactory, UniformInt
+from repro.metrics import mean_goodput, mean_spin_fraction
+from repro.san import SANSimulator
+from repro.schedulers import BUILTIN_ALGORITHMS
+from repro.vmm import build_virtual_system
+from repro.workloads import LockingWorkloadModel
+
+from conftest import bench_params
+
+TOPOLOGY = (2, 3)
+PCPUS = 4
+SCHEDULERS = ("rrs", "balance", "rcs", "scs")
+CRITICAL_RATIOS = (4, 2)
+
+
+def measure(scheduler, critical_ratio, sim_time, replications):
+    spin_total = goodput_total = 0.0
+    for rep in range(replications):
+        workloads = [
+            LockingWorkloadModel(
+                UniformInt(3, 8),
+                critical_ratio=critical_ratio,
+                critical_load=UniformInt(2, 5),
+            )
+            for _ in TOPOLOGY
+        ]
+        system = build_virtual_system(
+            list(zip(TOPOLOGY, workloads)),
+            BUILTIN_ALGORITHMS[scheduler](),
+            PCPUS,
+            StreamFactory(11, rep),
+        )
+        sim = SANSimulator(system, StreamFactory(11, rep))
+        spin = sim.add_reward(mean_spin_fraction(system, warmup=200))
+        goodput = sim.add_reward(mean_goodput(system, warmup=200))
+        sim.run(until=sim_time)
+        spin_total += spin.result() / replications
+        goodput_total += goodput.result() / replications
+    return spin_total, goodput_total
+
+
+def run_sweep():
+    params = bench_params()
+    replications = params["replications"][0]
+    rows = []
+    values = {}
+    for ratio in CRITICAL_RATIOS:
+        for scheduler in SCHEDULERS:
+            spin, goodput = measure(
+                scheduler, ratio, params["sim_time"], replications
+            )
+            values[(scheduler, ratio)] = (spin, goodput)
+            rows.append([f"1:{ratio}", scheduler, f"{spin:.3f}", f"{goodput:.3f}"])
+    table = render_table(
+        ["critical", "scheduler", "spin_fraction", "goodput"],
+        rows,
+        title=(
+            "Ablation: lock-holder preemption "
+            f"(VMs {'+'.join(map(str, TOPOLOGY))}, {PCPUS} PCPUs)"
+        ),
+    )
+    return values, table
+
+
+def test_lock_preemption_ablation(benchmark, save_artifact):
+    values, table = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    save_artifact("ablation_lock_preemption", table)
+    print("\n" + table)
+
+    for ratio in CRITICAL_RATIOS:
+        spin = {s: values[(s, ratio)][0] for s in SCHEDULERS}
+        goodput = {s: values[(s, ratio)][1] for s in SCHEDULERS}
+        # Co-scheduling cuts spin waste; SCS most, RCS in between.
+        assert spin["scs"] < spin["rcs"] + 0.005
+        assert spin["rcs"] < spin["rrs"]
+        assert spin["scs"] < spin["rrs"] / 2
+        # Goodput mirrors the spin ranking.
+        assert goodput["scs"] > goodput["rrs"]
+
+    # Denser critical sections widen the absolute RRS-vs-SCS gap.
+    gap_sparse = values[("rrs", 4)][0] - values[("scs", 4)][0]
+    gap_dense = values[("rrs", 2)][0] - values[("scs", 2)][0]
+    assert gap_dense > gap_sparse

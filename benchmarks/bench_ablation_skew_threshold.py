@@ -1,0 +1,72 @@
+"""Ablation: RCS skew threshold — the fairness/latency dial of §II.B.
+
+The skew threshold is relaxed co-scheduling's central knob: a loose
+threshold lets RCS degenerate toward RRS (skew never binds), a tight
+one pushes it toward strict co-scheduling behaviour.  Measured on both
+axes the paper uses: VCPU utilization (Figure 10's metric, where SCS
+is the ceiling) and the wide-VM availability penalty at one PCPU
+(Figure 8's RCS finding).
+"""
+
+from repro.core import SystemSpec, VMSpec, WorkloadSpec, run_experiment
+from repro.core.results import render_table
+
+from conftest import bench_params
+
+THRESHOLDS = ((40, 20), (20, 10), (10, 5), (6, 2))
+
+
+def run_sweep():
+    params = bench_params()
+    reps = params["replications"]
+    rows = []
+    values = {}
+    for skew, relax in THRESHOLDS:
+        scheduler_params = {"skew_threshold": skew, "relax_threshold": relax}
+        # Axis 1: VCPU utilization on the oversubscribed 2+3 set.
+        util_spec = SystemSpec(
+            vms=[VMSpec(n, WorkloadSpec(sync_ratio=5)) for n in (2, 3)],
+            pcpus=4,
+            scheduler="rcs",
+            scheduler_params=scheduler_params,
+            sim_time=params["sim_time"],
+            warmup=200,
+        )
+        util = run_experiment(
+            util_spec, min_replications=reps[0], max_replications=reps[1]
+        ).mean("vcpu_utilization")
+        # Axis 2: wide-VM availability on a single PCPU (Figure 8 case).
+        fair_spec = SystemSpec(
+            vms=[VMSpec(2), VMSpec(1), VMSpec(1)],
+            pcpus=1,
+            scheduler="rcs",
+            scheduler_params=scheduler_params,
+            sim_time=params["sim_time"],
+            warmup=200,
+        )
+        fair = run_experiment(
+            fair_spec, min_replications=reps[0], max_replications=reps[1]
+        )
+        wide = (
+            fair.mean("vcpu_availability[VCPU1.1]")
+            + fair.mean("vcpu_availability[VCPU1.2]")
+        ) / 2
+        values[(skew, relax)] = (util, wide)
+        rows.append([f"{skew}/{relax}", f"{util:.3f}", f"{wide:.3f}"])
+    table = render_table(
+        ["skew/relax", "vcpu_util (2+3, 4 PCPUs)", "wide-VM availability (1 PCPU)"],
+        rows,
+        title="Ablation: RCS skew threshold",
+    )
+    return values, table
+
+
+def test_skew_threshold_ablation(benchmark, save_artifact):
+    values, table = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    save_artifact("ablation_skew_threshold", table)
+    print("\n" + table)
+
+    # Tightening the threshold improves synchronization behaviour...
+    assert values[(10, 5)][0] > values[(40, 20)][0]
+    # ...at the cost of the wide VM's share on a starved host.
+    assert values[(6, 2)][1] <= values[(40, 20)][1] + 0.02

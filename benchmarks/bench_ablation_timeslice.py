@@ -1,0 +1,69 @@
+"""Ablation: timeslice length vs synchronization latency.
+
+The paper fixes one timeslice; this ablation sweeps it.  Finding: the
+synchronization latency RRS suffers is proportional to the timeslice —
+once a barrier-holding VCPU is preempted, its siblings stall until its
+*next turn*, which is one full rotation of timeslices away.  Shrinking
+the timeslice therefore pulls RRS up toward the co-schedulers, while
+SCS — which always preempts and resumes whole gangs — is insensitive
+to the granularity.  (This is the quantitative version of the paper's
+§II.B argument that preempting a lock holder makes waiters "wait
+additional time": the additional time is the rotation period.)
+"""
+
+from repro.core import SystemSpec, VMSpec, WorkloadSpec, run_experiment
+from repro.core.results import render_table
+
+from conftest import bench_params
+
+TIMESLICES = (5, 10, 30, 60)
+TOPOLOGY = (2, 3)
+
+
+def run_sweep():
+    params = bench_params()
+    rows = []
+    values = {}
+    for timeslice in TIMESLICES:
+        row = [timeslice]
+        for scheduler in ("rrs", "scs"):
+            spec = SystemSpec(
+                vms=[VMSpec(n, WorkloadSpec(sync_ratio=5)) for n in TOPOLOGY],
+                pcpus=4,
+                scheduler=scheduler,
+                scheduler_params={"timeslice": timeslice},
+                sim_time=params["sim_time"],
+                warmup=200,
+            )
+            result = run_experiment(
+                spec,
+                min_replications=params["replications"][0],
+                max_replications=params["replications"][1],
+            )
+            value = result.mean("vcpu_utilization")
+            values[(scheduler, timeslice)] = value
+            row.append(f"{value:.3f} ±{result.half_width('vcpu_utilization'):.3f}")
+        rows.append(row)
+    table = render_table(
+        ["timeslice", "rrs", "scs"],
+        rows,
+        title="Ablation: VCPU utilization vs timeslice (VMs 2+3, 4 PCPUs, sync 1:5)",
+    )
+    return values, table
+
+
+def test_timeslice_ablation(benchmark, save_artifact):
+    values, table = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    save_artifact("ablation_timeslice", table)
+    print("\n" + table)
+
+    # RRS's synchronization latency grows with the timeslice: a preempted
+    # barrier holder is away for a whole rotation.
+    assert values[("rrs", 5)] > values[("rrs", 60)] + 0.05
+    # SCS is insensitive: gangs stop and resume together at any granularity.
+    scs_spread = max(values[("scs", t)] for t in TIMESLICES) - min(
+        values[("scs", t)] for t in TIMESLICES
+    )
+    rrs_spread = values[("rrs", 5)] - values[("rrs", 60)]
+    assert scs_spread < rrs_spread
+    assert scs_spread < 0.03

@@ -1,0 +1,54 @@
+"""Reproduce Figure 10: averaged VCPU utilization (paper §IV.C).
+
+Setup: the same three VM sets on four PCPUs, synchronization rate
+varied 1:5 -> 1:2.  VCPU utilization is BUSY time normalized by ACTIVE
+time (the paper's reward variable "monitors the READY and BUSY states"
+for exactly this ratio).  Shape assertions (§IV.C):
+
+* set 1 (VCPUs == PCPUs): no difference among the algorithms;
+* sets 2-3 at the paper's 1:5 rate: SCS achieves the highest VCPU
+  utilization, followed by RCS, with RRS last (co-scheduling removes
+  the synchronization latency of preempted lock holders);
+* RRS degrades as the synchronization rate rises toward 1:2.
+"""
+
+import pytest
+
+from repro.paper import run_figure10
+
+from conftest import bench_params
+
+
+def utilization(figure, scheduler, vm_set, ratio):
+    result = figure.by_params(scheduler=scheduler, vm_set=vm_set, sync_ratio=ratio)
+    return result.mean("vcpu_utilization")
+
+
+def test_figure10(benchmark, save_artifact):
+    figure = benchmark.pedantic(
+        lambda: run_figure10(**bench_params()), rounds=1, iterations=1
+    )
+    save_artifact("figure10_vcpu_utilization", figure.table)
+    print("\n" + figure.table)
+
+    # Set 1: VCPUs == PCPUs -> no difference among the algorithms.
+    for ratio in (5, 2):
+        values = [
+            utilization(figure, s, "set1 (2+2)", ratio) for s in ("rrs", "scs", "rcs")
+        ]
+        assert max(values) - min(values) < 0.02
+
+    # Sets 2-3 at the paper's 1:5 rate: SCS > RCS > RRS.
+    for vm_set in ("set2 (2+3)", "set3 (2+4)"):
+        scs = utilization(figure, "scs", vm_set, 5)
+        rcs = utilization(figure, "rcs", vm_set, 5)
+        rrs = utilization(figure, "rrs", vm_set, 5)
+        assert scs >= rcs - 0.01
+        assert rcs > rrs
+        assert scs > rrs + 0.03
+
+    # RRS quickly degrades as the synchronization rate increases.
+    for vm_set in ("set2 (2+3)", "set3 (2+4)"):
+        relaxed = utilization(figure, "rrs", vm_set, 5)
+        tight = utilization(figure, "rrs", vm_set, 2)
+        assert tight < relaxed

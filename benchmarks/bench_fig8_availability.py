@@ -1,0 +1,70 @@
+"""Reproduce Figure 8: VCPU availability fairness (paper §IV.A).
+
+Setup (verbatim from the paper): three VMs — one 2-VCPU VM (VCPU1.1,
+VCPU1.2) and two 1-VCPU VMs (VCPU2.1, VCPU3.1); synchronization rate
+1:5; PCPUs varied from 1 to 4; RRS vs SCS vs RCS; 95% confidence with
+half-width < 0.1.
+
+Shape assertions (the claims of §IV.A):
+
+* RRS achieves fairness regardless of resources;
+* with one PCPU, SCS cannot schedule the 2-VCPU VM at all, while RCS
+  can (at a skew-threshold penalty vs the 1-VCPU VMs);
+* co-scheduling fairness improves with more PCPUs; RCS >= SCS;
+* everything saturates at four PCPUs.
+"""
+
+import pytest
+
+from repro.metrics import jain_fairness
+from repro.paper import run_figure8
+
+from conftest import bench_params
+
+LABELS = ["VCPU1.1", "VCPU1.2", "VCPU2.1", "VCPU3.1"]
+
+
+def availability(result, label):
+    return result.mean(f"vcpu_availability[{label}]")
+
+
+def fairness(figure, scheduler, pcpus):
+    result = figure.by_params(scheduler=scheduler, pcpus=pcpus)
+    return jain_fairness([availability(result, label) for label in LABELS])
+
+
+def test_figure8(benchmark, save_artifact):
+    figure = benchmark.pedantic(
+        lambda: run_figure8(**bench_params()), rounds=1, iterations=1
+    )
+    save_artifact("figure8_availability", figure.table)
+    print("\n" + figure.table)
+
+    # RRS always achieves scheduling fairness regardless of the resource.
+    for pcpus in (1, 2, 3, 4):
+        result = figure.by_params(scheduler="rrs", pcpus=pcpus)
+        values = [availability(result, label) for label in LABELS]
+        assert max(values) - min(values) < 0.05
+        assert sum(values) == pytest.approx(min(4.0, pcpus), abs=0.1)
+
+    # One PCPU: SCS starves the 2-VCPU VM; RCS does not.
+    scs1 = figure.by_params(scheduler="scs", pcpus=1)
+    assert availability(scs1, "VCPU1.1") == 0.0
+    assert availability(scs1, "VCPU1.2") == 0.0
+    assert availability(scs1, "VCPU2.1") > 0.4
+    rcs1 = figure.by_params(scheduler="rcs", pcpus=1)
+    assert availability(rcs1, "VCPU1.1") > 0.15
+    wide = (availability(rcs1, "VCPU1.1") + availability(rcs1, "VCPU1.2")) / 2
+    narrow = (availability(rcs1, "VCPU2.1") + availability(rcs1, "VCPU3.1")) / 2
+    assert wide <= narrow + 1e-9
+
+    # Co-scheduling fairness improves as PCPUs increase; RCS >= SCS.
+    for scheduler in ("scs", "rcs"):
+        assert fairness(figure, scheduler, 4) >= fairness(figure, scheduler, 1)
+    assert fairness(figure, "rcs", 1) > fairness(figure, "scs", 1)
+
+    # Four PCPUs: everyone is always ACTIVE.
+    for scheduler in ("rrs", "scs", "rcs"):
+        result = figure.by_params(scheduler=scheduler, pcpus=4)
+        for label in LABELS:
+            assert availability(result, label) == pytest.approx(1.0, abs=0.02)

@@ -1,0 +1,46 @@
+"""Reproduce Figure 9: averaged PCPU utilization (paper §IV.B).
+
+Setup: three VM sets — (2+2), (2+3), (2+4) VCPUs — on four PCPUs,
+sync rate 1:5.  Shape assertions (§IV.B):
+
+* when VCPUs > PCPUs, the co-schedulers cannot fully utilize the
+  PCPUs (the CPU fragmentation problem);
+* relaxed co-scheduling mitigates it, always above 90%;
+* RRS (work conserving) stays at full utilization.
+"""
+
+import pytest
+
+from repro.paper import run_figure9
+
+from conftest import bench_params
+
+
+def utilization(figure, scheduler, vm_set):
+    return figure.by_params(scheduler=scheduler, vm_set=vm_set).mean("pcpu_utilization")
+
+
+def test_figure9(benchmark, save_artifact):
+    figure = benchmark.pedantic(
+        lambda: run_figure9(**bench_params()), rounds=1, iterations=1
+    )
+    save_artifact("figure9_pcpu_utilization", figure.table)
+    print("\n" + figure.table)
+
+    # Set 1 (4 VCPUs on 4 PCPUs): everyone is full.
+    for scheduler in ("rrs", "scs", "rcs"):
+        assert utilization(figure, scheduler, "set1 (2+2)") == pytest.approx(1.0, abs=0.02)
+
+    for vm_set in ("set2 (2+3)", "set3 (2+4)"):
+        rrs = utilization(figure, "rrs", vm_set)
+        rcs = utilization(figure, "rcs", vm_set)
+        scs = utilization(figure, "scs", vm_set)
+        # RRS stays full; SCS fragments; RCS stays above the paper's 90%.
+        assert rrs == pytest.approx(1.0, abs=0.02)
+        assert scs < 0.85
+        assert rcs > 0.9
+        assert rcs > scs
+
+    # The analytic fragmentation levels: (2/4 + 3/4)/2 and (2/4 + 4/4)/2.
+    assert utilization(figure, "scs", "set2 (2+3)") == pytest.approx(0.625, abs=0.04)
+    assert utilization(figure, "scs", "set3 (2+4)") == pytest.approx(0.75, abs=0.04)

@@ -1,0 +1,131 @@
+"""SAN engine micro-benchmarks.
+
+The paper's pitch is *rapid* evaluation — assembling and simulating a
+virtualization model in seconds instead of hacking a 300K-line
+hypervisor.  These benches quantify the engine: raw timed-activity
+throughput, instantaneous settle cost, and full virtualization-system
+throughput in simulated ticks per second.
+"""
+
+from repro.des import Deterministic, Exponential, StreamFactory
+from repro.san import (
+    InputGate,
+    InstantaneousActivity,
+    OutputGate,
+    Place,
+    SANModel,
+    SANSimulator,
+    TimedActivity,
+)
+from repro.core import SystemSpec, VMSpec, simulate_once
+
+
+def build_clock_model():
+    m = SANModel("clock")
+    count = m.add_place(Place("count"))
+    m.add_activity(
+        TimedActivity(
+            "tick",
+            Deterministic(1),
+            input_gates=[InputGate("always", lambda: True)],
+            output_gates=[OutputGate("bump", count.add)],
+        )
+    )
+    return m
+
+
+def test_timed_activity_throughput(benchmark):
+    """Events per second for a bare deterministic clock."""
+
+    def run():
+        sim = SANSimulator(build_clock_model(), StreamFactory(0))
+        sim.run(until=20_000)
+        return sim.completions
+
+    completions = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert completions == 19_999
+
+
+def test_stochastic_race_throughput(benchmark):
+    """Enable/abort churn: two exponential activities racing on a token."""
+
+    def build():
+        m = SANModel("race")
+        token = m.add_place(Place("token", initial=1))
+        for name in ("a", "b"):
+            m.add_activity(
+                TimedActivity(
+                    name,
+                    Exponential(1.0),
+                    input_gates=[
+                        InputGate(f"g{name}", lambda: token.tokens > 0, token.remove)
+                    ],
+                    output_gates=[OutputGate(f"o{name}", token.add)],
+                )
+            )
+        return m
+
+    def run():
+        sim = SANSimulator(build(), StreamFactory(1))
+        sim.run(until=5_000)
+        return sim.completions
+
+    completions = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert completions > 1_000
+
+
+def test_instantaneous_settle_throughput(benchmark):
+    """A clock fanning out to 16 instantaneous consumers each tick."""
+
+    def build():
+        m = SANModel("fanout")
+        channels = [m.add_place(Place(f"ch{i}")) for i in range(16)]
+
+        def deposit_all():
+            for channel in channels:
+                channel.add()
+
+        m.add_activity(
+            TimedActivity(
+                "clock",
+                Deterministic(1),
+                input_gates=[InputGate("always", lambda: True)],
+                output_gates=[OutputGate("fan", deposit_all)],
+            )
+        )
+        for i, channel in enumerate(channels):
+            m.add_activity(
+                InstantaneousActivity(
+                    f"consume{i}",
+                    input_gates=[
+                        InputGate(f"g{i}", lambda c=channel: c.tokens > 0, channel.remove)
+                    ],
+                )
+            )
+        return m
+
+    def run():
+        sim = SANSimulator(build(), StreamFactory(0))
+        sim.run(until=1_000)
+        return sim.completions
+
+    completions = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert completions == 999 * 17
+
+
+def test_full_system_ticks_per_second(benchmark):
+    """Simulated ticks/second of the paper's Figure 8 system (6 sub-models)."""
+
+    spec = SystemSpec(
+        vms=[VMSpec(2), VMSpec(1), VMSpec(1)],
+        pcpus=2,
+        scheduler="rrs",
+        sim_time=2_000,
+        warmup=0,
+    )
+
+    def run():
+        return simulate_once(spec).completions
+
+    completions = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert completions > 10_000

@@ -1,0 +1,46 @@
+"""Shared benchmark configuration.
+
+Every figure bench runs the full experiment once (``benchmark.pedantic``
+with one round — replication control lives inside the experiment
+runner, not in pytest-benchmark), prints the reproduced table, and
+saves it under ``benchmarks/results/`` so EXPERIMENTS.md can be checked
+against fresh artifacts.
+
+Environment knobs for quick passes:
+
+* ``REPRO_BENCH_SIM_TIME`` — simulated ticks per replication (default 2000)
+* ``REPRO_BENCH_MIN_REPS`` / ``REPRO_BENCH_MAX_REPS`` — replication bounds
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_params():
+    """Simulation-fidelity knobs shared by the figure benches."""
+    return {
+        "sim_time": int(os.environ.get("REPRO_BENCH_SIM_TIME", "2000")),
+        "replications": (
+            int(os.environ.get("REPRO_BENCH_MIN_REPS", "5")),
+            int(os.environ.get("REPRO_BENCH_MAX_REPS", "20")),
+        ),
+    }
+
+
+@pytest.fixture
+def save_artifact():
+    """Write a reproduced table to benchmarks/results/<name>.txt."""
+
+    def _save(name: str, text: str) -> pathlib.Path:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        return path
+
+    return _save

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Workload-consolidation study: useful work per host as VMs pile on.
+
+The paper's introduction motivates VCPU scheduling with Cloud
+consolidation: packing more VMs per host saves energy and money *if*
+the scheduler keeps synchronization latency in check.  This study asks
+the operator's question directly: on a 4-PCPU host running one 3-VCPU
+VM plus a growing number of 2-VCPU VMs, how much of the host's
+capacity does *useful work* under each scheduler?
+
+Useful-work efficiency = total BUSY VCPU-ticks / (PCPUs x time): the
+fraction of physical capacity spent processing, as opposed to idling
+(SCS fragmentation) or spinning READY at barriers (RRS sync latency).
+
+Run:  python examples/consolidation_study.py
+"""
+
+from repro.core import SystemSpec, VMSpec, WorkloadSpec, run_experiment
+from repro.core.results import render_table
+
+PCPUS = 4
+BASE_VM = 3  # one 3-VCPU VM anchors the mix (heterogeneous shapes)
+MAX_EXTRA = 5
+
+
+def measure(scheduler: str, extra_vms: int):
+    vms = [VMSpec(BASE_VM, WorkloadSpec(sync_ratio=5))]
+    vms += [VMSpec(2, WorkloadSpec(sync_ratio=5)) for _ in range(extra_vms)]
+    spec = SystemSpec(
+        vms=vms,
+        pcpus=PCPUS,
+        scheduler=scheduler,
+        sim_time=1500,
+        warmup=200,
+    )
+    result = run_experiment(spec, min_replications=3, max_replications=8)
+    total_vcpus = BASE_VM + 2 * extra_vms
+    # busy/total per VCPU, averaged -> scale to host capacity.
+    useful = result.mean("vcpu_busy_fraction") * total_vcpus / PCPUS
+    return {
+        "useful_work": useful,
+        "pcpu_util": result.mean("pcpu_utilization"),
+        "vcpu_util": result.mean("vcpu_utilization"),
+        "availability": result.mean("vcpu_availability"),
+    }
+
+
+def main() -> None:
+    best = {}
+    for scheduler in ("rrs", "scs", "rcs"):
+        rows = []
+        for extra in range(1, MAX_EXTRA + 1):
+            metrics = measure(scheduler, extra)
+            total_vcpus = BASE_VM + 2 * extra
+            rows.append(
+                [
+                    f"1x3 + {extra}x2",
+                    total_vcpus,
+                    f"{metrics['useful_work']:.3f}",
+                    f"{metrics['pcpu_util']:.3f}",
+                    f"{metrics['vcpu_util']:.3f}",
+                ]
+            )
+            best.setdefault(extra, {})[scheduler] = metrics["useful_work"]
+        print(
+            render_table(
+                ["mix", "VCPUs", "useful_work", "pcpu_util", "vcpu_util"],
+                rows,
+                title=f"Consolidation on {PCPUS} PCPUs under {scheduler}",
+            )
+        )
+        print()
+
+    rows = []
+    for extra, per_scheduler in sorted(best.items()):
+        winner = max(per_scheduler, key=per_scheduler.get)
+        rows.append(
+            [f"1x3 + {extra}x2"]
+            + [f"{per_scheduler[s]:.3f}" for s in ("rrs", "scs", "rcs")]
+            + [winner]
+        )
+    print(
+        render_table(
+            ["mix", "rrs", "scs", "rcs", "winner"],
+            rows,
+            title="Useful-work efficiency by consolidation level",
+        )
+    )
+    print(
+        "\nReading: at low consolidation SCS wastes capacity to fragmentation\n"
+        "(low pcpu_util -> low useful work even though its per-VCPU\n"
+        "utilization is best) while RCS keeps PCPUs full and skew bounded —\n"
+        "the operator-facing version of the paper's 'RCS is better than\n"
+        "SCS'.  At high consolidation the schedulers converge: with many\n"
+        "runnable VMs, any work-conserving policy finds useful work."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Plug in your own VCPU scheduling algorithm — the paper's headline flow.
+
+The paper's framework exports a C call interface::
+
+    bool schedule(VCPU_host_external* vcpus, int num_vcpu,
+                  PCPU_external* pcpus, int num_pcpu, long timestamp)
+
+Here the same interface is one Python function.  This example implements
+a simple *priority boost* policy — VCPUs that have waited longest since
+their last PCPU tenure get dispatched first — registers it, and races it
+against round-robin and the two co-schedulers on the paper's Figure 8
+setup.
+
+Run:  python examples/custom_scheduler.py
+"""
+
+from repro.core import (
+    SystemSpec,
+    VMSpec,
+    WorkloadSpec,
+    register_schedule_function,
+    run_experiment,
+)
+from repro.core.results import render_table
+
+
+def longest_wait_first(vcpus, num_vcpu, pcpus, num_pcpu, timestamp):
+    """Dispatch idle VCPUs in order of how long they have been off-CPU.
+
+    ``vcpus`` and ``pcpus`` are in/out arrays; setting ``schedule_in``
+    (plus optionally ``next_timeslice`` / ``next_pcpu``) on a view asks
+    the framework to assign a PCPU this tick.
+    """
+    free = sum(1 for p in pcpus if p.idle)
+    if free == 0:
+        return False
+    waiting = sorted(
+        (v for v in vcpus if not v.active),
+        key=lambda v: v.last_scheduled_in,  # oldest tenure first
+    )
+    for view in waiting[:free]:
+        view.schedule_in = True
+        view.next_timeslice = 30
+    return bool(waiting)
+
+
+def main() -> None:
+    register_schedule_function("longest-wait", longest_wait_first)
+
+    contenders = ["rrs", "scs", "rcs", "longest-wait"]
+    rows = []
+    for scheduler in contenders:
+        spec = SystemSpec(
+            vms=[VMSpec(2, WorkloadSpec(sync_ratio=5)),
+                 VMSpec(1, WorkloadSpec(sync_ratio=5)),
+                 VMSpec(1, WorkloadSpec(sync_ratio=5))],
+            pcpus=2,
+            scheduler=scheduler,
+            sim_time=2000,
+            warmup=200,
+        )
+        result = run_experiment(spec)
+        rows.append(
+            [
+                scheduler,
+                f"{result.mean('vcpu_availability'):.3f}",
+                f"{result.mean('pcpu_utilization'):.3f}",
+                f"{result.mean('vcpu_utilization'):.3f}",
+            ]
+        )
+    print(
+        render_table(
+            ["scheduler", "availability", "pcpu_util", "vcpu_util"],
+            rows,
+            title="Custom scheduler vs the paper's three (VMs 2+1+1, 2 PCPUs)",
+        )
+    )
+    print(
+        "\nThe plugged-in 'longest-wait' policy is a round-robin variant, so\n"
+        "its numbers should track rrs closely — now go make it smarter."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Lock-holder preemption: the paper's §II.B story, measured.
+
+"Most critical sections in an OS kernel are non-preemptible as they
+are designed to finish quickly ... However, VCPU scheduling is usually
+unaware of guest preemptions [the semantic gap]; it may preempt a VCPU
+which is in the middle of executing a critical section.  This causes
+other threads, waiting on the same lock in other VCPUs, to wait
+additional time."
+
+This example uses the framework's critical-section extension (the §V
+future-work item: richer synchronization than barriers): jobs
+periodically execute inside a VM-wide spinlock; a preempted holder
+keeps the lock, and sibling VCPUs *spin* — burning PCPU time with no
+progress — until it returns and finishes.  We measure, per scheduler:
+
+* spin_fraction — time the average VCPU wastes spinning;
+* goodput       — productive BUSY time over ACTIVE time;
+* spins per VCPU (raw counters).
+
+Expected: co-scheduling (SCS/RCS) shrinks spin waste relative to the
+sibling-oblivious schedulers (RRS/credit), because holder and waiter
+are preempted and resumed together — the quantitative version of the
+paper's motivation for co-scheduling.
+
+Run:  python examples/lock_holder_preemption.py
+"""
+
+from repro.core.results import render_table
+from repro.des import StreamFactory, UniformInt
+from repro.metrics import mean_goodput, mean_spin_fraction, spin_tick_counts
+from repro.san import SANSimulator
+from repro.schedulers import BUILTIN_ALGORITHMS
+from repro.vmm import build_virtual_system
+from repro.workloads import LockingWorkloadModel
+
+TOPOLOGY = (2, 3)
+PCPUS = 4
+CRITICAL_RATIO = 2  # every other job enters the critical section
+SIM_TIME = 2000
+WARMUP = 200
+REPLICATIONS = 5
+
+
+def measure(scheduler: str) -> dict:
+    spin_total = goodput_total = 0.0
+    spins = None
+    for rep in range(REPLICATIONS):
+        workloads = [
+            LockingWorkloadModel(
+                UniformInt(3, 8),
+                critical_ratio=CRITICAL_RATIO,
+                critical_load=UniformInt(2, 5),
+            )
+            for _ in TOPOLOGY
+        ]
+        system = build_virtual_system(
+            list(zip(TOPOLOGY, workloads)),
+            BUILTIN_ALGORITHMS[scheduler](),
+            PCPUS,
+            StreamFactory(7, rep),
+        )
+        sim = SANSimulator(system, StreamFactory(7, rep))
+        spin = sim.add_reward(mean_spin_fraction(system, warmup=WARMUP))
+        goodput = sim.add_reward(mean_goodput(system, warmup=WARMUP))
+        sim.run(until=SIM_TIME)
+        spin_total += spin.result() / REPLICATIONS
+        goodput_total += goodput.result() / REPLICATIONS
+        spins = spin_tick_counts(system)  # last replication, illustrative
+    return {"spin": spin_total, "goodput": goodput_total, "counts": spins}
+
+
+def main() -> None:
+    rows = []
+    results = {}
+    for scheduler in ("rrs", "credit", "balance", "rcs", "scs"):
+        metrics = measure(scheduler)
+        results[scheduler] = metrics
+        rows.append(
+            [scheduler, f"{metrics['spin']:.3f}", f"{metrics['goodput']:.3f}"]
+        )
+    print(
+        render_table(
+            ["scheduler", "spin_fraction", "goodput"],
+            rows,
+            title=(
+                f"Lock-holder preemption (VMs {'+'.join(map(str, TOPOLOGY))}, "
+                f"{PCPUS} PCPUs, critical sections 1:{CRITICAL_RATIO})"
+            ),
+        )
+    )
+    improvement = results["rrs"]["spin"] / max(results["scs"]["spin"], 1e-9)
+    print(
+        f"\nSCS spins {improvement:.1f}x less than RRS: co-stopping the gang\n"
+        "means a lock holder is never off-CPU while a sibling spins —\n"
+        "exactly why VMware adopted co-scheduling (paper refs [2, 3])."
+    )
+    print("\nRaw spin counters (one RRS replication):")
+    print("  ", results["rrs"]["counts"])
+
+
+if __name__ == "__main__":
+    main()

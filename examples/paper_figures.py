@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper in one command.
+
+Uses :mod:`repro.paper`, the library's canonical encoding of the
+evaluation section.  By default this runs a *quick* pass (shorter
+simulations, fewer replications) so it finishes in about a minute; pass
+``--full`` for the bench-grade fidelity used by EXPERIMENTS.md.
+
+Run:  python examples/paper_figures.py [--full]
+"""
+
+import argparse
+import time
+
+from repro.paper import run_figure8, run_figure9, run_figure10, table1, table2
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="bench-grade fidelity (sim_time=2000, up to 20 replications)",
+    )
+    args = parser.parse_args()
+
+    if args.full:
+        knobs = {"sim_time": 2000, "replications": (5, 20)}
+    else:
+        knobs = {"sim_time": 1000, "replications": (3, 6)}
+
+    print(table1())
+    print()
+    print(table2())
+    print()
+
+    for name, runner in (
+        ("Figure 8", run_figure8),
+        ("Figure 9", run_figure9),
+        ("Figure 10", run_figure10),
+    ):
+        start = time.time()
+        figure = runner(**knobs)
+        print(figure.table)
+        print(f"[{name} regenerated in {time.time() - start:.1f}s]\n")
+
+
+if __name__ == "__main__":
+    main()

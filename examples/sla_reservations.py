@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""SLA study: protecting a latency-sensitive VM with reservations.
+
+The related work the paper cites compares Xen's schedulers
+(Cherkasova et al. [8]) and proposes hybrid frameworks (Weng et
+al. [7]); this example puts those extensions to work on an operator
+problem: one *production* VM must keep ≥ 40% of a PCPU no matter how
+many best-effort batch VMs are consolidated next to it.
+
+We sweep the number of batch VMs on a single PCPU and compare:
+
+* ``rrs`` / ``credit`` (equal weights) — the share dilutes as 1/n;
+* ``credit`` with a heavy weight — proportional protection;
+* ``sedf`` with a (100, 40) reservation — an absolute guarantee;
+* ``hybrid`` with the production VM declared concurrent — gang
+  semantics (irrelevant for 1 VCPU, shown for completeness of the
+  scheduler family).
+
+Run:  python examples/sla_reservations.py
+"""
+
+from repro.core import SystemSpec, VMSpec, WorkloadSpec, run_experiment
+from repro.core.results import render_table
+
+SLA = 0.40  # the production VM must keep >= 40% of the PCPU
+MAX_BATCH = 5
+
+
+def measure(scheduler: str, scheduler_params: dict, batch_vms: int) -> float:
+    spec = SystemSpec(
+        vms=[VMSpec(1, WorkloadSpec(sync_ratio=None))]  # production VM = vm 0
+        + [VMSpec(1, WorkloadSpec(sync_ratio=None)) for _ in range(batch_vms)],
+        pcpus=1,
+        scheduler=scheduler,
+        scheduler_params=scheduler_params,
+        sim_time=1500,
+        warmup=150,
+    )
+    result = run_experiment(spec, min_replications=3, max_replications=6)
+    return result.mean("vcpu_availability[VCPU1.1]")
+
+
+CONTENDERS = [
+    ("rrs (no protection)", "rrs", {}),
+    ("credit, equal weights", "credit", {}),
+    ("credit, weight 4x", "credit", {"weights": {0: 4.0}}),
+    ("sedf, reserve 40/100", "sedf", {
+        "reservations": {0: (100, 40)},
+        "default_reservation": (100, 10),
+    }),
+]
+
+
+def main() -> None:
+    rows = []
+    sla_held = {label: True for label, _, _ in CONTENDERS}
+    for batch in range(1, MAX_BATCH + 1):
+        row = [batch]
+        for label, scheduler, params in CONTENDERS:
+            share = measure(scheduler, params, batch)
+            if share < SLA:
+                sla_held[label] = False
+            marker = "" if share >= SLA else " !"
+            row.append(f"{share:.3f}{marker}")
+        rows.append(row)
+    print(
+        render_table(
+            ["batch VMs"] + [label for label, _, _ in CONTENDERS],
+            rows,
+            title=(
+                f"Production VM's PCPU share vs consolidation "
+                f"(1 PCPU, SLA >= {SLA:.0%}; '!' = SLA violated)"
+            ),
+        )
+    )
+    print("\nSLA verdict across the whole sweep:")
+    for label, held in sla_held.items():
+        print(f"  {'PASS' if held else 'FAIL'}  {label}")
+    print(
+        "\nReading: equal-share schedulers dilute to 1/(n+1); a 4x credit\n"
+        "weight stretches the SLA a few VMs further but still dilutes;\n"
+        "SEDF's reservation is the only absolute guarantee — the batch\n"
+        "class only ever splits the remaining 60%."
+    )
+
+
+if __name__ == "__main__":
+    main()

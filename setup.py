@@ -1,0 +1,11 @@
+"""Setuptools shim: lets ``pip install -e .`` work offline.
+
+The environment has setuptools 65 but no ``wheel`` package, so PEP 517
+editable installs (which build a wheel) fail; the legacy setup.py
+develop path does not need wheel.  All real metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

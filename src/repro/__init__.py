@@ -1,0 +1,52 @@
+"""repro — a simulation framework to evaluate VCPU scheduling algorithms.
+
+A from-scratch reproduction of Pham, Li, Estrada, Kalbarczyk, Iyer,
+"A Simulation Framework to Evaluate Virtual CPU Scheduling Algorithms"
+(IEEE ICDCS Workshops 2013), including the Stochastic Activity Network
+engine the paper delegated to the closed-source Mobius tool.
+
+Layers (bottom-up):
+
+* :mod:`repro.des` — discrete-event kernel (events, clock, streams,
+  distributions);
+* :mod:`repro.san` — the SAN formalism: places, activities, gates,
+  Join/Replicate, simulator, reward variables;
+* :mod:`repro.vmm` — the paper's virtualization sub-models (Figures
+  2–7) built on the SAN engine;
+* :mod:`repro.schedulers` — the pluggable algorithm interface plus
+  RRS / SCS / RCS and extensions;
+* :mod:`repro.workloads`, :mod:`repro.metrics`, :mod:`repro.analysis`
+  — workload characterization, reward definitions, statistics;
+* :mod:`repro.core` — the public facade: specs, experiments, results.
+"""
+
+from . import analysis, core, des, metrics, paper, san, schedulers, vmm, workloads
+from .core import (
+    SystemSpec,
+    VMSpec,
+    WorkloadSpec,
+    run_experiment,
+    run_sweep,
+    simulate_once,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "core",
+    "paper",
+    "des",
+    "san",
+    "vmm",
+    "schedulers",
+    "workloads",
+    "metrics",
+    "SystemSpec",
+    "VMSpec",
+    "WorkloadSpec",
+    "simulate_once",
+    "run_experiment",
+    "run_sweep",
+    "__version__",
+]

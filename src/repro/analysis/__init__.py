@@ -1,0 +1,26 @@
+"""Result analysis: fairness, comparison/dominance, text rendering."""
+
+from .comparison import (
+    PointVerdict,
+    dominates,
+    find_crossovers,
+    improvement,
+    winner_per_point,
+)
+from .fairness import FairnessReport, availability_fairness, rank_by_fairness
+from .tables import bar_strip, comparison_strip, experiments_matrix, figure_series_table
+
+__all__ = [
+    "PointVerdict",
+    "winner_per_point",
+    "find_crossovers",
+    "dominates",
+    "improvement",
+    "FairnessReport",
+    "availability_fairness",
+    "rank_by_fairness",
+    "bar_strip",
+    "comparison_strip",
+    "experiments_matrix",
+    "figure_series_table",
+]

@@ -1,0 +1,177 @@
+"""Cross-experiment comparison: winners, crossovers, dominance.
+
+The questions a scheduler evaluation actually asks — "who wins, by how
+much, and where does the ranking flip?" — asked of
+:class:`~repro.core.results.ExperimentResult` sequences:
+
+* :func:`winner_per_point` — for each sweep point, which contender has
+  the best value of a metric (with the CI-aware margin);
+* :func:`find_crossovers` — the sweep points where the leader changes;
+* :func:`dominates` — CI-aware dominance of one contender over
+  another across a whole sweep;
+* :func:`improvement` — relative improvement of one contender over a
+  baseline, per point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence
+
+from ..core.results import ExperimentResult
+from ..errors import StatisticsError
+
+
+def _group_by_point(
+    results: Sequence[ExperimentResult],
+    contender_key: str,
+    point_key: str,
+) -> Dict[Any, Dict[Any, ExperimentResult]]:
+    grouped: Dict[Any, Dict[Any, ExperimentResult]] = {}
+    for result in results:
+        point = result.parameters.get(point_key)
+        contender = result.parameters.get(contender_key)
+        if point is None or contender is None:
+            raise StatisticsError(
+                f"experiment {result.label!r} lacks parameter "
+                f"{point_key!r} or {contender_key!r}"
+            )
+        grouped.setdefault(point, {})[contender] = result
+    return grouped
+
+
+@dataclass
+class PointVerdict:
+    """The outcome of one sweep point's comparison."""
+
+    point: Any
+    winner: Any
+    value: float
+    runner_up: Any
+    margin: float
+    significant: bool  # margin exceeds the summed CI half-widths
+
+
+def winner_per_point(
+    results: Sequence[ExperimentResult],
+    metric: str,
+    contender_key: str = "scheduler",
+    point_key: str = "pcpus",
+    higher_is_better: bool = True,
+) -> List[PointVerdict]:
+    """Best contender per sweep point, with CI-aware significance.
+
+    Returns verdicts ordered by the sweep points' first appearance.
+    """
+    grouped = _group_by_point(results, contender_key, point_key)
+    verdicts = []
+    for point, contenders in grouped.items():
+        if len(contenders) < 2:
+            raise StatisticsError(
+                f"point {point!r} has fewer than two contenders"
+            )
+        ranked = sorted(
+            contenders.items(),
+            key=lambda item: item[1].mean(metric),
+            reverse=higher_is_better,
+        )
+        (best_name, best), (second_name, second) = ranked[0], ranked[1]
+        margin = abs(best.mean(metric) - second.mean(metric))
+        noise = best.half_width(metric) + second.half_width(metric)
+        verdicts.append(
+            PointVerdict(
+                point=point,
+                winner=best_name,
+                value=best.mean(metric),
+                runner_up=second_name,
+                margin=margin,
+                significant=margin > noise,
+            )
+        )
+    return verdicts
+
+
+def find_crossovers(
+    results: Sequence[ExperimentResult],
+    metric: str,
+    contender_key: str = "scheduler",
+    point_key: str = "pcpus",
+    higher_is_better: bool = True,
+) -> List[Any]:
+    """Sweep points at which the (significant) leader changes.
+
+    A point only registers as a crossover when both its own verdict and
+    the previous one are statistically significant — noisy ties do not
+    flip the leader.
+    """
+    verdicts = winner_per_point(
+        results, metric, contender_key, point_key, higher_is_better
+    )
+    crossovers = []
+    previous = None
+    for verdict in verdicts:
+        if not verdict.significant:
+            continue
+        if previous is not None and verdict.winner != previous:
+            crossovers.append(verdict.point)
+        previous = verdict.winner
+    return crossovers
+
+
+def dominates(
+    results: Sequence[ExperimentResult],
+    metric: str,
+    contender: Any,
+    other: Any,
+    contender_key: str = "scheduler",
+    point_key: str = "pcpus",
+    higher_is_better: bool = True,
+) -> bool:
+    """True if ``contender`` beats-or-ties ``other`` at every point.
+
+    "Beats-or-ties" is CI-aware: at each point the contender's mean
+    must not be worse than the other's by more than their summed
+    half-widths.
+    """
+    grouped = _group_by_point(results, contender_key, point_key)
+    sign = 1.0 if higher_is_better else -1.0
+    for point, contenders in grouped.items():
+        if contender not in contenders or other not in contenders:
+            raise StatisticsError(
+                f"point {point!r} lacks {contender!r} or {other!r}"
+            )
+        a, b = contenders[contender], contenders[other]
+        gap = sign * (a.mean(metric) - b.mean(metric))
+        noise = a.half_width(metric) + b.half_width(metric)
+        if gap < -noise:
+            return False
+    return True
+
+
+def improvement(
+    results: Sequence[ExperimentResult],
+    metric: str,
+    contender: Any,
+    baseline: Any,
+    contender_key: str = "scheduler",
+    point_key: str = "pcpus",
+) -> Dict[Any, float]:
+    """Relative improvement of ``contender`` over ``baseline`` per point.
+
+    Returns ``{point: (contender - baseline) / |baseline|}``; a zero
+    baseline yields ``float('inf')`` (or 0.0 when both are zero).
+    """
+    grouped = _group_by_point(results, contender_key, point_key)
+    out: Dict[Any, float] = {}
+    for point, contenders in grouped.items():
+        if contender not in contenders or baseline not in contenders:
+            raise StatisticsError(
+                f"point {point!r} lacks {contender!r} or {baseline!r}"
+            )
+        a = contenders[contender].mean(metric)
+        b = contenders[baseline].mean(metric)
+        if b == 0:
+            out[point] = 0.0 if a == 0 else float("inf")
+        else:
+            out[point] = (a - b) / abs(b)
+    return out

@@ -1,0 +1,65 @@
+"""Fairness analysis over experiment results.
+
+The paper's Figure 8 argues fairness visually (four availability bars
+per algorithm); this module quantifies the same comparison with Jain's
+index and min/max share ratios so tests and benches can assert "RRS is
+fair, SCS is not (at low PCPU counts)" numerically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..core.results import ExperimentResult
+from ..errors import StatisticsError
+from ..metrics.stats import jain_fairness
+
+
+@dataclass
+class FairnessReport:
+    """Fairness of one experiment's per-VCPU availability."""
+
+    label: str
+    availabilities: Dict[str, float]
+    jain_index: float
+    min_share: float
+    max_share: float
+
+    @property
+    def spread(self) -> float:
+        """max - min availability: 0 means perfectly balanced."""
+        return self.max_share - self.min_share
+
+
+def availability_fairness(result: ExperimentResult) -> FairnessReport:
+    """Compute fairness over a result's per-VCPU availability metrics.
+
+    Raises:
+        StatisticsError: if the result has no per-VCPU availability
+            metrics (``vcpu_availability[...]``).
+    """
+    availabilities = {
+        name: estimate.mean
+        for name, estimate in result.estimates.items()
+        if name.startswith("vcpu_availability[")
+    }
+    if not availabilities:
+        raise StatisticsError(
+            f"experiment {result.label!r} has no per-VCPU availability metrics"
+        )
+    values = list(availabilities.values())
+    return FairnessReport(
+        label=result.label,
+        availabilities=availabilities,
+        jain_index=jain_fairness(values),
+        min_share=min(values),
+        max_share=max(values),
+    )
+
+
+def rank_by_fairness(results: Sequence[ExperimentResult]) -> List[FairnessReport]:
+    """Fairness reports for several experiments, fairest first."""
+    reports = [availability_fairness(result) for result in results]
+    reports.sort(key=lambda report: report.jain_index, reverse=True)
+    return reports

@@ -1,0 +1,111 @@
+"""Figure-style text renderers.
+
+The benches regenerate the paper's figures as ASCII tables and bar
+strips; this module holds the shared rendering so each bench only
+supplies data.  Output format per figure:
+
+* :func:`figure_series_table` — one row per x-value, one column pair
+  (mean ± hw) per series: the tabular equivalent of a grouped bar /
+  line figure.
+* :func:`bar_strip` — a quick proportional bar (``#`` glyphs) for
+  values in [0, 1], making "who wins" visible in plain terminals.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.results import ExperimentResult, render_table
+
+
+def bar_strip(value: float, width: int = 24) -> str:
+    """A [0,1] value as a proportional bar, e.g. 0.5 -> '############'."""
+    clamped = min(1.0, max(0.0, value))
+    filled = int(round(clamped * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def figure_series_table(
+    title: str,
+    x_name: str,
+    x_values: Sequence,
+    series: Dict[str, List[Tuple[float, float]]],
+) -> str:
+    """Render grouped series as a table.
+
+    Args:
+        title: figure caption.
+        x_name: the x axis label (e.g. ``"pcpus"``).
+        x_values: x axis points, one per row.
+        series: mapping series name -> list of ``(mean, half_width)``
+            aligned with ``x_values``.
+
+    Returns:
+        ASCII table text.
+    """
+    headers = [x_name]
+    for name in series:
+        headers.append(f"{name}")
+    rows = []
+    for index, x in enumerate(x_values):
+        row: List[object] = [x]
+        for name in series:
+            mean, half_width = series[name][index]
+            row.append(f"{mean:.3f} ±{half_width:.3f}")
+        rows.append(row)
+    return render_table(headers, rows, title=title)
+
+
+def comparison_strip(
+    title: str,
+    values: Dict[str, float],
+    width: int = 24,
+) -> str:
+    """Render labelled [0,1] values as proportional bars.
+
+    Example:
+        >>> print(comparison_strip("demo", {"rrs": 1.0}, width=4))
+        demo
+        ====
+        rrs  ####  1.000
+    """
+    lines = [title, "=" * len(title)]
+    label_width = max(len(label) for label in values)
+    for label, value in values.items():
+        lines.append(
+            f"{label.ljust(label_width)}  {bar_strip(value, width)}  {value:.3f}"
+        )
+    return "\n".join(lines)
+
+
+def experiments_matrix(
+    results: Sequence[ExperimentResult],
+    metric: str,
+    row_key: str,
+    column_key: str,
+) -> str:
+    """Pivot experiments into a rows × columns table of one metric.
+
+    Args:
+        results: experiments whose ``parameters`` contain both keys.
+        metric: metric name to display (mean ± half-width).
+        row_key / column_key: parameter names to pivot on.
+    """
+    rows_seen: List = []
+    columns_seen: List = []
+    cells: Dict[Tuple, str] = {}
+    for result in results:
+        row = result.parameters.get(row_key)
+        column = result.parameters.get(column_key)
+        if row not in rows_seen:
+            rows_seen.append(row)
+        if column not in columns_seen:
+            columns_seen.append(column)
+        cells[(row, column)] = f"{result.mean(metric):.3f} ±{result.half_width(metric):.3f}"
+    headers = [f"{row_key}\\{column_key}"] + [str(c) for c in columns_seen]
+    table_rows = []
+    for row in rows_seen:
+        table_rows.append(
+            [row] + [cells.get((row, column), "-") for column in columns_seen]
+        )
+    return render_table(headers, table_rows, title=f"{metric} by {row_key} x {column_key}")

@@ -1,0 +1,170 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list-schedulers`` — registered algorithm names.
+* ``run --spec spec.json`` — run one experiment from a JSON system
+  spec (the dict form of :class:`~repro.core.config.SystemSpec`),
+  printing every metric with its confidence interval; ``--csv`` emits
+  machine-readable output instead.
+* ``tables`` — print the paper's Tables 1 and 2.
+* ``figures [--figure 8|9|10|all] [--full]`` — regenerate the paper's
+  figures (quick fidelity by default).
+
+Example spec file::
+
+    {
+      "vms": [{"vcpus": 2}, {"vcpus": 1}, {"vcpus": 1}],
+      "pcpus": 2,
+      "scheduler": "rcs",
+      "sim_time": 2000,
+      "warmup": 200
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .core.config import SystemSpec
+from .core.experiment import run_experiment
+from .core.registry import list_schedulers
+from .core.results import render_table, results_to_csv
+from .errors import ReproError
+
+
+def _cmd_list_schedulers(args: argparse.Namespace) -> int:
+    for name in list_schedulers():
+        print(name)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    with open(args.spec, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    spec = SystemSpec.from_dict(payload)
+    result = run_experiment(
+        spec,
+        min_replications=args.min_replications,
+        max_replications=args.max_replications,
+        target_half_width=args.target_half_width,
+        root_seed=args.seed,
+        extra_probes=args.probes,
+    )
+    if args.csv:
+        print(results_to_csv([result], metrics=result.metrics()), end="")
+        return 0
+    print(f"{result.label}  ({result.replications} replications)")
+    rows = [
+        [name, f"{result.mean(name):.4f}", f"{result.half_width(name):.4f}"]
+        for name in result.metrics()
+    ]
+    print(render_table(["metric", "mean", "ci_half_width"], rows))
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from .paper import table1, table2
+
+    print(table1())
+    print()
+    print(table2())
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    import os
+
+    from .paper import run_figure8, run_figure9, run_figure10
+
+    if args.full:
+        knobs = {"sim_time": 2000, "replications": (5, 20)}
+    else:
+        knobs = {"sim_time": 1000, "replications": (3, 6)}
+    # Env overrides, mainly for fast CI runs of the CLI path.
+    if "REPRO_FIGURES_SIM_TIME" in os.environ:
+        knobs["sim_time"] = int(os.environ["REPRO_FIGURES_SIM_TIME"])
+    if "REPRO_FIGURES_REPS" in os.environ:
+        reps = int(os.environ["REPRO_FIGURES_REPS"])
+        knobs["replications"] = (reps, reps)
+    runners = {"8": run_figure8, "9": run_figure9, "10": run_figure10}
+    wanted = list(runners) if args.figure == "all" else [args.figure]
+    for key in wanted:
+        figure = runners[key](**knobs)
+        print(figure.table)
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Simulation framework for evaluating VCPU scheduling algorithms",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-schedulers", help="print registered algorithms").set_defaults(
+        handler=_cmd_list_schedulers
+    )
+
+    run_parser = sub.add_parser("run", help="run one experiment from a JSON spec")
+    run_parser.add_argument("--spec", required=True, help="path to a JSON system spec")
+    run_parser.add_argument("--seed", type=int, default=0, help="root random seed")
+    run_parser.add_argument(
+        "--min-replications", type=int, default=5, dest="min_replications"
+    )
+    run_parser.add_argument(
+        "--max-replications", type=int, default=30, dest="max_replications"
+    )
+    run_parser.add_argument(
+        "--target-half-width",
+        type=float,
+        default=0.1,
+        dest="target_half_width",
+        help="stop when every watched metric's 95%% CI half-width is below this",
+    )
+    run_parser.add_argument(
+        "--probes",
+        action="store_true",
+        help="also collect blocked-fraction and throughput probes",
+    )
+    run_parser.add_argument("--csv", action="store_true", help="emit CSV")
+    run_parser.set_defaults(handler=_cmd_run)
+
+    sub.add_parser("tables", help="print the paper's Tables 1 and 2").set_defaults(
+        handler=_cmd_tables
+    )
+
+    figures_parser = sub.add_parser("figures", help="regenerate the paper's figures")
+    figures_parser.add_argument(
+        "--figure", choices=["8", "9", "10", "all"], default="all"
+    )
+    figures_parser.add_argument(
+        "--full", action="store_true", help="bench-grade fidelity (slower)"
+    )
+    figures_parser.set_defaults(handler=_cmd_figures)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"error: malformed JSON spec: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,153 @@
+"""The user-facing simulation facade.
+
+Ties the layers together: a :class:`~repro.core.config.SystemSpec` is
+materialized into the paper's composed SAN model with the standard
+reward variables attached, and one call runs a replication.
+
+Example — the whole paper workflow in four lines:
+
+    >>> from repro.core import SystemSpec, VMSpec, simulate_once
+    >>> spec = SystemSpec(vms=[VMSpec(2), VMSpec(1)], pcpus=2,
+    ...                   scheduler="rrs", sim_time=500, warmup=50)
+    >>> result = simulate_once(spec, replication=0)
+    >>> 0.0 <= result.metrics["pcpu_utilization"] <= 1.0
+    True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..des.random_streams import StreamFactory
+from ..metrics.collectors import per_vm_blocked_fraction, workloads_generated
+from ..metrics.rewards import standard_rewards
+from ..san import ComposedModel, SANSimulator
+from .config import SystemSpec
+from .registry import create_scheduler
+from ..vmm.system import build_virtual_system
+from ..vmm.vcpu_scheduler import PCPUFailureModel
+
+
+def _failure_model(spec: "SystemSpec"):
+    """Materialize the spec's optional pcpu_failures dict."""
+    if spec.pcpu_failures is None:
+        return None
+    return PCPUFailureModel(**spec.pcpu_failures)
+
+
+@dataclass
+class RunResult:
+    """Everything measured in one replication."""
+
+    spec: SystemSpec
+    replication: int
+    root_seed: int
+    metrics: Dict[str, float] = field(default_factory=dict)
+    completions: int = 0  # activity completions (simulator effort)
+
+    def metric(self, name: str) -> float:
+        """Look up one metric, with a helpful error on typos."""
+        if name not in self.metrics:
+            raise KeyError(
+                f"unknown metric {name!r}; available: {sorted(self.metrics)}"
+            )
+        return self.metrics[name]
+
+
+class Simulation:
+    """One buildable/runnable virtualization system.
+
+    Wraps model construction and reward attachment; each
+    :class:`Simulation` instance serves exactly one replication (models
+    and scheduler state are replication-private by design — Mobius
+    likewise re-initializes per batch).
+    """
+
+    def __init__(
+        self,
+        spec: SystemSpec,
+        replication: int = 0,
+        root_seed: int = 0,
+        extra_probes: bool = False,
+    ) -> None:
+        spec.validate()
+        self.spec = spec
+        self.replication = int(replication)
+        self.root_seed = int(root_seed)
+        self.streams = StreamFactory(root_seed=root_seed, replication=replication)
+
+        algorithm = create_scheduler(spec.scheduler, **spec.scheduler_params)
+        vm_configs = [(vm.vcpus, vm.workload.build(), vm.dispatch) for vm in spec.vms]
+        self.system: ComposedModel = build_virtual_system(
+            vm_configs,
+            algorithm,
+            spec.pcpus,
+            streams=self.streams,
+            vm_slots=spec.vm_slots,
+            scheduler_slots=spec.scheduler_slots,
+            failures=_failure_model(spec),
+        )
+        self.simulator = SANSimulator(self.system, self.streams)
+        self.rewards = standard_rewards(self.system, warmup=spec.warmup)
+        if extra_probes:
+            self.rewards.update(per_vm_blocked_fraction(self.system, warmup=spec.warmup))
+            self.rewards.update(workloads_generated(self.system, warmup=spec.warmup))
+        for reward in self.rewards.values():
+            self.simulator.add_reward(reward)
+        self._ran = False
+
+    def run(self) -> RunResult:
+        """Run the replication to ``spec.sim_time`` and collect metrics."""
+        if self._ran:
+            raise RuntimeError(
+                "a Simulation runs exactly once; build a new instance "
+                "(with the next replication index) for another run"
+            )
+        self.simulator.run(until=self.spec.sim_time)
+        self._ran = True
+        metrics = {name: reward.result() for name, reward in self.rewards.items()}
+        return RunResult(
+            spec=self.spec,
+            replication=self.replication,
+            root_seed=self.root_seed,
+            metrics=metrics,
+            completions=self.simulator.completions,
+        )
+
+
+def simulate_once(
+    spec: SystemSpec,
+    replication: int = 0,
+    root_seed: int = 0,
+    extra_probes: bool = False,
+) -> RunResult:
+    """Build and run one replication of ``spec`` (the quickstart entry)."""
+    return Simulation(
+        spec, replication=replication, root_seed=root_seed, extra_probes=extra_probes
+    ).run()
+
+
+def build_system(
+    spec: SystemSpec,
+    replication: int = 0,
+    root_seed: int = 0,
+) -> ComposedModel:
+    """Materialize a spec into the composed SAN model, without running it.
+
+    Useful for structural inspection (join-place tables, traces) and for
+    users who want to attach custom reward variables before simulating.
+    """
+    spec.validate()
+    streams = StreamFactory(root_seed=root_seed, replication=replication)
+    algorithm = create_scheduler(spec.scheduler, **spec.scheduler_params)
+    vm_configs = [(vm.vcpus, vm.workload.build(), vm.dispatch) for vm in spec.vms]
+    return build_virtual_system(
+        vm_configs,
+        algorithm,
+        spec.pcpus,
+        streams=streams,
+        vm_slots=spec.vm_slots,
+        scheduler_slots=spec.scheduler_slots,
+        failures=_failure_model(spec),
+    )

@@ -1,0 +1,95 @@
+"""Scheduler plugin registry.
+
+The paper's users "plug in any VCPU scheduling algorithm in the form of
+C functions"; here they register a :class:`SchedulingAlgorithm` factory
+under a name and refer to it from a :class:`~repro.core.config.SystemSpec`.
+The built-in algorithms register themselves on import.
+
+Factories (not instances) are registered because algorithms carry run
+queues and skew counters: every replication must get a fresh instance.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..errors import RegistryError
+from ..schedulers import BUILTIN_ALGORITHMS
+from ..schedulers.interface import FunctionScheduler, SchedulingAlgorithm
+
+SchedulerFactory = Callable[..., SchedulingAlgorithm]
+
+_REGISTRY: Dict[str, SchedulerFactory] = dict(BUILTIN_ALGORITHMS)
+
+
+def register_scheduler(name: str, factory: SchedulerFactory, replace: bool = False) -> None:
+    """Register a scheduler factory under ``name``.
+
+    Args:
+        name: registry key (e.g. ``"my-algo"``).
+        factory: callable returning a fresh :class:`SchedulingAlgorithm`;
+            it must accept the keyword arguments the user will put in
+            ``SystemSpec.scheduler_params`` (at minimum ``timeslice``).
+        replace: allow overwriting an existing registration.
+
+    Raises:
+        RegistryError: on a duplicate name (unless ``replace``) or a
+            non-callable factory.
+    """
+    if not name:
+        raise RegistryError("scheduler name must be non-empty")
+    if not callable(factory):
+        raise RegistryError(f"factory for {name!r} must be callable")
+    if name in _REGISTRY and not replace:
+        raise RegistryError(
+            f"scheduler {name!r} is already registered; pass replace=True to override"
+        )
+    _REGISTRY[name] = factory
+
+
+def register_schedule_function(name: str, fn, timeslice: int = 30) -> None:
+    """Register a bare scheduling function (the paper's C-function flow).
+
+    Example:
+        >>> def my_schedule(vcpus, num_vcpu, pcpus, num_pcpu, timestamp):
+        ...     return False
+        >>> register_schedule_function("noop", my_schedule)  # doctest: +SKIP
+    """
+    register_scheduler(
+        name,
+        lambda timeslice=timeslice, name=name, fn=fn, **_ignored: FunctionScheduler(
+            name, fn, timeslice=timeslice
+        ),
+    )
+
+
+def create_scheduler(name: str, **params) -> SchedulingAlgorithm:
+    """Instantiate a registered scheduler with the given parameters.
+
+    Raises:
+        RegistryError: unknown name, or the factory rejected ``params``.
+    """
+    if name not in _REGISTRY:
+        raise RegistryError(
+            f"unknown scheduler {name!r}; registered: {sorted(_REGISTRY)}"
+        )
+    try:
+        algorithm = _REGISTRY[name](**params)
+    except TypeError as exc:
+        raise RegistryError(f"scheduler {name!r} rejected parameters {params}: {exc}") from exc
+    if not isinstance(algorithm, SchedulingAlgorithm):
+        raise RegistryError(
+            f"factory for {name!r} returned {type(algorithm).__name__}, "
+            "not a SchedulingAlgorithm"
+        )
+    return algorithm
+
+
+def list_schedulers() -> List[str]:
+    """Registered scheduler names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def is_registered(name: str) -> bool:
+    """True if ``name`` is a known scheduler."""
+    return name in _REGISTRY

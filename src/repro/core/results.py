@@ -1,0 +1,141 @@
+"""Typed result containers and text rendering.
+
+Experiment outputs are kept as plain data (dataclasses of floats) so
+benches, tests, and examples all consume the same shapes, and rendered
+with a small ASCII table engine — the framework's stand-in for the
+paper's figures.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..errors import StatisticsError
+from ..metrics.stats import confidence_interval
+
+
+@dataclass
+class MetricEstimate:
+    """A metric's replicated estimate: mean with a confidence interval."""
+
+    name: str
+    values: List[float] = field(default_factory=list)
+    confidence: float = 0.95
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        if not self.values:
+            raise StatisticsError(f"metric {self.name!r} has no replications")
+        return sum(self.values) / len(self.values)
+
+    @property
+    def half_width(self) -> float:
+        """CI half-width; 0.0 for a single replication (no variance)."""
+        if len(self.values) < 2:
+            return 0.0
+        _, half = confidence_interval(self.values, self.confidence)
+        return half
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3f} ± {self.half_width:.3f}"
+
+
+@dataclass
+class ExperimentResult:
+    """All metric estimates from one experiment configuration."""
+
+    label: str
+    estimates: Dict[str, MetricEstimate] = field(default_factory=dict)
+    replications: int = 0
+    parameters: Dict[str, Any] = field(default_factory=dict)
+
+    def mean(self, metric: str) -> float:
+        return self._get(metric).mean
+
+    def half_width(self, metric: str) -> float:
+        return self._get(metric).half_width
+
+    def _get(self, metric: str) -> MetricEstimate:
+        if metric not in self.estimates:
+            raise KeyError(
+                f"experiment {self.label!r} has no metric {metric!r}; "
+                f"available: {sorted(self.estimates)}"
+            )
+        return self.estimates[metric]
+
+    def metrics(self) -> List[str]:
+        return sorted(self.estimates)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an ASCII table (monospace, padded columns).
+
+    Example:
+        >>> print(render_table(["a", "b"], [[1, 2.5]]))
+        a  b
+        -  ---
+        1  2.5
+    """
+    text_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def _fmt(cell: Any) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def results_to_csv(
+    results: Sequence[ExperimentResult],
+    metrics: Sequence[str],
+) -> str:
+    """Flatten experiment results into CSV text (one row per experiment).
+
+    Columns: label, every parameter key (union), then mean and
+    half-width per requested metric.
+    """
+    param_keys: List[str] = []
+    for result in results:
+        for key in result.parameters:
+            if key not in param_keys:
+                param_keys.append(key)
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    header = ["label"] + param_keys
+    for metric in metrics:
+        header += [f"{metric}_mean", f"{metric}_hw"]
+    writer.writerow(header)
+    for result in results:
+        row: List[Any] = [result.label]
+        row += [result.parameters.get(key, "") for key in param_keys]
+        for metric in metrics:
+            if metric in result.estimates:
+                row += [f"{result.mean(metric):.6f}", f"{result.half_width(metric):.6f}"]
+            else:
+                row += ["", ""]
+        writer.writerow(row)
+    return buffer.getvalue()

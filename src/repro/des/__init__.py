@@ -1,0 +1,47 @@
+"""Discrete-event simulation kernel.
+
+The lowest layer of the framework: an event queue with cancellation, a
+monotonic simulation clock, reproducible per-activity random streams, and
+a catalogue of sampling distributions.  The SAN engine
+(:mod:`repro.san`) is built entirely on these primitives.
+"""
+
+from .clock import SimulationClock
+from .distributions import (
+    Deterministic,
+    Discretized,
+    Distribution,
+    Empirical,
+    Erlang,
+    Exponential,
+    Geometric,
+    LogNormal,
+    MarkingDependentExponential,
+    Normal,
+    Uniform,
+    UniformInt,
+    from_spec,
+)
+from .event_queue import Event, EventQueue
+from .random_streams import StreamFactory, derive_seed
+
+__all__ = [
+    "SimulationClock",
+    "Event",
+    "EventQueue",
+    "StreamFactory",
+    "derive_seed",
+    "Distribution",
+    "Deterministic",
+    "Uniform",
+    "UniformInt",
+    "Exponential",
+    "Geometric",
+    "MarkingDependentExponential",
+    "Normal",
+    "LogNormal",
+    "Erlang",
+    "Empirical",
+    "Discretized",
+    "from_spec",
+]

@@ -1,0 +1,53 @@
+"""Simulation clock.
+
+A thin object around the current simulation time.  It exists as a class
+(rather than a float threaded through call sites) so that gates, reward
+variables, and user scheduling functions can all observe a single,
+consistent notion of "now", and so tests can assert monotonicity.
+"""
+
+from __future__ import annotations
+
+from ..errors import SimulationError
+
+
+class SimulationClock:
+    """Monotonically advancing simulation time.
+
+    Example:
+        >>> clock = SimulationClock()
+        >>> clock.now
+        0.0
+        >>> clock.advance_to(3.5)
+        >>> clock.now
+        3.5
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    def advance_to(self, time: float) -> None:
+        """Move the clock forward to ``time``.
+
+        Raises:
+            SimulationError: if ``time`` is earlier than the current time.
+                Equal time is allowed (instantaneous activities complete in
+                zero simulated time).
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"clock cannot run backwards: now={self._now}, requested={time}"
+            )
+        self._now = time
+
+    def reset(self, start: float = 0.0) -> None:
+        """Rewind the clock; only legal between simulation runs."""
+        self._now = float(start)
+
+    def __repr__(self) -> str:
+        return f"SimulationClock(now={self._now})"

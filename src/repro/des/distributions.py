@@ -1,0 +1,350 @@
+"""Sampling distributions for activity delays and workload parameters.
+
+The paper allows "any distribution and rate" for workload generation and
+timed-activity delays.  This module provides the catalogue Mobius offers
+for timed activities, each as a small object with:
+
+* ``sample(rng)``   — draw one value using the supplied stream;
+* ``mean()``        — analytic mean (used by tests and sanity checks);
+* a readable ``repr`` so experiment configs are self-describing.
+
+Two adapters matter for this framework specifically:
+
+* :class:`Discretized` rounds a continuous draw up to a positive integer —
+  the virtualization model runs in integral clock ticks, so load durations
+  must be whole time units ≥ 1.
+* :class:`Empirical` replays observed values, which supports
+  trace-driven workloads (see :mod:`repro.workloads.traces`).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from random import Random
+from typing import Sequence
+
+from ..errors import ConfigurationError
+
+
+class Distribution(ABC):
+    """A sampling distribution over the reals."""
+
+    @abstractmethod
+    def sample(self, rng: Random) -> float:
+        """Draw one value using ``rng``."""
+
+    @abstractmethod
+    def mean(self) -> float:
+        """Analytic mean of the distribution."""
+
+    def sample_many(self, rng: Random, n: int) -> list:
+        """Draw ``n`` values (convenience for tests and warm-up studies)."""
+        return [self.sample(rng) for _ in range(n)]
+
+
+class Deterministic(Distribution):
+    """Always returns the same value.
+
+    The hypervisor ``Clock`` activity uses ``Deterministic(1)`` — it fires
+    exactly every time unit, as in the paper.
+    """
+
+    def __init__(self, value: float) -> None:
+        if value < 0:
+            raise ConfigurationError(f"Deterministic value must be >= 0, got {value}")
+        self.value = float(value)
+
+    def sample(self, rng: Random) -> float:
+        return self.value
+
+    def mean(self) -> float:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Deterministic({self.value})"
+
+
+class Uniform(Distribution):
+    """Continuous uniform on ``[low, high]``."""
+
+    def __init__(self, low: float, high: float) -> None:
+        if high < low:
+            raise ConfigurationError(f"Uniform needs low <= high, got [{low}, {high}]")
+        self.low = float(low)
+        self.high = float(high)
+
+    def sample(self, rng: Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+    def mean(self) -> float:
+        return (self.low + self.high) / 2.0
+
+    def __repr__(self) -> str:
+        return f"Uniform({self.low}, {self.high})"
+
+
+class UniformInt(Distribution):
+    """Discrete uniform on the integers ``{low, ..., high}`` inclusive.
+
+    The default workload-duration distribution in this framework: the
+    paper's experiments draw integral load durations.
+    """
+
+    def __init__(self, low: int, high: int) -> None:
+        if high < low:
+            raise ConfigurationError(f"UniformInt needs low <= high, got [{low}, {high}]")
+        self.low = int(low)
+        self.high = int(high)
+
+    def sample(self, rng: Random) -> float:
+        return float(rng.randint(self.low, self.high))
+
+    def mean(self) -> float:
+        return (self.low + self.high) / 2.0
+
+    def __repr__(self) -> str:
+        return f"UniformInt({self.low}, {self.high})"
+
+
+class Exponential(Distribution):
+    """Exponential with the given ``rate`` (mean ``1/rate``).
+
+    The canonical SAN timed-activity distribution (memoryless firing).
+    """
+
+    def __init__(self, rate: float) -> None:
+        if rate <= 0:
+            raise ConfigurationError(f"Exponential rate must be > 0, got {rate}")
+        self.rate = float(rate)
+
+    def sample(self, rng: Random) -> float:
+        return rng.expovariate(self.rate)
+
+    def mean(self) -> float:
+        return 1.0 / self.rate
+
+    def __repr__(self) -> str:
+        return f"Exponential(rate={self.rate})"
+
+
+class Geometric(Distribution):
+    """Geometric on {1, 2, ...} with success probability ``p``.
+
+    The discrete analogue of the exponential; handy for integral load
+    durations with a long tail.
+    """
+
+    def __init__(self, p: float) -> None:
+        if not 0 < p <= 1:
+            raise ConfigurationError(f"Geometric p must be in (0, 1], got {p}")
+        self.p = float(p)
+
+    def sample(self, rng: Random) -> float:
+        if self.p == 1.0:
+            return 1.0
+        # Inverse-CDF: ceil(log(U) / log(1-p)) is geometric on {1, 2, ...}.
+        u = rng.random()
+        while u == 0.0:  # avoid log(0); probability ~0 but be exact
+            u = rng.random()
+        return float(math.ceil(math.log(u) / math.log(1.0 - self.p)))
+
+    def mean(self) -> float:
+        return 1.0 / self.p
+
+    def __repr__(self) -> str:
+        return f"Geometric(p={self.p})"
+
+
+class Normal(Distribution):
+    """Normal(mu, sigma), truncated at zero on sampling.
+
+    Truncation keeps delays non-negative; tests should choose mu >> sigma
+    when the analytic mean matters.
+    """
+
+    def __init__(self, mu: float, sigma: float) -> None:
+        if sigma < 0:
+            raise ConfigurationError(f"Normal sigma must be >= 0, got {sigma}")
+        self.mu = float(mu)
+        self.sigma = float(sigma)
+
+    def sample(self, rng: Random) -> float:
+        return max(0.0, rng.gauss(self.mu, self.sigma))
+
+    def mean(self) -> float:
+        return self.mu
+
+    def __repr__(self) -> str:
+        return f"Normal(mu={self.mu}, sigma={self.sigma})"
+
+
+class LogNormal(Distribution):
+    """Log-normal with underlying normal parameters (mu, sigma)."""
+
+    def __init__(self, mu: float, sigma: float) -> None:
+        if sigma < 0:
+            raise ConfigurationError(f"LogNormal sigma must be >= 0, got {sigma}")
+        self.mu = float(mu)
+        self.sigma = float(sigma)
+
+    def sample(self, rng: Random) -> float:
+        return rng.lognormvariate(self.mu, self.sigma)
+
+    def mean(self) -> float:
+        return math.exp(self.mu + self.sigma**2 / 2.0)
+
+    def __repr__(self) -> str:
+        return f"LogNormal(mu={self.mu}, sigma={self.sigma})"
+
+
+class Erlang(Distribution):
+    """Erlang-k: sum of ``k`` exponentials each with the given ``rate``."""
+
+    def __init__(self, k: int, rate: float) -> None:
+        if k < 1:
+            raise ConfigurationError(f"Erlang k must be >= 1, got {k}")
+        if rate <= 0:
+            raise ConfigurationError(f"Erlang rate must be > 0, got {rate}")
+        self.k = int(k)
+        self.rate = float(rate)
+
+    def sample(self, rng: Random) -> float:
+        return sum(rng.expovariate(self.rate) for _ in range(self.k))
+
+    def mean(self) -> float:
+        return self.k / self.rate
+
+    def __repr__(self) -> str:
+        return f"Erlang(k={self.k}, rate={self.rate})"
+
+
+class MarkingDependentExponential(Distribution):
+    """Exponential whose rate is evaluated at sampling time.
+
+    Mobius allows activity rates to be *marking dependent* — e.g. a
+    service rate proportional to the number of busy servers.  The rate
+    callable is a zero-argument closure over places, like gate code::
+
+        MarkingDependentExponential(lambda: mu * min(servers, queue.tokens))
+
+    ``mean()`` reports ``1/rate()`` at the *current* marking (the
+    instantaneous mean), which is what tests and sanity checks want.
+
+    The CTMC solver supports these too: it evaluates the rate in each
+    explored state.
+    """
+
+    def __init__(self, rate_fn) -> None:
+        if not callable(rate_fn):
+            raise ConfigurationError(
+                "MarkingDependentExponential needs a callable rate"
+            )
+        self.rate_fn = rate_fn
+
+    @property
+    def rate(self) -> float:
+        """The rate in the current marking (must be > 0 when sampled)."""
+        value = float(self.rate_fn())
+        if value <= 0:
+            raise ConfigurationError(
+                f"marking-dependent rate must be > 0 when enabled, got {value}"
+            )
+        return value
+
+    def sample(self, rng: Random) -> float:
+        return rng.expovariate(self.rate)
+
+    def mean(self) -> float:
+        return 1.0 / self.rate
+
+    def __repr__(self) -> str:
+        return "MarkingDependentExponential(<rate_fn>)"
+
+
+class Empirical(Distribution):
+    """Samples uniformly from a fixed sequence of observed values.
+
+    Supports trace-driven workloads: record the load durations from one
+    run (or a real trace) and replay their empirical distribution.
+    """
+
+    def __init__(self, values: Sequence[float]) -> None:
+        if not values:
+            raise ConfigurationError("Empirical needs at least one value")
+        self.values = [float(v) for v in values]
+
+    def sample(self, rng: Random) -> float:
+        return rng.choice(self.values)
+
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values)
+
+    def __repr__(self) -> str:
+        return f"Empirical(n={len(self.values)})"
+
+
+class Discretized(Distribution):
+    """Wraps any distribution, rounding samples up to an integer >= ``floor``.
+
+    Load durations in the virtualization model are whole clock ticks and
+    must be at least 1 (a zero-length workload would complete without ever
+    occupying a VCPU).
+    """
+
+    def __init__(self, inner: Distribution, floor: int = 1) -> None:
+        if floor < 0:
+            raise ConfigurationError(f"Discretized floor must be >= 0, got {floor}")
+        self.inner = inner
+        self.floor = int(floor)
+
+    def sample(self, rng: Random) -> float:
+        return float(max(self.floor, math.ceil(self.inner.sample(rng))))
+
+    def mean(self) -> float:
+        # The exact mean of ceil(X) clipped below is distribution-specific;
+        # report the inner mean as the documented approximation.
+        return max(float(self.floor), self.inner.mean())
+
+    def __repr__(self) -> str:
+        return f"Discretized({self.inner!r}, floor={self.floor})"
+
+
+_DISTRIBUTIONS = {
+    "deterministic": Deterministic,
+    "uniform": Uniform,
+    "uniform_int": UniformInt,
+    "exponential": Exponential,
+    "geometric": Geometric,
+    "normal": Normal,
+    "lognormal": LogNormal,
+    "erlang": Erlang,
+}
+
+
+def from_spec(spec) -> Distribution:
+    """Build a distribution from a declarative spec.
+
+    Accepts either an existing :class:`Distribution` (returned as-is) or a
+    dict like ``{"kind": "uniform_int", "low": 5, "high": 15}``.  This is
+    what lets :mod:`repro.core.config` express workloads as plain data.
+
+    Raises:
+        ConfigurationError: unknown kind or bad parameters.
+    """
+    if isinstance(spec, Distribution):
+        return spec
+    if not isinstance(spec, dict):
+        raise ConfigurationError(
+            f"distribution spec must be a Distribution or dict, got {type(spec).__name__}"
+        )
+    params = dict(spec)
+    kind = params.pop("kind", None)
+    if kind not in _DISTRIBUTIONS:
+        raise ConfigurationError(
+            f"unknown distribution kind {kind!r}; valid kinds: {sorted(_DISTRIBUTIONS)}"
+        )
+    try:
+        return _DISTRIBUTIONS[kind](**params)
+    except TypeError as exc:
+        raise ConfigurationError(f"bad parameters for {kind!r}: {exc}") from exc

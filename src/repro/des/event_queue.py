@@ -1,0 +1,127 @@
+"""A discrete-event queue with O(log n) insert/pop and O(1) cancellation.
+
+The queue is the beating heart of the SAN simulator: every scheduled
+activity completion is an :class:`Event`.  SAN semantics require that an
+activity scheduled to complete can later be *aborted* (when its enabling
+condition is invalidated by another activity's completion), so the queue
+supports cheap cancellation via tombstoning — a cancelled event stays in
+the heap but is skipped on pop.
+
+Ties are broken deterministically: events at equal time pop in
+(priority, insertion-order) order, which makes whole simulations
+reproducible for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled occurrence.
+
+    Attributes:
+        time: simulation time at which the event fires.
+        priority: lower values fire first among same-time events.
+        sequence: insertion counter; the final tie-breaker.
+        payload: opaque object handed back to the caller on pop.
+        cancelled: tombstone flag set by :meth:`EventQueue.cancel`.
+    """
+
+    time: float
+    priority: int
+    sequence: int
+    payload: Any = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventQueue:
+    """Priority queue of :class:`Event` objects keyed by (time, priority).
+
+    Example:
+        >>> q = EventQueue()
+        >>> e = q.schedule(5.0, "hello")
+        >>> q.pop().payload
+        'hello'
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._sequence = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        """Number of live (non-cancelled) events."""
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def schedule(self, time: float, payload: Any, priority: int = 0) -> Event:
+        """Insert an event and return a handle usable with :meth:`cancel`."""
+        if time != time:  # NaN guard: a NaN time would corrupt heap order.
+            raise ValueError("event time must not be NaN")
+        event = Event(time=time, priority=priority, sequence=self._sequence, payload=payload)
+        self._sequence += 1
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event.
+
+        Cancelling twice is a no-op; cancelling an already-popped event is
+        also a no-op (the pop path clears the live count exactly once).
+        """
+        if not event.cancelled:
+            event.cancelled = True
+            self._live -= 1 if self._contains(event) else 0
+
+    def _contains(self, event: Event) -> bool:
+        # An event that was popped is no longer counted as live.  We mark
+        # popped events by setting their sequence negative, which no live
+        # event ever has.
+        return event.sequence >= 0
+
+    def peek(self) -> Optional[Event]:
+        """Return the next live event without removing it, or ``None``."""
+        self._drop_tombstones()
+        return self._heap[0] if self._heap else None
+
+    def pop(self) -> Event:
+        """Remove and return the next live event.
+
+        Raises:
+            IndexError: if the queue holds no live events.
+        """
+        self._drop_tombstones()
+        if not self._heap:
+            raise IndexError("pop from an empty EventQueue")
+        event = heapq.heappop(self._heap)
+        self._live -= 1
+        event.sequence = -1 - event.sequence  # mark as popped (see _contains)
+        return event
+
+    def _drop_tombstones(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+
+    def clear(self) -> None:
+        """Remove every event, live or cancelled."""
+        self._heap.clear()
+        self._live = 0
+
+    def next_time(self) -> Optional[float]:
+        """Time of the next live event, or ``None`` if the queue is empty."""
+        head = self.peek()
+        return head.time if head is not None else None
+
+    def iter_live(self) -> Iterator[Event]:
+        """Iterate over live events in heap (not chronological) order.
+
+        Intended for debugging and tests only.
+        """
+        return (e for e in self._heap if not e.cancelled)

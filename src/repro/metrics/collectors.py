@@ -1,0 +1,216 @@
+"""Auxiliary measurement probes beyond the paper's three headline metrics.
+
+* :func:`per_vm_blocked_fraction` — fraction of time each VM spends
+  blocked at a barrier: the *synchronization latency* the co-schedulers
+  exist to reduce, measured directly instead of inferred from VCPU
+  utilization.
+* :func:`workloads_completed` — impulse-style throughput counter per
+  VM (completed generations), for sanity-checking that utilization
+  differences translate into throughput differences.
+* :class:`StateTimeline` — per-tick timeline of every VCPU's status,
+  for debugging schedules and for the examples' Gantt-style output.
+* :func:`mean_spin_fraction` / :func:`mean_goodput` — measurements for
+  the critical-section extension: spin waste (BUSY ticks burned waiting
+  on a preempted lock holder) and productive utilization.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..san import ComposedModel, ImpulseReward, RateReward, RatioRateReward
+from ..schedulers.interface import VCPUStatus
+from ..vmm.system import SCHEDULER_NAME, slot_value_place, vcpu_label
+
+
+def per_vm_blocked_fraction(system: ComposedModel, warmup: float = 0.0) -> Dict[str, RateReward]:
+    """One rate reward per VM measuring time spent barrier-blocked.
+
+    Returns:
+        Mapping ``"blocked_fraction[<vm_name>]"`` -> reward.
+    """
+    rewards: Dict[str, RateReward] = {}
+    for vm_name in system.vm_names:
+        blocked = system.place(f"{vm_name}.Blocked")
+        name = f"blocked_fraction[{vm_name}]"
+        rewards[name] = RateReward(
+            name,
+            lambda blocked=blocked: 1.0 if blocked.tokens > 0 else 0.0,
+            warmup=warmup,
+        )
+    return rewards
+
+
+def workloads_generated(system: ComposedModel, warmup: float = 0.0) -> Dict[str, ImpulseReward]:
+    """One impulse reward per VM counting workload generations.
+
+    Matches completions of each VM's ``WL_gen`` activity, whose
+    qualified name ends with ``<vm_name>.Workload_Generator.WL_gen``.
+    """
+    rewards: Dict[str, ImpulseReward] = {}
+    for vm_name in system.vm_names:
+        suffix = f"{vm_name}.Workload_Generator.WL_gen"
+        name = f"workloads_generated[{vm_name}]"
+        rewards[name] = ImpulseReward(
+            name,
+            lambda qualified, suffix=suffix: qualified.endswith(suffix),
+            warmup=warmup,
+        )
+    return rewards
+
+
+def workloads_completed(system: ComposedModel, warmup: float = 0.0) -> Dict[str, ImpulseReward]:
+    """Per-VCPU throughput: jobs finished on each VCPU.
+
+    A job completes on the ``Processing_load`` firing that takes the
+    VCPU's ``remaining_load`` to zero.  Each reward matches one VCPU's
+    ``Processing_load`` completions and adds 1 only when the slot shows
+    a freshly completed load (the impulse value is evaluated right
+    after the firing, so ``remaining_load == 0`` identifies completion).
+
+    Returns:
+        Mapping ``"workloads_completed[VCPU<i>.<k>]"`` -> reward.  Sum a
+        VM's entries for VM-level throughput.
+    """
+    rewards: Dict[str, ImpulseReward] = {}
+    for g, (vm_id, vcpu_index) in enumerate(system.slot_map):
+        vm_name = system.vm_names[vm_id]
+        suffix = f".{vm_name}.VCPU{vcpu_index + 1}.Processing_load"
+        slot = slot_value_place(system, g)
+        name = f"workloads_completed[{vcpu_label(system, g)}]"
+        rewards[name] = ImpulseReward(
+            name,
+            lambda qualified, suffix=suffix: qualified.endswith(suffix),
+            lambda slot=slot: 1.0 if slot.value["remaining_load"] == 0 else 0.0,
+            warmup=warmup,
+        )
+    return rewards
+
+
+def _lock_probes(system: ComposedModel):
+    """Per-VCPU (slot_place, lock_place, owner_id) triples.
+
+    1-VCPU VMs have no shared lock (they cannot contend with
+    themselves) and never spin, so their lock place is ``None``.
+    """
+    probes = []
+    for g, (vm_id, vcpu_index) in enumerate(system.slot_map):
+        vm_name = system.vm_names[vm_id]
+        slot = slot_value_place(system, g)
+        if system.topology[vm_id] > 1:
+            lock = system.place(f"{vm_name}.Lock")
+        else:
+            lock = None
+        probes.append((slot, lock, vcpu_index + 1))
+    return probes
+
+
+def _is_spinning(slot, lock, owner_id) -> bool:
+    if lock is None:
+        return False
+    value = slot.value
+    return (
+        value["status"] == VCPUStatus.BUSY
+        and value["critical"] == 1
+        and lock.value is not None
+        and lock.value != owner_id
+    )
+
+
+def mean_spin_fraction(system: ComposedModel, warmup: float = 0.0) -> RateReward:
+    """Fraction of time the average VCPU burns spinning on the VM lock.
+
+    Zero for barrier-only workloads; under
+    :class:`~repro.workloads.LockingWorkloadModel` this is the direct
+    cost of lock-holder preemption (paper §II.B) — co-schedulers should
+    drive it toward zero, sibling-oblivious schedulers should not.
+    """
+    probes = _lock_probes(system)
+
+    def rate() -> float:
+        spinning = sum(1 for slot, lock, me in probes if _is_spinning(slot, lock, me))
+        return spinning / len(probes)
+
+    return RateReward("spin_fraction", rate, warmup=warmup)
+
+
+def mean_goodput(system: ComposedModel, warmup: float = 0.0) -> RatioRateReward:
+    """Productive BUSY time over ACTIVE time (spin-corrected utilization).
+
+    Equals the paper's VCPU utilization when no critical sections
+    exist; with them, it subtracts the spin waste — the metric that
+    actually separates schedulers in the lock-holder-preemption study.
+    """
+    probes = _lock_probes(system)
+
+    def productive_rate() -> float:
+        productive = sum(
+            1
+            for slot, lock, me in probes
+            if slot.value["status"] == VCPUStatus.BUSY
+            and not _is_spinning(slot, lock, me)
+        )
+        return productive / len(probes)
+
+    def active_rate() -> float:
+        active = sum(
+            1 for slot, _, _ in probes if slot.value["status"] in VCPUStatus.ACTIVE
+        )
+        return active / len(probes)
+
+    return RatioRateReward("goodput", productive_rate, active_rate, warmup=warmup)
+
+
+def spin_tick_counts(system: ComposedModel) -> Dict[str, int]:
+    """Raw ``Spin_ticks`` counters per VCPU (read after a run)."""
+    counts = {}
+    for g, (vm_id, vcpu_index) in enumerate(system.slot_map):
+        vm_name = system.vm_names[vm_id]
+        place = system.place(f"{vm_name}.VCPU{vcpu_index + 1}.Spin_ticks")
+        counts[vcpu_label(system, g)] = place.tokens
+    return counts
+
+
+class StateTimeline:
+    """Records every VCPU's status at each hypervisor tick.
+
+    Attach by calling :meth:`sample` from test/example code after each
+    ``sim.run`` step, or use :meth:`watch` to sample on a time grid.
+
+    Example:
+        >>> timeline = StateTimeline(system)
+        >>> for t in range(1, 101):
+        ...     sim.run(until=t)
+        ...     timeline.sample(t)  # doctest: +SKIP
+    """
+
+    def __init__(self, system: ComposedModel) -> None:
+        self._labels = [vcpu_label(system, g) for g in range(len(system.slot_map))]
+        self._slots = [slot_value_place(system, g) for g in range(len(system.slot_map))]
+        self._rows: List[Dict[str, object]] = []
+
+    def sample(self, time: float) -> None:
+        """Record one row of (time, status per VCPU)."""
+        row: Dict[str, object] = {"time": time}
+        for label, slot in zip(self._labels, self._slots):
+            row[label] = slot.value["status"]
+        self._rows.append(row)
+
+    def rows(self) -> List[Dict[str, object]]:
+        return list(self._rows)
+
+    def series(self, label: str) -> List[str]:
+        """The status series of one VCPU (by paper label, e.g. 'VCPU1.2')."""
+        if label not in self._labels:
+            raise KeyError(f"unknown VCPU label {label!r}; known: {self._labels}")
+        return [str(row[label]) for row in self._rows]
+
+    def active_fraction(self, label: str) -> float:
+        """Fraction of samples in which the VCPU was ACTIVE."""
+        series = self.series(label)
+        if not series:
+            return 0.0
+        return sum(1 for s in series if s in ("READY", "BUSY")) / len(series)
+
+    def __len__(self) -> int:
+        return len(self._rows)

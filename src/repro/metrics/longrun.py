@@ -1,0 +1,175 @@
+"""Single-long-run output analysis: batch means and Welch's procedure.
+
+The paper (like Mobius) uses independent replications; for expensive
+configurations a single long run is often cheaper.  Two standard
+techniques:
+
+* :class:`BatchMeansEstimator` — chop one long observation series into
+  ``num_batches`` contiguous batches; if batches are long enough to be
+  approximately uncorrelated, their means are i.i.d.-ish and a
+  Student-t interval over them is valid.  The lag-1 autocorrelation of
+  the batch means is exposed so callers can check that assumption.
+* :func:`welch_warmup` — Welch's graphical procedure, automated:
+  average several replications' time series pointwise, smooth with a
+  moving window, and report the first index where the smoothed curve
+  stays within a tolerance band of its final value.  Used to pick the
+  ``warmup`` parameter honestly instead of guessing.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from ..errors import StatisticsError
+from .stats import confidence_interval
+
+
+class BatchMeansEstimator:
+    """Confidence intervals from one long run via batch means.
+
+    Example:
+        >>> est = BatchMeansEstimator(num_batches=10)
+        >>> for value in range(1000):
+        ...     est.push(float(value % 7))
+        >>> mean, half = est.estimate()
+    """
+
+    def __init__(self, num_batches: int = 20) -> None:
+        if num_batches < 2:
+            raise StatisticsError(f"need >= 2 batches, got {num_batches}")
+        self.num_batches = int(num_batches)
+        self._values: List[float] = []
+
+    def push(self, value: float) -> None:
+        """Record one per-tick (or per-event) observation."""
+        self._values.append(float(value))
+
+    def extend(self, values: Sequence[float]) -> None:
+        """Record many observations at once."""
+        self._values.extend(float(v) for v in values)
+
+    @property
+    def n(self) -> int:
+        return len(self._values)
+
+    def batch_means(self) -> List[float]:
+        """Means of the ``num_batches`` contiguous batches.
+
+        Trailing observations that do not fill a whole batch are
+        dropped (standard practice: equal-size batches).
+
+        Raises:
+            StatisticsError: with fewer than one observation per batch.
+        """
+        size = len(self._values) // self.num_batches
+        if size < 1:
+            raise StatisticsError(
+                f"{len(self._values)} observations cannot fill "
+                f"{self.num_batches} batches"
+            )
+        return [
+            sum(self._values[i * size : (i + 1) * size]) / size
+            for i in range(self.num_batches)
+        ]
+
+    def estimate(self, confidence: float = 0.95) -> Tuple[float, float]:
+        """``(mean, half_width)`` over the batch means."""
+        return confidence_interval(self.batch_means(), confidence)
+
+    def lag1_autocorrelation(self) -> float:
+        """Lag-1 autocorrelation of the batch means.
+
+        Values near zero support the independence assumption; large
+        positive values mean the batches are too short.
+        """
+        means = self.batch_means()
+        n = len(means)
+        mean = sum(means) / n
+        denominator = sum((m - mean) ** 2 for m in means)
+        if denominator == 0:
+            return 0.0
+        numerator = sum(
+            (means[i] - mean) * (means[i + 1] - mean) for i in range(n - 1)
+        )
+        return numerator / denominator
+
+
+def moving_average(series: Sequence[float], window: int) -> List[float]:
+    """Centered moving average with shrinking windows at the edges.
+
+    This is the smoother Welch's procedure prescribes: at position i,
+    average over ``series[i-w : i+w+1]`` with ``w = min(window, i,
+    n-1-i)``.
+    """
+    if window < 0:
+        raise StatisticsError(f"window must be >= 0, got {window}")
+    n = len(series)
+    smoothed = []
+    for i in range(n):
+        w = min(window, i, n - 1 - i)
+        segment = series[i - w : i + w + 1]
+        smoothed.append(sum(segment) / len(segment))
+    return smoothed
+
+
+def welch_warmup(
+    replications: Sequence[Sequence[float]],
+    window: int = 10,
+    tolerance: float = 0.05,
+) -> int:
+    """Estimate the warm-up length from per-replication time series.
+
+    Args:
+        replications: one observation series per replication, equal
+            lengths (truncated to the shortest).
+        window: half-width of the moving-average smoother.
+        tolerance: relative band around the terminal value within
+            which the smoothed mean must *stay* to count as converged.
+
+    Returns:
+        The first index from which the smoothed averaged series remains
+        within ``tolerance`` of its *terminal level* — a defensible
+        ``warmup`` setting.  The terminal level is the mean of the
+        smoothed series' second half (anchoring on the single final
+        point is fragile when the run happens to end in a dip of a
+        periodic series).  Returns 0 for an already-stationary series.
+
+    Raises:
+        StatisticsError: on empty input.
+    """
+    if not replications or not replications[0]:
+        raise StatisticsError("welch_warmup needs at least one non-empty series")
+    length = min(len(series) for series in replications)
+    averaged = [
+        sum(series[i] for series in replications) / len(replications)
+        for i in range(length)
+    ]
+    smoothed = moving_average(averaged, window)
+    tail = smoothed[length // 2 :]
+    final = sum(tail) / len(tail)
+    band = max(abs(final) * tolerance, 1e-12)
+    # Walk backwards: find the last index that is OUT of the band.
+    last_bad = -1
+    for i in range(length - 1, -1, -1):
+        if abs(smoothed[i] - final) > band:
+            last_bad = i
+            break
+    return last_bad + 1
+
+
+def effective_warmup_for(
+    metric_series: Sequence[Sequence[float]],
+    window: int = 10,
+    tolerance: float = 0.05,
+    safety_factor: float = 1.5,
+) -> int:
+    """Welch warm-up with a safety margin, rounded up.
+
+    ``math.ceil(welch_warmup(...) * safety_factor)`` — the standard
+    practice of over-deleting slightly rather than biasing the steady
+    state.
+    """
+    if safety_factor < 1.0:
+        raise StatisticsError(f"safety_factor must be >= 1, got {safety_factor}")
+    return math.ceil(welch_warmup(metric_series, window, tolerance) * safety_factor)

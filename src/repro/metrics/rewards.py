@@ -1,0 +1,156 @@
+"""The paper's reward variables, as rate rewards over the system marking.
+
+Section IV defines three metrics, each "obtained by using a reward
+variable (in the SAN model)":
+
+* **VCPU Availability** (Fig. 8) — "the average portion of time that a
+  VCPU is in the ACTIVE state": indicator of status in {READY, BUSY}.
+* **PCPU Utilization** (Fig. 9) — "the portion of time that a PCPU is
+  assigned to VCPUs", averaged over all PCPUs.
+* **VCPU Utilization** (Fig. 10) — "the portion of time that a VCPU is
+  used to process workloads".  Its reward variable "monitors the READY
+  and BUSY states" because the metric is the *ratio* BUSY time /
+  ACTIVE time: processing time normalized by the time the VCPU held a
+  PCPU at all.  (The total-time-normalized BUSY fraction is also
+  exposed, as ``vcpu_busy_fraction``, since it is capped by
+  availability and therefore mostly restates Figure 8.)
+
+Each factory returns :class:`repro.san.RateReward` objects closing
+over the system's places; attach them to a simulator with
+``sim.add_reward`` and read ``reward.time_average()`` after the run.
+
+Metric naming convention (used across the experiment runner, results
+tables, and benches):
+
+* ``vcpu_availability[VCPU<i>.<k>]`` — per-VCPU, paper numbering;
+* ``vcpu_availability`` — average over all VCPUs;
+* ``pcpu_utilization`` — average over all PCPUs;
+* ``vcpu_utilization`` and ``vcpu_utilization[VCPU<i>.<k>]``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..san import ComposedModel, RateReward, RatioRateReward
+from ..schedulers.interface import PCPUState, VCPUStatus
+from ..vmm.system import pcpus_place, slot_value_place, vcpu_label
+
+AVAILABILITY = "vcpu_availability"
+PCPU_UTILIZATION = "pcpu_utilization"
+VCPU_UTILIZATION = "vcpu_utilization"
+VCPU_BUSY_FRACTION = "vcpu_busy_fraction"
+
+
+def per_vcpu_availability(system: ComposedModel, warmup: float = 0.0) -> List[RateReward]:
+    """One availability reward per VCPU, named with the paper's labels."""
+    rewards = []
+    for g in range(len(system.slot_map)):
+        slot = slot_value_place(system, g)
+        rewards.append(
+            RateReward(
+                f"{AVAILABILITY}[{vcpu_label(system, g)}]",
+                lambda slot=slot: 1.0 if slot.value["status"] in VCPUStatus.ACTIVE else 0.0,
+                warmup=warmup,
+            )
+        )
+    return rewards
+
+
+def mean_vcpu_availability(system: ComposedModel, warmup: float = 0.0) -> RateReward:
+    """Availability averaged over all VCPUs."""
+    slots = [slot_value_place(system, g) for g in range(len(system.slot_map))]
+
+    def rate() -> float:
+        active = sum(1 for s in slots if s.value["status"] in VCPUStatus.ACTIVE)
+        return active / len(slots)
+
+    return RateReward(AVAILABILITY, rate, warmup=warmup)
+
+
+def mean_pcpu_utilization(system: ComposedModel, warmup: float = 0.0) -> RateReward:
+    """The averaged utilization of all PCPUs (paper Figure 9)."""
+    pcpus = pcpus_place(system)
+
+    def rate() -> float:
+        entries = pcpus.value
+        assigned = sum(1 for e in entries if e["state"] == PCPUState.ASSIGNED)
+        return assigned / len(entries)
+
+    return RateReward(PCPU_UTILIZATION, rate, warmup=warmup)
+
+
+def per_vcpu_utilization(system: ComposedModel, warmup: float = 0.0) -> List[RatioRateReward]:
+    """One BUSY/ACTIVE ratio reward per VCPU (paper's VCPU Utilization).
+
+    A VCPU that is never ACTIVE reports 0.0 (it never processed
+    anything), matching how Figure 8/10 treat the co-start-starved VM.
+    """
+    rewards = []
+    for g in range(len(system.slot_map)):
+        slot = slot_value_place(system, g)
+        rewards.append(
+            RatioRateReward(
+                f"{VCPU_UTILIZATION}[{vcpu_label(system, g)}]",
+                lambda slot=slot: 1.0 if slot.value["status"] == VCPUStatus.BUSY else 0.0,
+                lambda slot=slot: 1.0 if slot.value["status"] in VCPUStatus.ACTIVE else 0.0,
+                warmup=warmup,
+            )
+        )
+    return rewards
+
+
+def mean_vcpu_utilization(system: ComposedModel, warmup: float = 0.0) -> RatioRateReward:
+    """VCPU utilization over all VCPUs (paper Figure 10).
+
+    Aggregated as total BUSY time / total ACTIVE time across the
+    system's VCPUs — the ratio of means, which stays well defined even
+    when some VCPU is never scheduled.
+    """
+    slots = [slot_value_place(system, g) for g in range(len(system.slot_map))]
+
+    def busy_rate() -> float:
+        return sum(1 for s in slots if s.value["status"] == VCPUStatus.BUSY) / len(slots)
+
+    def active_rate() -> float:
+        return sum(1 for s in slots if s.value["status"] in VCPUStatus.ACTIVE) / len(slots)
+
+    return RatioRateReward(VCPU_UTILIZATION, busy_rate, active_rate, warmup=warmup)
+
+
+def mean_vcpu_busy_fraction(system: ComposedModel, warmup: float = 0.0) -> RateReward:
+    """BUSY time over *total* time, averaged over VCPUs.
+
+    A throughput-flavoured companion to the paper's utilization: it is
+    bounded by availability, so it mixes Figure 8 and Figure 10 into
+    one number.  Exposed for the ablation benches.
+    """
+    slots = [slot_value_place(system, g) for g in range(len(system.slot_map))]
+
+    def rate() -> float:
+        busy = sum(1 for s in slots if s.value["status"] == VCPUStatus.BUSY)
+        return busy / len(slots)
+
+    return RateReward(VCPU_BUSY_FRACTION, rate, warmup=warmup)
+
+
+def standard_rewards(system: ComposedModel, warmup: float = 0.0) -> Dict[str, RateReward]:
+    """The full reward set the experiment runner attaches by default.
+
+    Returns:
+        Mapping of metric name to reward: per-VCPU availability and
+        utilization, plus the three system-wide averages.
+    """
+    rewards: Dict[str, RateReward] = {}
+    for reward in per_vcpu_availability(system, warmup):
+        rewards[reward.name] = reward
+    for reward in per_vcpu_utilization(system, warmup):
+        rewards[reward.name] = reward
+    for reward in (
+        mean_vcpu_availability(system, warmup),
+        mean_pcpu_utilization(system, warmup),
+        mean_vcpu_utilization(system, warmup),
+        mean_vcpu_busy_fraction(system, warmup),
+    ):
+        rewards[reward.name] = reward
+    return rewards

@@ -1,0 +1,173 @@
+"""Replication statistics: means, confidence intervals, fairness.
+
+The paper reports every figure "with 95% confidence level and < 0.1
+confidence interval", estimated over independent simulation
+replications — the standard Mobius simulator workflow.  This module
+provides the estimators:
+
+* :class:`RunningStats` — Welford's online mean/variance (numerically
+  stable, single pass);
+* :func:`confidence_interval` — Student-t interval over a sample;
+* :class:`ReplicationEstimator` — feeds replications in one at a time
+  and answers "is the half-width small enough yet?";
+* :func:`jain_fairness` — Jain's fairness index, used by the fairness
+  analyses around Figure 8.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from scipy import stats as _scipy_stats
+
+from ..errors import StatisticsError
+
+
+class RunningStats:
+    """Welford's online algorithm for mean and variance.
+
+    Example:
+        >>> rs = RunningStats()
+        >>> for x in [1.0, 2.0, 3.0]:
+        ...     rs.push(x)
+        >>> rs.mean
+        2.0
+        >>> round(rs.variance, 6)
+        1.0
+    """
+
+    def __init__(self) -> None:
+        self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def push(self, value: float) -> None:
+        """Add one observation."""
+        self._n += 1
+        delta = value - self._mean
+        self._mean += delta / self._n
+        self._m2 += delta * (value - self._mean)
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def mean(self) -> float:
+        if self._n == 0:
+            raise StatisticsError("mean of zero observations")
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (n-1 denominator)."""
+        if self._n < 2:
+            raise StatisticsError("variance needs at least two observations")
+        return self._m2 / (self._n - 1)
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def standard_error(self) -> float:
+        """Standard error of the mean."""
+        return self.stddev / math.sqrt(self._n)
+
+
+def t_quantile(confidence: float, df: int) -> float:
+    """Two-sided Student-t critical value for the given confidence level."""
+    if not 0 < confidence < 1:
+        raise StatisticsError(f"confidence must be in (0, 1), got {confidence}")
+    if df < 1:
+        raise StatisticsError(f"degrees of freedom must be >= 1, got {df}")
+    return float(_scipy_stats.t.ppf(0.5 + confidence / 2.0, df))
+
+
+def confidence_interval(
+    values: Sequence[float], confidence: float = 0.95
+) -> Tuple[float, float]:
+    """Student-t confidence interval over a sample.
+
+    Returns:
+        ``(mean, half_width)`` — the interval is mean +/- half_width.
+
+    Raises:
+        StatisticsError: with fewer than two observations (no variance
+            estimate exists).
+    """
+    if len(values) < 2:
+        raise StatisticsError(
+            f"a confidence interval needs >= 2 replications, got {len(values)}"
+        )
+    rs = RunningStats()
+    for value in values:
+        rs.push(value)
+    half_width = t_quantile(confidence, rs.n - 1) * rs.standard_error()
+    return rs.mean, half_width
+
+
+class ReplicationEstimator:
+    """Sequential stopping rule: replicate until the CI is tight enough.
+
+    Mirrors the Mobius simulator's behaviour the paper relies on: keep
+    adding independent replications until the confidence interval
+    half-width drops below the target (here: the paper's "< 0.1").
+
+    Example:
+        >>> est = ReplicationEstimator(confidence=0.95, target_half_width=0.1)
+        >>> for x in [0.50, 0.52, 0.51, 0.49, 0.50]:
+        ...     est.push(x)
+        >>> est.satisfied(min_replications=5)
+        True
+    """
+
+    def __init__(self, confidence: float = 0.95, target_half_width: float = 0.1) -> None:
+        if not 0 < confidence < 1:
+            raise StatisticsError(f"confidence must be in (0, 1), got {confidence}")
+        if target_half_width <= 0:
+            raise StatisticsError(
+                f"target_half_width must be > 0, got {target_half_width}"
+            )
+        self.confidence = confidence
+        self.target_half_width = target_half_width
+        self.values: List[float] = []
+
+    def push(self, value: float) -> None:
+        """Record one replication's result."""
+        self.values.append(float(value))
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    def estimate(self) -> Tuple[float, float]:
+        """Current ``(mean, half_width)``."""
+        return confidence_interval(self.values, self.confidence)
+
+    def satisfied(self, min_replications: int = 2) -> bool:
+        """True once enough replications give a tight enough interval."""
+        if self.n < max(2, min_replications):
+            return False
+        _, half_width = self.estimate()
+        return half_width < self.target_half_width
+
+
+def jain_fairness(values: Sequence[float]) -> float:
+    """Jain's fairness index: (sum x)^2 / (n * sum x^2), in (0, 1].
+
+    Equal allocations score 1; the index degrades toward 1/n as the
+    allocation concentrates on a single party.  Used to quantify the
+    scheduling fairness the paper eyeballs in Figure 8.
+    """
+    if not values:
+        raise StatisticsError("fairness index of zero allocations")
+    if any(v < 0 for v in values):
+        raise StatisticsError("fairness index needs non-negative allocations")
+    total = sum(values)
+    squares = sum(v * v for v in values)
+    if total == 0 or squares == 0:
+        # All-zero allocations are trivially fair; squares can also
+        # underflow to zero for denormal inputs even when total does not.
+        return 1.0
+    return min(1.0, (total * total) / (len(values) * squares))

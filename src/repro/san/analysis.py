@@ -1,0 +1,186 @@
+"""Structural analysis of SAN models: reachability and deadlock detection.
+
+The CTMC solver needs exponential delays to assign *rates*; pure
+reachability does not — which timed activity fires merely selects a
+successor marking.  :class:`ReachabilityAnalyzer` explores the settled
+state space of **any** SAN (bounded by ``max_states``) and answers:
+
+* how many settled markings are reachable;
+* which of them are *deadlocks* (no timed activity enabled — the
+  simulation would quiesce there);
+* whether a user predicate is invariant over all reachable markings.
+
+Useful both as a model-debugging tool (the paper's §V mentions wanting
+to debug correctness problems) and in tests: the virtualization model
+must never deadlock, and its structural invariants must hold in every
+reachable state, not just the simulated trajectory.
+
+Cases on timed activities are followed per-branch (probabilities are
+ignored — reachability is qualitative); instantaneous activities must
+be single-case, as in the CTMC solver.
+
+**Caveat for gate code with external state.**  Exploration only
+snapshots/restores *places*.  Gate functions that close over Python
+state outside the marking (e.g. a scheduling algorithm's run queue)
+see an arbitrary exploration order of calls, so reachability through
+such gates is an approximation — exact for stateless gate code,
+and for the virtualization model best used with a trivial scheduler
+or a single VCPU.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Hashable, List
+
+from ..errors import ModelError, SimulationError
+from .activities import InstantaneousActivity, TimedActivity
+from .ctmc import _NO_RNG, _freeze
+from .model import ModelBase
+from .places import Place
+
+
+class ReachabilityAnalyzer:
+    """Bounded exploration of a SAN's settled reachable markings.
+
+    Args:
+        model: the SAN to analyse.
+        max_states: exploration bound (exceeded => :class:`ModelError`).
+        ignore_place: optional predicate over qualified place names;
+            matching places are *projected out* of the state identity
+            (but still tracked in snapshots).  Needed for models with
+            unbounded counters — e.g. the virtualization model's
+            ``Timestamp`` and ``Num_Generated`` places grow forever, so
+            without projection its reachable space is infinite even
+            though the *behavioural* state is finite.
+    """
+
+    def __init__(
+        self,
+        model: ModelBase,
+        max_states: int = 10_000,
+        ignore_place: Callable[[str], bool] = None,
+    ) -> None:
+        self.model = model
+        self.max_states = int(max_states)
+        self._ignore = ignore_place if ignore_place is not None else (lambda name: False)
+        self._places = model.places()
+        self._timed: List[TimedActivity] = []
+        self._instantaneous: List[InstantaneousActivity] = []
+        for activity in model.activities():
+            if isinstance(activity, TimedActivity):
+                self._timed.append(activity)
+            elif isinstance(activity, InstantaneousActivity):
+                if len(activity.cases) != 1:
+                    raise ModelError(
+                        "reachability analysis cannot handle probabilistic "
+                        f"cases on instantaneous activity "
+                        f"{activity.qualified_name!r}"
+                    )
+                self._instantaneous.append(activity)
+        self._instantaneous.sort(key=lambda a: a.priority)
+        self._snapshots: List[Dict[str, Any]] = []
+        self._index: Dict[Hashable, int] = {}
+        self._deadlocks: List[int] = []
+
+    # -- plumbing shared with the CTMC solver --------------------------------
+
+    def _snapshot(self) -> Dict[str, Any]:
+        return {name: place.snapshot() for name, place in self._places.items()}
+
+    def _key(self, snapshot: Dict[str, Any]) -> Any:
+        return _freeze(
+            {name: value for name, value in snapshot.items() if not self._ignore(name)}
+        )
+
+    def _restore(self, snapshot: Dict[str, Any]) -> None:
+        import copy
+
+        for name, place in self._places.items():
+            value = snapshot[name]
+            if isinstance(place, Place):
+                place.tokens = value
+            else:
+                place.value = copy.deepcopy(value)
+
+    def _settle(self) -> None:
+        for _ in range(100_000):
+            for activity in self._instantaneous:
+                if activity.enabled():
+                    activity.complete(_NO_RNG)
+                    break
+            else:
+                return
+        raise SimulationError("instantaneous settling did not converge")
+
+    # -- exploration ------------------------------------------------------------
+
+    def explore(self) -> int:
+        """Enumerate settled reachable markings; returns the count."""
+        self.model.reset()
+        self._settle()
+        initial = self._snapshot()
+        self._index[self._key(initial)] = 0
+        self._snapshots = [initial]
+        frontier = [initial]
+
+        while frontier:
+            snapshot = frontier.pop()
+            self._restore(snapshot)
+            source = self._index[self._key(self._snapshot())]
+            enabled = [a for a in self._timed if a.enabled()]
+            if not enabled:
+                self._deadlocks.append(source)
+                continue
+            for activity in enabled:
+                for case in activity.cases:
+                    self._restore(snapshot)
+                    for gate in activity.input_gates:
+                        gate.fire()
+                    for gate in case.output_gates:
+                        gate.fire()
+                    self._settle()
+                    key = self._key(self._snapshot())
+                    if key not in self._index:
+                        if len(self._index) >= self.max_states:
+                            raise ModelError(
+                                f"state space exceeds max_states={self.max_states}"
+                            )
+                        self._index[key] = len(self._index)
+                        successor = self._snapshot()
+                        self._snapshots.append(successor)
+                        frontier.append(successor)
+        self.model.reset()
+        return len(self._index)
+
+    @property
+    def num_states(self) -> int:
+        return len(self._index)
+
+    def deadlocks(self) -> List[Dict[str, Any]]:
+        """Snapshots of reachable markings with no enabled timed activity."""
+        return [self._snapshots[i] for i in self._deadlocks]
+
+    def has_deadlock(self) -> bool:
+        """True if any reachable settled marking quiesces the model."""
+        if not self._snapshots:
+            raise ModelError("call explore() before has_deadlock()")
+        return bool(self._deadlocks)
+
+    def check_invariant(
+        self, predicate: Callable[[], bool]
+    ) -> List[Dict[str, Any]]:
+        """Evaluate a marking predicate in every reachable state.
+
+        ``predicate`` is a zero-argument closure over places (gate
+        style).  Returns the snapshots that **violate** it (empty list
+        == the predicate is invariant).
+        """
+        if not self._snapshots:
+            raise ModelError("call explore() before check_invariant()")
+        violations = []
+        for snapshot in self._snapshots:
+            self._restore(snapshot)
+            if not predicate():
+                violations.append(snapshot)
+        self.model.reset()
+        return violations

@@ -1,0 +1,120 @@
+"""Graphviz DOT export of SAN models.
+
+The paper's users see their models as Mobius diagrams (its Figures 3-7
+are screenshots of them).  :func:`to_dot` renders any
+:class:`~repro.san.model.ModelBase` in the same visual vocabulary:
+
+* places as circles (extended places as double circles),
+* timed activities as thick vertical bars, instantaneous as thin bars,
+* input gates as triangles pointing into their activity.
+
+Because gates are opaque closures, place↔gate wiring cannot be
+inferred automatically; the graph shows containment (model clusters)
+and the gate→activity attachment, which is what one needs to eyeball
+a model's structure.  Join places are annotated with their member
+lists when the model is composed.
+
+The output is plain DOT text — feed it to ``dot -Tsvg`` (not bundled;
+no runtime dependency on graphviz).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .activities import InstantaneousActivity, TimedActivity
+from .composed import ComposedModel
+from .model import ModelBase
+from .places import Place
+
+
+def _escape(text: str) -> str:
+    return text.replace('"', r"\"")
+
+
+def to_dot(model: ModelBase, title: str = "") -> str:
+    """Render the model's structure as Graphviz DOT text."""
+    lines: List[str] = []
+    lines.append("digraph san {")
+    lines.append("  rankdir=LR;")
+    lines.append('  node [fontname="Helvetica", fontsize=10];')
+    if title:
+        lines.append(f'  label="{_escape(title)}"; labelloc=t;')
+
+    # Places: circles, doubled for extended places.  Join-shared places
+    # are distinct objects over one storage cell, so deduplicate by the
+    # cell's identity: one node per shared variable.
+    seen_ids = {}
+    for name, place in sorted(model.places().items()):
+        key = id(place._cell)
+        if key in seen_ids:
+            seen_ids[key].append(name)
+            continue
+        seen_ids[key] = [name]
+    for names in seen_ids.values():
+        label = names[0]
+        aliases = names[1:]
+        place = model.places()[label]
+        shape = "circle" if isinstance(place, Place) else "doublecircle"
+        alias_text = ""
+        if aliases:
+            alias_text = r"\n(= " + ", ".join(aliases[:3])
+            if len(aliases) > 3:
+                alias_text += ", ..."
+            alias_text += ")"
+        lines.append(
+            f'  "p:{_escape(label)}" [shape={shape}, '
+            f'label="{_escape(label)}{alias_text}"];'
+        )
+
+    # Activities and their gates.
+    for activity in model.activities():
+        qualified = activity.qualified_name
+        if isinstance(activity, TimedActivity):
+            style = "shape=box, width=0.15, style=filled, fillcolor=black, fontcolor=white"
+            label = f"{qualified}\\n{activity.distribution!r}"
+        elif isinstance(activity, InstantaneousActivity):
+            style = "shape=box, width=0.05, style=filled, fillcolor=gray70"
+            label = f"{qualified}\\nprio={activity.priority}"
+        else:  # pragma: no cover - no other activity kinds exist
+            style = "shape=box"
+            label = qualified
+        lines.append(f'  "a:{_escape(qualified)}" [{style}, label="{_escape(label)}"];')
+        for gate in activity.input_gates:
+            gate_id = f"g:{qualified}:{gate.name}"
+            lines.append(
+                f'  "{_escape(gate_id)}" [shape=triangle, label="{_escape(gate.name)}"];'
+            )
+            lines.append(
+                f'  "{_escape(gate_id)}" -> "a:{_escape(qualified)}";'
+            )
+        for case_index, case in enumerate(activity.cases):
+            for gate in case.output_gates:
+                gate_id = f"o:{qualified}:{case_index}:{gate.name}"
+                lines.append(
+                    f'  "{_escape(gate_id)}" [shape=invtriangle, '
+                    f'label="{_escape(gate.name)}"];'
+                )
+                lines.append(
+                    f'  "a:{_escape(qualified)}" -> "{_escape(gate_id)}";'
+                )
+
+    # Composed models: annotate the join places as a legend.
+    if isinstance(model, ComposedModel) and model.shared:
+        rows = []
+        for row in model.join_place_table():
+            members = ", ".join(row["submodel_variables"])
+            rows.append(f"{row['state_variable']}: {members}")
+        legend = r"\l".join(_escape(row) for row in rows) + r"\l"
+        lines.append(
+            f'  "join_places" [shape=note, label="Join places\\l{legend}"];'
+        )
+
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def save_dot(model: ModelBase, path: str, title: str = "") -> None:
+    """Write :func:`to_dot` output to a file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_dot(model, title))

@@ -1,0 +1,105 @@
+"""SAN input and output gates.
+
+Gates are where SANs go beyond plain Petri nets:
+
+* an **input gate** attaches to an activity a *predicate* (the activity is
+  enabled only while every attached input gate's predicate holds) and an
+  *input function* executed when the activity completes — typically
+  removing tokens;
+* an **output gate** attaches a *function* executed after the input
+  functions — typically depositing tokens or updating extended places.
+
+In this implementation, gate predicates and functions are zero-argument
+Python callables closing over the :class:`~repro.san.places.Place`
+objects they touch.  That mirrors how Mobius gate code bodies reference
+shared state variables directly, and it keeps the simulator oblivious to
+*what* a gate reads or writes — it simply re-evaluates enabling after
+every completion.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..errors import ModelError, SimulationError
+
+Predicate = Callable[[], bool]
+GateFunction = Callable[[], None]
+
+
+def _noop() -> None:
+    return None
+
+
+class InputGate:
+    """Predicate + input function guarding an activity.
+
+    Args:
+        name: gate name (diagnostics only; must be non-empty).
+        predicate: zero-argument callable; the attached activity is enabled
+            only while this returns a truthy value.
+        function: executed when the activity completes, before any output
+            gate.  Defaults to a no-op.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        predicate: Predicate,
+        function: Optional[GateFunction] = None,
+    ) -> None:
+        if not name:
+            raise ModelError("an input gate needs a non-empty name")
+        if not callable(predicate):
+            raise ModelError(f"input gate {name!r}: predicate must be callable")
+        self.name = name
+        self._predicate = predicate
+        self._function = function if function is not None else _noop
+
+    def holds(self) -> bool:
+        """Evaluate the predicate, wrapping model bugs in SimulationError."""
+        try:
+            return bool(self._predicate())
+        except Exception as exc:  # surface the gate name in the traceback
+            raise SimulationError(f"input gate {self.name!r} predicate raised: {exc}") from exc
+
+    def fire(self) -> None:
+        """Run the input function."""
+        try:
+            self._function()
+        except SimulationError:
+            raise
+        except Exception as exc:
+            raise SimulationError(f"input gate {self.name!r} function raised: {exc}") from exc
+
+    def __repr__(self) -> str:
+        return f"InputGate({self.name!r})"
+
+
+class OutputGate:
+    """State-update function run after an activity completes.
+
+    Output gates attached to one activity case run in their attachment
+    order — the framework relies on this for the deterministic per-tick
+    sequencing documented in DESIGN.md §5.
+    """
+
+    def __init__(self, name: str, function: GateFunction) -> None:
+        if not name:
+            raise ModelError("an output gate needs a non-empty name")
+        if not callable(function):
+            raise ModelError(f"output gate {name!r}: function must be callable")
+        self.name = name
+        self._function = function
+
+    def fire(self) -> None:
+        """Run the output function."""
+        try:
+            self._function()
+        except SimulationError:
+            raise
+        except Exception as exc:
+            raise SimulationError(f"output gate {self.name!r} function raised: {exc}") from exc
+
+    def __repr__(self) -> str:
+        return f"OutputGate({self.name!r})"

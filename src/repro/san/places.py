@@ -1,0 +1,207 @@
+"""SAN places: the state variables of a Stochastic Activity Network.
+
+A *place* holds a natural number of tokens (Sanders & Meyer's formal
+definition).  Mobius additionally supports *extended places* whose
+"token" is a structured value — the paper leans on these heavily: a
+``VCPU_slot`` place carries ``remaining_load``, ``sync_point``, and
+``status`` fields rather than a bare count.
+
+**Sharing.**  Mobius's Join operation equates state variables of
+independently constructed sub-models (the paper's Tables 1 and 2 list
+exactly these "join places").  Gates in this implementation close over
+place objects, so joining cannot swap the objects themselves; instead,
+every place stores its marking in an internal *cell*, and
+:func:`share` redirects several places onto one common cell.  After
+sharing, a token deposited through any member is visible through all —
+precisely Mobius's shared-variable semantics.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Dict, Optional, Sequence, Union
+
+from ..errors import ModelError, SimulationError
+
+
+class _TokenCell:
+    """Shared storage for a natural-number marking."""
+
+    __slots__ = ("tokens",)
+
+    def __init__(self, tokens: int) -> None:
+        self.tokens = tokens
+
+
+class _ValueCell:
+    """Shared storage for an extended place's structured value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+
+class Place:
+    """A place holding a natural number of tokens.
+
+    Attributes:
+        name: the place's name within its atomic model.
+        initial: marking restored by :meth:`reset`.
+    """
+
+    def __init__(self, name: str, initial: int = 0) -> None:
+        if not name:
+            raise ModelError("a place needs a non-empty name")
+        if initial < 0:
+            raise ModelError(f"place {name!r}: initial marking must be >= 0, got {initial}")
+        self.name = name
+        self.initial = int(initial)
+        self._cell = _TokenCell(int(initial))
+
+    @property
+    def tokens(self) -> int:
+        return self._cell.tokens
+
+    @tokens.setter
+    def tokens(self, value: int) -> None:
+        if value < 0:
+            raise SimulationError(
+                f"place {self.name!r}: marking would go negative ({value})"
+            )
+        self._cell.tokens = int(value)
+
+    def add(self, n: int = 1) -> None:
+        """Deposit ``n`` tokens."""
+        self.tokens = self._cell.tokens + n
+
+    def remove(self, n: int = 1) -> None:
+        """Withdraw ``n`` tokens; raises if the marking would go negative."""
+        self.tokens = self._cell.tokens - n
+
+    def is_empty(self) -> bool:
+        return self._cell.tokens == 0
+
+    def reset(self) -> None:
+        """Restore the initial marking (between replications)."""
+        self._cell.tokens = self.initial
+
+    def snapshot(self) -> int:
+        """An immutable copy of the marking, for traces and rewards."""
+        return self._cell.tokens
+
+    def shares_cell_with(self, other: "Place") -> bool:
+        """True if this place and ``other`` have been joined."""
+        return self._cell is other._cell
+
+    def __repr__(self) -> str:
+        return f"Place({self.name!r}, tokens={self._cell.tokens})"
+
+
+class ExtendedPlace:
+    """A place whose marking is a structured value (Mobius extended place).
+
+    The value can be any object; the model decides its shape.  The initial
+    value is deep-copied on reset so that mutations during one replication
+    never leak into the next.
+
+    Example:
+        >>> slot = ExtendedPlace("VCPU_slot", {"remaining_load": 0, "status": "INACTIVE"})
+        >>> slot.value["status"] = "READY"
+        >>> slot.reset()
+        >>> slot.value["status"]
+        'INACTIVE'
+    """
+
+    def __init__(self, name: str, initial: Any) -> None:
+        if not name:
+            raise ModelError("a place needs a non-empty name")
+        self.name = name
+        self.initial = initial
+        self._cell = _ValueCell(copy.deepcopy(initial))
+
+    @property
+    def value(self) -> Any:
+        return self._cell.value
+
+    @value.setter
+    def value(self, new_value: Any) -> None:
+        self._cell.value = new_value
+
+    def reset(self) -> None:
+        """Restore a deep copy of the initial value."""
+        self._cell.value = copy.deepcopy(self.initial)
+
+    def snapshot(self) -> Any:
+        """A deep copy of the current value, for traces and rewards."""
+        return copy.deepcopy(self._cell.value)
+
+    def shares_cell_with(self, other: "ExtendedPlace") -> bool:
+        """True if this place and ``other`` have been joined."""
+        return self._cell is other._cell
+
+    def __repr__(self) -> str:
+        return f"ExtendedPlace({self.name!r}, value={self._cell.value!r})"
+
+
+PlaceLike = Union[Place, ExtendedPlace]
+
+
+def share(places: Sequence[PlaceLike]) -> None:
+    """Join several places onto one common storage cell.
+
+    All members must be the same kind (all :class:`Place` or all
+    :class:`ExtendedPlace`) and declare equal initial markings — joining
+    a place initialised to 3 tokens with one initialised to 0 would make
+    "reset" ambiguous, which Mobius likewise rejects.
+
+    After sharing, the first member's *current* marking wins.
+
+    Raises:
+        ModelError: on mixed kinds, mismatched initials, or < 2 members.
+    """
+    if len(places) < 2:
+        raise ModelError("share() needs at least two places")
+    first = places[0]
+    for other in places[1:]:
+        if type(other) is not type(first):
+            raise ModelError(
+                f"cannot share {first.name!r} ({type(first).__name__}) with "
+                f"{other.name!r} ({type(other).__name__}): kinds differ"
+            )
+        if other.initial != first.initial:
+            raise ModelError(
+                f"cannot share {first.name!r} with {other.name!r}: "
+                f"initial markings differ ({first.initial!r} vs {other.initial!r})"
+            )
+        other._cell = first._cell
+
+
+class Marking:
+    """A read-only view over a set of places, keyed by qualified name.
+
+    Reward variables and tests use this to observe state without holding
+    references into the model's internals.
+    """
+
+    def __init__(self, places: Dict[str, PlaceLike]) -> None:
+        self._places = dict(places)
+
+    def __getitem__(self, name: str):
+        place = self._places[name]
+        return place.tokens if isinstance(place, Place) else place.value
+
+    def get(self, name: str, default: Optional[Any] = None):
+        if name not in self._places:
+            return default
+        return self[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._places
+
+    def names(self) -> list:
+        return sorted(self._places)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Deep-copied dict of every place's marking."""
+        return {name: place.snapshot() for name, place in self._places.items()}

@@ -1,0 +1,229 @@
+"""Reward variables: how measurements are defined on a SAN.
+
+Mobius (following Sanders & Meyer's performability framework [6]) defines
+measurements as *reward variables*:
+
+* a **rate reward** assigns a value to each state; accumulated over an
+  interval of time it yields an integral, and divided by the interval
+  length a time average.  The paper's three metrics — VCPU availability,
+  PCPU utilization, VCPU utilization — are all time-averaged rate
+  rewards over indicator functions of the marking.
+* an **impulse reward** assigns a value to each completion of an
+  activity; accumulated it yields counts or weighted counts (e.g. the
+  number of workloads generated).
+
+Both support a *warm-up* time before which nothing accumulates, for
+discarding initial-transient bias.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..errors import ModelError, StatisticsError
+
+
+class RewardVariable:
+    """Base class: a named measurement attached to a simulator."""
+
+    def __init__(self, name: str, warmup: float = 0.0) -> None:
+        if not name:
+            raise ModelError("a reward variable needs a non-empty name")
+        if warmup < 0:
+            raise ModelError(f"reward {name!r}: warmup must be >= 0, got {warmup}")
+        self.name = name
+        self.warmup = float(warmup)
+
+    def reset(self) -> None:
+        """Clear accumulated state (between replications)."""
+        raise NotImplementedError
+
+    def result(self) -> float:
+        """The reward's headline value at the end of a run."""
+        raise NotImplementedError
+
+
+class RateReward(RewardVariable):
+    """Accumulates ``rate() * dt`` over simulated time.
+
+    Args:
+        name: reward name.
+        rate: zero-argument callable returning the instantaneous rate in
+            the current marking (closes over places, like gate code).
+        warmup: simulation time before which nothing accumulates.
+
+    The simulator calls :meth:`observe` once per time advance with the
+    rate evaluated in the state that held over the interval.
+    """
+
+    def __init__(self, name: str, rate: Callable[[], float], warmup: float = 0.0) -> None:
+        super().__init__(name, warmup)
+        if not callable(rate):
+            raise ModelError(f"rate reward {name!r}: rate must be callable")
+        self.rate = rate
+        self._integral = 0.0
+        self._observed_time = 0.0
+
+    def observe(self, start: float, end: float) -> None:
+        """Accumulate over the interval [start, end) in the current state."""
+        if end <= self.warmup or end <= start:
+            return
+        effective_start = max(start, self.warmup)
+        dt = end - effective_start
+        self._integral += self.rate() * dt
+        self._observed_time += dt
+
+    @property
+    def integral(self) -> float:
+        """Total accumulated reward (the interval-of-time variable)."""
+        return self._integral
+
+    @property
+    def observed_time(self) -> float:
+        """Length of simulated time observed after warm-up."""
+        return self._observed_time
+
+    def time_average(self) -> float:
+        """Integral divided by observed time (the paper's utilizations).
+
+        Raises:
+            StatisticsError: if no time has been observed.
+        """
+        if self._observed_time <= 0:
+            raise StatisticsError(
+                f"rate reward {self.name!r}: no time observed (warmup too long "
+                "or the simulation never advanced)"
+            )
+        return self._integral / self._observed_time
+
+    def result(self) -> float:
+        return self.time_average()
+
+    def reset(self) -> None:
+        self._integral = 0.0
+        self._observed_time = 0.0
+
+    def __repr__(self) -> str:
+        return f"RateReward({self.name!r}, integral={self._integral})"
+
+
+class RatioRateReward(RateReward):
+    """The time-average of one rate normalized by another.
+
+    Accumulates two integrals over the same intervals and reports
+    ``numerator_integral / denominator_integral``.  The paper's VCPU
+    Utilization is this shape: BUSY time divided by ACTIVE (READY or
+    BUSY) time — its reward variable "monitors the READY and BUSY
+    states" precisely because both integrals are needed.
+
+    ``result()`` returns 0.0 when the denominator never accumulated
+    (e.g. a VCPU that was never scheduled at all, as happens to a
+    2-VCPU VM under strict co-scheduling with one PCPU).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        numerator: Callable[[], float],
+        denominator: Callable[[], float],
+        warmup: float = 0.0,
+    ) -> None:
+        super().__init__(name, numerator, warmup)
+        if not callable(denominator):
+            raise ModelError(f"ratio reward {name!r}: denominator must be callable")
+        self.denominator = denominator
+        self._denominator_integral = 0.0
+
+    def observe(self, start: float, end: float) -> None:
+        if end <= self.warmup or end <= start:
+            return
+        effective_start = max(start, self.warmup)
+        dt = end - effective_start
+        self._integral += self.rate() * dt
+        self._denominator_integral += self.denominator() * dt
+        self._observed_time += dt
+
+    @property
+    def denominator_integral(self) -> float:
+        """Accumulated denominator time (e.g. total ACTIVE time)."""
+        return self._denominator_integral
+
+    def ratio(self) -> float:
+        """Numerator integral over denominator integral (0 if empty)."""
+        if self._denominator_integral <= 0:
+            return 0.0
+        return self._integral / self._denominator_integral
+
+    def result(self) -> float:
+        return self.ratio()
+
+    def reset(self) -> None:
+        super().reset()
+        self._denominator_integral = 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"RatioRateReward({self.name!r}, num={self._integral}, "
+            f"den={self._denominator_integral})"
+        )
+
+
+class ImpulseReward(RewardVariable):
+    """Accumulates a value on each completion of matching activities.
+
+    Args:
+        name: reward name.
+        activity: qualified-name match.  Either an exact string, or a
+            predicate over the qualified name (e.g. ``lambda q:
+            q.endswith(".WL_gen")`` to count every VM's generations).
+        value: callable returning the impulse per completion (default 1).
+        warmup: completions before this time are ignored.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        activity,
+        value: Optional[Callable[[], float]] = None,
+        warmup: float = 0.0,
+    ) -> None:
+        super().__init__(name, warmup)
+        if isinstance(activity, str):
+            self._matches = lambda qualified, target=activity: qualified == target
+        elif callable(activity):
+            self._matches = activity
+        else:
+            raise ModelError(
+                f"impulse reward {name!r}: activity must be a name or predicate"
+            )
+        self._value = value if value is not None else (lambda: 1.0)
+        self._total = 0.0
+        self._count = 0
+
+    def on_completion(self, qualified_name: str, time: float) -> None:
+        """Called by the simulator after each activity completion."""
+        if time < self.warmup:
+            return
+        if self._matches(qualified_name):
+            self._total += self._value()
+            self._count += 1
+
+    @property
+    def total(self) -> float:
+        """Sum of impulses."""
+        return self._total
+
+    @property
+    def count(self) -> int:
+        """Number of matched completions."""
+        return self._count
+
+    def result(self) -> float:
+        return self._total
+
+    def reset(self) -> None:
+        self._total = 0.0
+        self._count = 0
+
+    def __repr__(self) -> str:
+        return f"ImpulseReward({self.name!r}, total={self._total}, count={self._count})"

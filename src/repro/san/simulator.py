@@ -1,0 +1,236 @@
+"""The SAN discrete-event simulator (the Mobius simulation engine stand-in).
+
+Execution policy, following Mobius's simulator over Sanders & Meyer
+semantics:
+
+1. **Settle instantaneous activities.**  While any instantaneous
+   activity is enabled, complete the highest-priority one (ties broken
+   by registration order) in zero simulated time.  A chain longer than
+   ``max_instantaneous_chain`` aborts the run — it almost certainly
+   means a model whose zero-time activities re-enable each other
+   forever.
+2. **(Re)schedule timed activities.**  Every enabled timed activity
+   without a pending completion samples a delay from its own random
+   stream and schedules a completion event.  Every pending activity
+   that has become disabled is *aborted* (its event cancelled); if it
+   re-enables later it samples a fresh delay.
+3. **Advance.**  Pop the earliest event; first let every rate reward
+   integrate over the elapsed interval (the state is stable between
+   events by construction), advance the clock, then complete the
+   activity (input-gate functions, case selection, output gates) and
+   feed impulse rewards.  Repeat from step 1.
+
+Determinism: for a fixed root seed and replication index, runs are
+bit-for-bit reproducible — streams are keyed by activity qualified
+name, the event queue breaks ties by insertion order, and instantaneous
+settling follows a fixed priority order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..des.clock import SimulationClock
+from ..des.event_queue import Event, EventQueue
+from ..des.random_streams import StreamFactory
+from ..errors import SimulationError
+from .activities import Activity, InstantaneousActivity, TimedActivity
+from .model import ModelBase
+from .reward import ImpulseReward, RateReward, RewardVariable
+
+
+class SANSimulator:
+    """Runs one replication of a SAN model.
+
+    Example:
+        >>> sim = SANSimulator(model, StreamFactory(root_seed=1, replication=0))
+        >>> sim.add_reward(my_rate_reward)
+        >>> sim.run(until=10_000)
+        >>> my_rate_reward.time_average()  # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        model: ModelBase,
+        streams: Optional[StreamFactory] = None,
+        max_instantaneous_chain: int = 100_000,
+    ) -> None:
+        self.model = model
+        self.streams = streams if streams is not None else StreamFactory()
+        self.clock = SimulationClock()
+        self.max_instantaneous_chain = int(max_instantaneous_chain)
+
+        activities = model.activities()
+        self._timed: List[TimedActivity] = [
+            a for a in activities if isinstance(a, TimedActivity)
+        ]
+        instantaneous = [a for a in activities if isinstance(a, InstantaneousActivity)]
+        # Stable order: priority first, then registration order.
+        self._instantaneous: List[InstantaneousActivity] = sorted(
+            instantaneous, key=lambda a: a.priority
+        )
+        self._queue = EventQueue()
+        self._pending: Dict[str, Event] = {}  # qualified name -> event
+        self._rate_rewards: List[RateReward] = []
+        self._impulse_rewards: List[ImpulseReward] = []
+        self._completions = 0
+        self._started = False
+
+    # -- configuration ----------------------------------------------------
+
+    def add_reward(self, reward: RewardVariable) -> RewardVariable:
+        """Attach a reward variable; returns it for fluent use."""
+        if isinstance(reward, RateReward):
+            self._rate_rewards.append(reward)
+        elif isinstance(reward, ImpulseReward):
+            self._impulse_rewards.append(reward)
+        else:
+            raise SimulationError(
+                f"unsupported reward type {type(reward).__name__} for {reward.name!r}"
+            )
+        return reward
+
+    @property
+    def completions(self) -> int:
+        """Total activity completions so far (timed + instantaneous)."""
+        return self._completions
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def reset(self, streams: Optional[StreamFactory] = None) -> None:
+        """Restore initial markings, clear events and rewards for a new run."""
+        self.model.reset()
+        self.clock.reset()
+        self._queue.clear()
+        self._pending.clear()
+        self._completions = 0
+        self._started = False
+        if streams is not None:
+            self.streams = streams
+        for reward in self._rate_rewards:
+            reward.reset()
+        for reward in self._impulse_rewards:
+            reward.reset()
+
+    # -- core engine --------------------------------------------------------
+
+    def _rng_for(self, activity: Activity):
+        return self.streams.stream(activity.qualified_name)
+
+    def _settle_instantaneous(self) -> None:
+        """Complete enabled instantaneous activities until quiescence."""
+        chain = 0
+        while True:
+            fired = False
+            for activity in self._instantaneous:
+                if activity.enabled():
+                    activity.complete(self._rng_for(activity))
+                    self._completions += 1
+                    self._notify_impulse(activity)
+                    fired = True
+                    chain += 1
+                    if chain > self.max_instantaneous_chain:
+                        raise SimulationError(
+                            f"instantaneous chain exceeded {self.max_instantaneous_chain} "
+                            f"completions at t={self.clock.now}; last activity was "
+                            f"{activity.qualified_name!r} — the model likely livelocks"
+                        )
+                    break  # restart the priority scan after any state change
+            if not fired:
+                return
+
+    def _reschedule_timed(self) -> None:
+        """Abort disabled pending activities; schedule newly enabled ones.
+
+        Activities with ``reactivation=True`` additionally resample
+        while they stay enabled, so marking-dependent rates track the
+        marking (Mobius reactivation semantics).
+        """
+        for activity in self._timed:
+            key = activity.qualified_name
+            pending = self._pending.get(key)
+            enabled = activity.enabled()
+            if pending is not None and not enabled:
+                self._queue.cancel(pending)
+                del self._pending[key]
+            elif pending is not None and activity.reactivation:
+                self._queue.cancel(pending)
+                delay = activity.sample_delay(self._rng_for(activity))
+                self._pending[key] = self._queue.schedule(
+                    self.clock.now + delay, activity
+                )
+            elif pending is None and enabled:
+                delay = activity.sample_delay(self._rng_for(activity))
+                event = self._queue.schedule(self.clock.now + delay, activity)
+                self._pending[key] = event
+
+    def _advance_rewards(self, until: float) -> None:
+        now = self.clock.now
+        if until > now:
+            for reward in self._rate_rewards:
+                reward.observe(now, until)
+
+    def _notify_impulse(self, activity: Activity) -> None:
+        if self._impulse_rewards:
+            now = self.clock.now
+            for reward in self._impulse_rewards:
+                reward.on_completion(activity.qualified_name, now)
+
+    def _ensure_started(self) -> None:
+        if not self._started:
+            self._settle_instantaneous()
+            self._reschedule_timed()
+            self._started = True
+
+    def step(self) -> bool:
+        """Process the next timed completion.
+
+        Returns:
+            True if an event was processed; False if no event is pending
+            (the simulation is quiescent).
+        """
+        self._ensure_started()
+        head = self._queue.peek()
+        if head is None:
+            return False
+        event = self._queue.pop()
+        activity: TimedActivity = event.payload
+        del self._pending[activity.qualified_name]
+        self._advance_rewards(event.time)
+        self.clock.advance_to(event.time)
+        activity.complete(self._rng_for(activity))
+        self._completions += 1
+        self._notify_impulse(activity)
+        self._settle_instantaneous()
+        self._reschedule_timed()
+        return True
+
+    def run(self, until: float) -> None:
+        """Run until simulated time ``until``.
+
+        Events at exactly ``until`` are *not* processed (the interval is
+        half-open), so rate rewards integrate exactly ``until`` time
+        units from a zero start.
+        """
+        if until < self.clock.now:
+            raise SimulationError(
+                f"cannot run to t={until}: clock is already at {self.clock.now}"
+            )
+        self._ensure_started()
+        while True:
+            next_time = self._queue.next_time()
+            if next_time is None or next_time >= until:
+                break
+            self.step()
+        self._advance_rewards(until)
+        self.clock.advance_to(until)
+
+    def run_to_quiescence(self, max_events: int = 10_000_000) -> None:
+        """Run until no timed activity is pending (absorbing marking)."""
+        self._ensure_started()
+        for _ in range(max_events):
+            if not self.step():
+                return
+        raise SimulationError(
+            f"no quiescence after {max_events} events at t={self.clock.now}"
+        )

@@ -1,0 +1,70 @@
+"""Pluggable VCPU scheduling algorithms.
+
+The paper's framework accepts "any VCPU scheduling algorithm in the form
+of C functions"; here an algorithm is a :class:`SchedulingAlgorithm`
+subclass (or a bare function wrapped in :class:`FunctionScheduler`) with
+the same call signature and in/out array contract.
+
+Built-in algorithms:
+
+====================  =====================================================
+``rrs``               Round-Robin (paper §II.B baseline)
+``scs``               Strict Co-Scheduling (VMware gang-style, [3])
+``rcs``               Relaxed Co-Scheduling (ESX 3/4 skew-bounded, [2])
+``balance``           Balance scheduling (Sukwong & Kim [1], extension)
+``credit``            Proportional-share / Xen-credit-like (extension)
+``sedf``              Xen SEDF: EDF over (period, slice) reservations
+                      (Cherkasova et al. [8], extension)
+``hybrid``            Weng et al.'s hybrid framework [7]: gangs for
+                      declared-concurrent VMs, shares for the rest
+``fifo``              Run-to-completion FIFO (ablation baseline)
+====================  =====================================================
+"""
+
+from .balance import BalanceScheduler
+from .credit import CreditScheduler
+from .fifo import FifoScheduler
+from .harness import SchedulerHarness
+from .hybrid import HybridScheduler
+from .sedf import SEDFScheduler
+from .interface import (
+    FunctionScheduler,
+    PCPUState,
+    PCPUView,
+    SchedulingAlgorithm,
+    VCPUHostView,
+    VCPUStatus,
+)
+from .relaxed_co import RelaxedCoScheduler
+from .round_robin import RoundRobinScheduler
+from .strict_co import StrictCoScheduler
+
+BUILTIN_ALGORITHMS = {
+    RoundRobinScheduler.name: RoundRobinScheduler,
+    StrictCoScheduler.name: StrictCoScheduler,
+    RelaxedCoScheduler.name: RelaxedCoScheduler,
+    BalanceScheduler.name: BalanceScheduler,
+    CreditScheduler.name: CreditScheduler,
+    SEDFScheduler.name: SEDFScheduler,
+    HybridScheduler.name: HybridScheduler,
+    FifoScheduler.name: FifoScheduler,
+}
+
+__all__ = [
+    "SchedulingAlgorithm",
+    "FunctionScheduler",
+    "VCPUHostView",
+    "PCPUView",
+    "VCPUStatus",
+    "PCPUState",
+    "RoundRobinScheduler",
+    "StrictCoScheduler",
+    "RelaxedCoScheduler",
+    "BalanceScheduler",
+    "CreditScheduler",
+    "SEDFScheduler",
+    "HybridScheduler",
+    "FifoScheduler",
+    "SchedulerHarness",
+    "BUILTIN_ALGORITHMS",
+]

@@ -1,0 +1,253 @@
+"""The pluggable VCPU-scheduling interface.
+
+The paper's framework exports a C function-call interface from the
+``Scheduling_Func`` output gate::
+
+    bool schedule(VCPU_host_external* vcpus, int num_vcpu,
+                  PCPU_external* pcpus, int num_pcpu, long timestamp)
+
+where ``vcpus`` / ``pcpus`` are in/out arrays reflecting the state of
+every VCPU place and PCPU before and after the call.  This module is
+the Python equivalent: :class:`VCPUHostView` and :class:`PCPUView` are
+the mutable array elements, and :class:`SchedulingAlgorithm.schedule`
+has the same signature and in/out contract.  A user plugs in a new
+algorithm by subclassing :class:`SchedulingAlgorithm` (or wrapping a
+bare function with :class:`FunctionScheduler`) — no knowledge of SANs
+required, exactly as the paper intends.
+
+Decision protocol (per hypervisor clock tick):
+
+* the framework first decrements timeslices and force-relinquishes
+  expired VCPUs (that happens *before* the call, in the scheduler
+  model's clock gate, as in the paper);
+* the algorithm then inspects the views and sets, on any view,
+  ``schedule_out = True`` (relinquish the PCPU now) and/or
+  ``schedule_in = True`` (assign a PCPU now, optionally choosing
+  ``pcpu`` and ``timeslice``);
+* the framework validates and applies the decisions; inconsistent
+  decisions raise :class:`repro.errors.SchedulingError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..errors import SchedulingError
+
+
+class VCPUStatus:
+    """VCPU states, as defined in the paper (Section III.B.2).
+
+    READY and BUSY are the ACTIVE states (a PCPU is assigned); INACTIVE
+    means no PCPU — possibly mid-workload (``remaining_load > 0``) or
+    holding a synchronization point.
+    """
+
+    READY = "READY"
+    BUSY = "BUSY"
+    INACTIVE = "INACTIVE"
+
+    ALL = (READY, BUSY, INACTIVE)
+    ACTIVE = (READY, BUSY)
+
+
+class PCPUState:
+    """PCPU states, as in the paper's PCPU array.
+
+    ``FAILED`` extends the paper for the dependability extension: a
+    failed PCPU is out of service (never idle, never assignable) until
+    its repair completes.
+    """
+
+    IDLE = "IDLE"
+    ASSIGNED = "ASSIGNED"
+    FAILED = "FAILED"
+
+
+@dataclass
+class VCPUHostView:
+    """One element of the ``vcpus`` in/out array (``VCPU_host_external``).
+
+    Input fields (framework -> algorithm):
+        vcpu_id: global index into the array.
+        vm_id: which VM this VCPU belongs to.
+        vcpu_index: position within its VM (0-based).
+        status: one of :class:`VCPUStatus`.
+        remaining_load: ticks of work left on the current workload.
+        sync_point: 1 if the current workload carries a barrier.
+        last_scheduled_in: timestamp of the most recent PCPU assignment.
+        timeslice: remaining timeslice ticks (0 when INACTIVE).
+        pcpu: id of the assigned PCPU, or None.
+
+    Output fields (algorithm -> framework):
+        schedule_in: request a PCPU assignment this tick.
+        schedule_out: relinquish the PCPU this tick.
+        next_timeslice: timeslice granted with schedule_in (None = the
+            framework default).
+        next_pcpu: specific PCPU requested with schedule_in (None = any
+            free one).
+    """
+
+    vcpu_id: int
+    vm_id: int
+    vcpu_index: int
+    status: str = VCPUStatus.INACTIVE
+    remaining_load: int = 0
+    sync_point: int = 0
+    last_scheduled_in: float = -1.0
+    timeslice: int = 0
+    pcpu: Optional[int] = None
+    schedule_in: bool = field(default=False)
+    schedule_out: bool = field(default=False)
+    next_timeslice: Optional[int] = None
+    next_pcpu: Optional[int] = None
+
+    @property
+    def active(self) -> bool:
+        """True while the VCPU holds a PCPU (READY or BUSY)."""
+        return self.status in VCPUStatus.ACTIVE
+
+
+@dataclass
+class PCPUView:
+    """One element of the ``pcpus`` in/out array (``PCPU_external``)."""
+
+    pcpu_id: int
+    state: str = PCPUState.IDLE
+    vcpu: Optional[int] = None
+
+    @property
+    def idle(self) -> bool:
+        return self.state == PCPUState.IDLE
+
+
+class SchedulingAlgorithm:
+    """Base class for pluggable VCPU scheduling algorithms.
+
+    Subclasses implement :meth:`schedule` and may keep internal state
+    across ticks (run queues, skew counters, ...); :meth:`reset` must
+    clear that state so one algorithm instance can serve many
+    replications.
+
+    Attributes:
+        name: registry key; subclasses override.
+        timeslice: default timeslice (ticks) granted on schedule_in when
+            the algorithm does not set ``next_timeslice``.
+    """
+
+    name = "abstract"
+
+    def __init__(self, timeslice: int = 30) -> None:
+        if timeslice < 1:
+            raise SchedulingError(f"timeslice must be >= 1, got {timeslice}")
+        self.timeslice = int(timeslice)
+        # Monotone dispatch counter per VCPU.  When several timeslices
+        # expire in the same tick, re-enqueueing in *dispatch* order (not
+        # VCPU-id order) is what keeps a round-robin rotation fair — see
+        # requeue_order().
+        self._dispatch_order: Dict[int, int] = {}
+        self._dispatch_counter = 0
+
+    def schedule(
+        self,
+        vcpus: List[VCPUHostView],
+        num_vcpu: int,
+        pcpus: List[PCPUView],
+        num_pcpu: int,
+        timestamp: float,
+    ) -> bool:
+        """Make this tick's scheduling decision by mutating the views.
+
+        Returns:
+            True if any decision was made (mirrors the C interface's
+            bool return; the framework only uses it for diagnostics).
+        """
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear internal state between replications.
+
+        Subclasses with their own state must call ``super().reset()``.
+        """
+        self._dispatch_order.clear()
+        self._dispatch_counter = 0
+
+    # -- shared helpers for concrete algorithms ---------------------------
+
+    @staticmethod
+    def free_pcpu_count(pcpus: List[PCPUView]) -> int:
+        """Number of currently idle PCPUs."""
+        return sum(1 for p in pcpus if p.idle)
+
+    @staticmethod
+    def by_vm(vcpus: List[VCPUHostView]) -> Dict[int, List[VCPUHostView]]:
+        """Group the VCPU views by VM id, preserving array order."""
+        groups: Dict[int, List[VCPUHostView]] = {}
+        for view in vcpus:
+            groups.setdefault(view.vm_id, []).append(view)
+        return groups
+
+    def start(self, view: VCPUHostView, timeslice: Optional[int] = None,
+              pcpu: Optional[int] = None) -> None:
+        """Mark a view for schedule-in with the given (or default) timeslice."""
+        view.schedule_in = True
+        view.next_timeslice = timeslice if timeslice is not None else self.timeslice
+        view.next_pcpu = pcpu
+        self._dispatch_order[view.vcpu_id] = self._dispatch_counter
+        self._dispatch_counter += 1
+
+    @staticmethod
+    def stop(view: VCPUHostView) -> None:
+        """Mark a view for schedule-out."""
+        view.schedule_out = True
+
+    def requeue_order(self, views: List[VCPUHostView]) -> List[VCPUHostView]:
+        """Sort views for (re-)enqueueing: earliest-dispatched first.
+
+        Never-dispatched VCPUs sort before any dispatched one (they have
+        waited "forever"), in id order among themselves.
+        """
+        return sorted(
+            views,
+            key=lambda v: (self._dispatch_order.get(v.vcpu_id, -1), v.vcpu_id),
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(timeslice={self.timeslice})"
+
+
+ScheduleFunction = Callable[
+    [List[VCPUHostView], int, List[PCPUView], int, float], bool
+]
+
+
+class FunctionScheduler(SchedulingAlgorithm):
+    """Adapts a bare function to the algorithm interface.
+
+    This is the closest analogue of the paper's "write a C function"
+    workflow: a user writes one function with the standard signature and
+    plugs it in without subclassing anything.
+
+    Example:
+        >>> def greedy(vcpus, num_vcpu, pcpus, num_pcpu, timestamp):
+        ...     free = sum(1 for p in pcpus if p.idle)
+        ...     for v in vcpus:
+        ...         if free == 0:
+        ...             break
+        ...         if not v.active:
+        ...             v.schedule_in, v.next_timeslice = True, 10
+        ...             free -= 1
+        ...     return True
+        >>> algo = FunctionScheduler("greedy", greedy)
+    """
+
+    def __init__(self, name: str, fn: ScheduleFunction, timeslice: int = 30) -> None:
+        super().__init__(timeslice)
+        if not callable(fn):
+            raise SchedulingError("FunctionScheduler needs a callable")
+        self.name = name
+        self._fn = fn
+
+    def schedule(self, vcpus, num_vcpu, pcpus, num_pcpu, timestamp) -> bool:
+        return bool(self._fn(vcpus, num_vcpu, pcpus, num_pcpu, timestamp))

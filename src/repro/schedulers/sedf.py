@@ -1,0 +1,156 @@
+"""Simple Earliest Deadline First (SEDF) scheduling.
+
+One of Xen's three classic schedulers, compared empirically by
+Cherkasova et al. ([8] in the paper).  Each VCPU holds a reservation
+``(period, slice)``: in every window of ``period`` ticks it is entitled
+to ``slice`` ticks of PCPU time.  The scheduler tracks each VCPU's
+remaining slice and window deadline, and always dispatches the
+runnable VCPUs with the **earliest deadlines** among those that still
+have slice left; VCPUs whose slice is exhausted wait for their next
+window (non-work-conserving in the strict variant; this implementation
+adds the common work-conserving extension that hands leftover PCPUs to
+exhausted VCPUs in deadline order).
+
+Default reservation: period 100, slice ``100 / total_vcpus_per_pcpu``
+is not knowable here, so the default grants every VCPU an equal
+``slice=20, period=100`` — override per VM with the ``reservations``
+mapping.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import SchedulingError
+from .interface import PCPUView, SchedulingAlgorithm, VCPUHostView
+
+
+class SEDFScheduler(SchedulingAlgorithm):
+    """Earliest-deadline-first with per-VM (period, slice) reservations.
+
+    Args:
+        timeslice: dispatch granularity (a VCPU is re-evaluated at
+            least every ``timeslice`` ticks; its slice accounting is
+            per-tick regardless).
+        reservations: mapping vm_id -> (period, slice).  VMs absent
+            from the mapping get ``default_reservation``.
+        default_reservation: the (period, slice) for unlisted VMs.
+        work_conserving: hand leftover PCPUs to exhausted VCPUs
+            (deadline order) instead of idling them.
+    """
+
+    name = "sedf"
+
+    def __init__(
+        self,
+        timeslice: int = 10,
+        reservations: Optional[Dict[int, Tuple[int, int]]] = None,
+        default_reservation: Tuple[int, int] = (100, 20),
+        work_conserving: bool = True,
+    ) -> None:
+        super().__init__(timeslice)
+        self.reservations = dict(reservations or {})
+        for vm_id, (period, slice_) in self.reservations.items():
+            self._check_reservation(vm_id, period, slice_)
+        period, slice_ = default_reservation
+        self._check_reservation("default", period, slice_)
+        self.default_reservation = (int(period), int(slice_))
+        self.work_conserving = bool(work_conserving)
+        # Per-VCPU window state.  Slice is charged *up front* at dispatch
+        # (stride-style): the framework applies timeslice expiry before
+        # the algorithm runs, so charging by observed runtime would
+        # systematically miss each tenure's final tick.
+        self._deadline: Dict[int, float] = {}
+        self._remaining_slice: Dict[int, int] = {}
+        # VCPUs whose current tenure is a work-conserving bonus grant
+        # (preemptible the moment an entitled VCPU shows up).
+        self._bonus: set = set()
+
+    @staticmethod
+    def _check_reservation(who, period, slice_) -> None:
+        if period < 1 or slice_ < 1 or slice_ > period:
+            raise SchedulingError(
+                f"reservation for {who!r} needs 1 <= slice <= period, "
+                f"got (period={period}, slice={slice_})"
+            )
+
+    def reset(self) -> None:
+        super().reset()
+        self._deadline.clear()
+        self._remaining_slice.clear()
+        self._bonus.clear()
+
+    def _reservation(self, vm_id: int) -> Tuple[int, int]:
+        return self.reservations.get(vm_id, self.default_reservation)
+
+    def _open_window(self, view: VCPUHostView, now: float) -> None:
+        period, slice_ = self._reservation(view.vm_id)
+        self._deadline[view.vcpu_id] = now + period
+        self._remaining_slice[view.vcpu_id] = slice_
+
+    def _account(self, vcpus: List[VCPUHostView], timestamp: float) -> None:
+        """Roll reservation windows over at their deadlines."""
+        for view in vcpus:
+            if view.vcpu_id not in self._deadline:
+                self._open_window(view, timestamp)
+            elif timestamp >= self._deadline[view.vcpu_id]:
+                self._open_window(view, timestamp)
+
+    def slack(self, vcpu_id: int) -> int:
+        """Remaining reserved slice in the current window (test probe)."""
+        return self._remaining_slice.get(vcpu_id, 0)
+
+    def schedule(
+        self,
+        vcpus: List[VCPUHostView],
+        num_vcpu: int,
+        pcpus: List[PCPUView],
+        num_pcpu: int,
+        timestamp: float,
+    ) -> bool:
+        self._account(vcpus, timestamp)
+
+        # Drop bonus bookkeeping for tenures that ended via expiry.
+        self._bonus &= {v.vcpu_id for v in vcpus if v.active}
+
+        # Preempt bonus tenures the moment an entitled VCPU is waiting:
+        # reserved time always beats work-conserving leftovers.
+        decided = False
+        entitled_waiting = [
+            v
+            for v in vcpus
+            if not v.active and self._remaining_slice.get(v.vcpu_id, 0) > 0
+        ]
+        if entitled_waiting:
+            for view in vcpus:
+                if view.active and view.vcpu_id in self._bonus:
+                    self.stop(view)
+                    self._bonus.discard(view.vcpu_id)
+                    decided = True
+
+        stopping = sum(1 for v in vcpus if v.schedule_out and v.active)
+        free = self.free_pcpu_count(pcpus) + stopping
+        if free == 0:
+            return decided
+
+        waiting = [v for v in vcpus if not v.active and not v.schedule_out]
+        entitled = [v for v in waiting if self._remaining_slice.get(v.vcpu_id, 0) > 0]
+        entitled.sort(key=lambda v: (self._deadline.get(v.vcpu_id, 0.0), v.vcpu_id))
+        for view in entitled[:free]:
+            grant = min(self.timeslice, self._remaining_slice[view.vcpu_id])
+            self._remaining_slice[view.vcpu_id] -= grant  # charge up front
+            self.start(view, timeslice=grant)
+            decided = True
+        free -= min(free, len(entitled))
+
+        if free > 0 and self.work_conserving:
+            exhausted = [
+                v for v in waiting if self._remaining_slice.get(v.vcpu_id, 0) == 0
+                and not v.schedule_in
+            ]
+            exhausted.sort(key=lambda v: (self._deadline.get(v.vcpu_id, 0.0), v.vcpu_id))
+            for view in exhausted[:free]:
+                self.start(view, timeslice=self.timeslice)
+                self._bonus.add(view.vcpu_id)
+                decided = True
+        return decided

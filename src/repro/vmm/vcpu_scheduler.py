@@ -1,0 +1,394 @@
+"""The Virtual CPU Scheduler sub-model (paper Figure 6).
+
+The hypervisor side of the framework.  Its components, following
+§III.B.5:
+
+* **Clock** — a timed activity with a deterministic unit delay; it
+  "fires at every time unit to regulate the operation of the
+  scheduling function ... and computes the remaining timeslice of each
+  ACTIVE VCPU".  Its output gate fans a tick token out to every
+  plugged VCPU sub-model (driving their ``Processing_load``) and arms
+  the ``Scheduling_Func`` activity.
+* **VCPU places** — one per possible VCPU (statically 16 in the paper;
+  ``num_slots`` here, defaulting to 16).  Each plugged slot carries
+  the paper's fields as places: ``Schedule_In`` / ``Schedule_Out``
+  (token channels joined to the VCPU model), ``Last_Scheduled_In``,
+  and ``Timeslice``, plus the slot's assigned-PCPU record.  Unplugged
+  slots exist but are never enabled.
+* **Num_PCPUs** and the **PCPUs array** — resource configuration and
+  per-PCPU ``IDLE`` / ``ASSIGNED`` state.
+* **Scheduling_Func** — the output gate that builds the
+  ``VCPU_host_external`` / ``PCPU_external`` view arrays, calls the
+  plugged :class:`~repro.schedulers.interface.SchedulingAlgorithm`
+  (the paper's user C function), validates its decisions, and applies
+  them: freeing/assigning PCPUs, granting timeslices, stamping
+  ``Last_Scheduled_In``, and depositing Schedule_In / Schedule_Out
+  tokens for the VCPU models.
+
+Timeslice accounting happens *before* the algorithm call, as in the
+paper: an ACTIVE VCPU's timeslice decreases at each Clock firing and
+the VCPU "must relinquish the PCPU" when it reaches zero — the
+algorithm then sees the freed PCPUs.
+
+**Dependability extension.**  Passing a :class:`PCPUFailureModel`
+attaches an exponential fail/repair process to every PCPU (the classic
+SAN dependability pattern — this framework's formalism was built for
+exactly such models).  A failing ASSIGNED PCPU forcibly deschedules
+its VCPU; a FAILED PCPU is never assignable; repair returns it to
+IDLE.  Schedulers need no changes: they only ever dispatch onto IDLE
+PCPUs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..des.distributions import Deterministic, Exponential
+from ..errors import ConfigurationError, ModelError, SchedulingError
+from ..san import (
+    ExtendedPlace,
+    InputGate,
+    InstantaneousActivity,
+    OutputGate,
+    Place,
+    SANModel,
+    TimedActivity,
+)
+from ..schedulers.interface import (
+    PCPUState,
+    PCPUView,
+    SchedulingAlgorithm,
+    VCPUHostView,
+    VCPUStatus,
+)
+from .states import PRIORITY_SCHEDULER, new_pcpu_entry, new_slot
+
+DEFAULT_NUM_SLOTS = 16  # the paper's Figure 6 statically defines sixteen
+
+SCHEDULER_NAME = "VCPU_Scheduler"
+
+
+@dataclass
+class PCPUFailureModel:
+    """Exponential fail/repair process per PCPU.
+
+    Attributes:
+        mtbf: mean time between failures (ticks; rate = 1/mtbf).
+        mttr: mean time to repair (ticks; rate = 1/mttr).
+
+    Steady-state availability of one PCPU is ``mtbf / (mtbf + mttr)``.
+    """
+
+    mtbf: float
+    mttr: float
+
+    def __post_init__(self) -> None:
+        if self.mtbf <= 0 or self.mttr <= 0:
+            raise ConfigurationError(
+                f"mtbf and mttr must be > 0, got mtbf={self.mtbf}, mttr={self.mttr}"
+            )
+
+    def availability(self) -> float:
+        """Analytic per-PCPU operational fraction."""
+        return self.mtbf / (self.mtbf + self.mttr)
+
+
+def slot_places(index: int) -> Dict[str, str]:
+    """Names of the per-slot places for global slot ``index`` (1-based)."""
+    return {
+        "schedule_in": f"VCPU{index}_Schedule_In",
+        "schedule_out": f"VCPU{index}_Schedule_Out",
+        "tick": f"VCPU{index}_Tick",
+        "slot": f"VCPU{index}_slot",
+        "timeslice": f"VCPU{index}_Timeslice",
+        "last_in": f"VCPU{index}_Last_Scheduled_In",
+        "pcpu": f"VCPU{index}_PCPU",
+    }
+
+
+def build_vcpu_scheduler(
+    algorithm: SchedulingAlgorithm,
+    num_pcpus: int,
+    topology: Sequence[int],
+    num_slots: int = DEFAULT_NUM_SLOTS,
+    name: str = SCHEDULER_NAME,
+    failures: Optional[PCPUFailureModel] = None,
+) -> SANModel:
+    """Construct the hypervisor VCPU-scheduler model.
+
+    Args:
+        algorithm: the plugged scheduling algorithm (fresh per
+            replication; the framework never resets it for you).
+        num_pcpus: number of physical CPUs (>= 1).
+        topology: VCPUs per VM, e.g. ``[2, 1, 1]`` — global slots are
+            assigned to VMs in order (VM 0 takes slots 1..2, ...).
+        num_slots: statically defined VCPU slots (paper default: 16).
+        name: model name (``"VCPU_Scheduler"`` by convention).
+        failures: optional per-PCPU exponential fail/repair process.
+
+    Returns:
+        A :class:`repro.san.SANModel` exposing, per plugged slot *g*,
+        the join places ``VCPU<g>_Schedule_In``, ``VCPU<g>_Schedule_Out``,
+        ``VCPU<g>_Tick``, and ``VCPU<g>_slot``, plus ``Num_PCPUs``,
+        ``PCPUs``, and ``Timestamp``.
+    """
+    if num_pcpus < 1:
+        raise ModelError(f"need at least one PCPU, got {num_pcpus}")
+    if not topology or any(n < 1 for n in topology):
+        raise ModelError(f"topology must list >= 1 VCPU per VM, got {topology!r}")
+    total_vcpus = sum(topology)
+    if total_vcpus > num_slots:
+        raise ModelError(
+            f"{total_vcpus} VCPUs exceed the {num_slots} statically defined "
+            "slots; pass a larger num_slots (the paper: 'more VCPU slots can "
+            "be easily added')"
+        )
+    if not isinstance(algorithm, SchedulingAlgorithm):
+        raise ModelError(
+            "algorithm must be a SchedulingAlgorithm, got "
+            f"{type(algorithm).__name__}"
+        )
+
+    model = SANModel(name)
+    timestamp = model.add_place(Place("Timestamp"))
+    sched_tick = model.add_place(Place("Sched_tick"))
+    model.add_place(Place("Num_PCPUs", initial=num_pcpus))
+    pcpus = model.add_place(
+        ExtendedPlace("PCPUs", [new_pcpu_entry() for _ in range(num_pcpus)])
+    )
+
+    # Global slot map: slot index (1-based) -> (vm_id, vcpu_index).
+    slot_map: List[Tuple[int, int]] = []
+    for vm_id, count in enumerate(topology):
+        for vcpu_index in range(count):
+            slot_map.append((vm_id, vcpu_index))
+
+    schedule_in_places: List[Place] = []
+    schedule_out_places: List[Place] = []
+    tick_places: List[Place] = []
+    slot_value_places: List[ExtendedPlace] = []
+    timeslice_places: List[Place] = []
+    last_in_places: List[ExtendedPlace] = []
+    pcpu_places: List[ExtendedPlace] = []
+
+    for index in range(1, num_slots + 1):
+        names = slot_places(index)
+        plugged = index <= total_vcpus
+        schedule_in_places.append(model.add_place(Place(names["schedule_in"])))
+        schedule_out_places.append(model.add_place(Place(names["schedule_out"])))
+        tick_places.append(model.add_place(Place(names["tick"])))
+        slot_value_places.append(
+            model.add_place(
+                ExtendedPlace(names["slot"], new_slot() if plugged else None)
+            )
+        )
+        timeslice_places.append(model.add_place(Place(names["timeslice"])))
+        last_in_places.append(model.add_place(ExtendedPlace(names["last_in"], -1.0)))
+        pcpu_places.append(model.add_place(ExtendedPlace(names["pcpu"], None)))
+
+    # -- Clock: the unit-time heartbeat -------------------------------------
+
+    def tick_fanout() -> None:
+        timestamp.add()
+        for g in range(total_vcpus):
+            tick_places[g].add()
+        sched_tick.add()
+
+    model.add_activity(
+        TimedActivity(
+            "Clock",
+            Deterministic(1),
+            input_gates=[InputGate("Always", lambda: True)],
+            output_gates=[OutputGate("Tick_fanout", tick_fanout)],
+        )
+    )
+
+    # -- Scheduling_Func: timeslice accounting + the plugged algorithm ------
+
+    def _deschedule(g: int) -> None:
+        """Free slot g's PCPU and notify its VCPU model."""
+        pcpu_index = pcpu_places[g].value
+        pcpus.value[pcpu_index] = new_pcpu_entry()
+        pcpu_places[g].value = None
+        timeslice_places[g].tokens = 0
+        schedule_out_places[g].add()
+
+    def _assign(g: int, pcpu_index: int, timeslice: int, now: float) -> None:
+        """Assign a PCPU to slot g and notify its VCPU model."""
+        pcpus.value[pcpu_index] = {"state": PCPUState.ASSIGNED, "vcpu": g}
+        pcpu_places[g].value = pcpu_index
+        timeslice_places[g].tokens = timeslice
+        last_in_places[g].value = now
+        schedule_in_places[g].add()
+
+    # -- optional dependability process: PCPU fail/repair --------------------
+
+    if failures is not None:
+        for pcpu_index in range(num_pcpus):
+
+            def fail(i: int = pcpu_index) -> None:
+                entry = pcpus.value[i]
+                if entry["state"] == PCPUState.ASSIGNED:
+                    _deschedule(entry["vcpu"])  # victim loses its PCPU now
+                pcpus.value[i] = {"state": PCPUState.FAILED, "vcpu": None}
+
+            def repair(i: int = pcpu_index) -> None:
+                pcpus.value[i] = new_pcpu_entry()
+
+            model.add_activity(
+                TimedActivity(
+                    f"Fail_PCPU{pcpu_index}",
+                    Exponential(1.0 / failures.mtbf),
+                    input_gates=[
+                        InputGate(
+                            f"Operational{pcpu_index}",
+                            lambda i=pcpu_index: pcpus.value[i]["state"]
+                            != PCPUState.FAILED,
+                        )
+                    ],
+                    output_gates=[OutputGate(f"Fail_gate{pcpu_index}", fail)],
+                )
+            )
+            model.add_activity(
+                TimedActivity(
+                    f"Repair_PCPU{pcpu_index}",
+                    Exponential(1.0 / failures.mttr),
+                    input_gates=[
+                        InputGate(
+                            f"Down{pcpu_index}",
+                            lambda i=pcpu_index: pcpus.value[i]["state"]
+                            == PCPUState.FAILED,
+                        )
+                    ],
+                    output_gates=[OutputGate(f"Repair_gate{pcpu_index}", repair)],
+                )
+            )
+
+    def _status_of(g: int) -> str:
+        """Hypervisor view of a slot's status (authoritative mid-tick)."""
+        if pcpu_places[g].value is None:
+            return VCPUStatus.INACTIVE
+        if slot_value_places[g].value["remaining_load"] > 0:
+            return VCPUStatus.BUSY
+        return VCPUStatus.READY
+
+    def run_scheduling_func() -> None:
+        sched_tick.remove()
+        now = float(timestamp.tokens)
+
+        # 1. Timeslice accounting: expire VCPUs whose tenure ran out.
+        for g in range(total_vcpus):
+            if pcpu_places[g].value is None:
+                continue
+            remaining = timeslice_places[g].tokens - 1
+            if remaining <= 0:
+                _deschedule(g)
+            else:
+                timeslice_places[g].tokens = remaining
+
+        # 2. Build the in/out view arrays the C interface passes.
+        views: List[VCPUHostView] = []
+        for g in range(total_vcpus):
+            vm_id, vcpu_index = slot_map[g]
+            slot = slot_value_places[g].value
+            views.append(
+                VCPUHostView(
+                    vcpu_id=g,
+                    vm_id=vm_id,
+                    vcpu_index=vcpu_index,
+                    status=_status_of(g),
+                    remaining_load=slot["remaining_load"],
+                    sync_point=slot["sync_point"],
+                    last_scheduled_in=last_in_places[g].value,
+                    timeslice=timeslice_places[g].tokens,
+                    pcpu=pcpu_places[g].value,
+                )
+            )
+        pcpu_views = [
+            PCPUView(pcpu_id=i, state=entry["state"], vcpu=entry["vcpu"])
+            for i, entry in enumerate(pcpus.value)
+        ]
+
+        # 3. Call the plugged scheduling function.
+        algorithm.schedule(views, len(views), pcpu_views, num_pcpus, now)
+
+        # 4. Validate and apply its decisions: outs first, then ins.
+        for view in views:
+            if view.schedule_in and view.schedule_out:
+                raise SchedulingError(
+                    f"{algorithm.name}: VCPU {view.vcpu_id} marked for both "
+                    "schedule_in and schedule_out in one tick"
+                )
+        for view in views:
+            if not view.schedule_out:
+                continue
+            if pcpu_places[view.vcpu_id].value is None:
+                raise SchedulingError(
+                    f"{algorithm.name}: schedule_out for VCPU {view.vcpu_id}, "
+                    "which holds no PCPU"
+                )
+            _deschedule(view.vcpu_id)
+        for view in views:
+            if not view.schedule_in:
+                continue
+            g = view.vcpu_id
+            if pcpu_places[g].value is not None:
+                raise SchedulingError(
+                    f"{algorithm.name}: schedule_in for VCPU {g}, "
+                    "which already holds a PCPU"
+                )
+            pcpu_index = view.next_pcpu
+            if pcpu_index is None:
+                pcpu_index = next(
+                    (
+                        i
+                        for i, entry in enumerate(pcpus.value)
+                        if entry["state"] == PCPUState.IDLE
+                    ),
+                    None,
+                )
+                if pcpu_index is None:
+                    raise SchedulingError(
+                        f"{algorithm.name}: schedule_in for VCPU {g} but no "
+                        "PCPU is free (over-commitment in one tick)"
+                    )
+            else:
+                if not 0 <= pcpu_index < num_pcpus:
+                    raise SchedulingError(
+                        f"{algorithm.name}: VCPU {g} requested PCPU "
+                        f"{pcpu_index}, outside 0..{num_pcpus - 1}"
+                    )
+                if pcpus.value[pcpu_index]["state"] != PCPUState.IDLE:
+                    raise SchedulingError(
+                        f"{algorithm.name}: VCPU {g} requested PCPU "
+                        f"{pcpu_index}, which is not idle"
+                    )
+            timeslice = (
+                view.next_timeslice
+                if view.next_timeslice is not None
+                else algorithm.timeslice
+            )
+            if timeslice < 1:
+                raise SchedulingError(
+                    f"{algorithm.name}: VCPU {g} granted a timeslice of "
+                    f"{timeslice}; must be >= 1"
+                )
+            _assign(g, pcpu_index, timeslice, now)
+
+    model.add_activity(
+        InstantaneousActivity(
+            "Scheduling_Func",
+            priority=PRIORITY_SCHEDULER,
+            input_gates=[InputGate("Sched_armed", lambda: sched_tick.tokens > 0)],
+            output_gates=[OutputGate("Scheduling_Func_gate", run_scheduling_func)],
+        )
+    )
+
+    # Metadata consumed by the Virtual System builder and the metrics.
+    model.slot_map = slot_map
+    model.total_vcpus = total_vcpus
+    model.num_pcpus = num_pcpus
+    model.algorithm = algorithm
+    model.failures = failures
+    return model

@@ -1,0 +1,114 @@
+"""The Virtual Machine composed model (paper Figure 2 and Table 1).
+
+A VM is a Join of one Workload Generator, one Job Scheduler, and N
+VCPU sub-models.  The join places reproduce the paper's Table 1:
+
+===================  =====================================================
+``Blocked``          generator, job scheduler, and every VCPU
+``Num_VCPUs_ready``  generator, job scheduler, and every VCPU
+``Workload``         generator and job scheduler
+``VCPU<i>_slot``     job scheduler and VCPU *i*
+===================  =====================================================
+
+plus one extension join place beyond the paper's table: ``Lock``, the
+VM-wide critical-section lock shared across all VCPU sub-models
+(only multi-VCPU VMs get it — a 1-VCPU VM cannot contend with itself).
+
+The composed model additionally exposes each VCPU's ``Schedule_In``,
+``Schedule_Out``, and ``Tick`` places under their qualified names
+(``VCPU<i>.Schedule_In`` ...), which the Virtual System join (Table 2)
+connects to the hypervisor's VCPU Scheduler.
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import Optional
+
+from ..errors import ModelError
+from ..san import ComposedModel, SharedVariable, join
+from ..workloads.generators import WorkloadModel
+from .job_scheduler import DEFAULT_NUM_SLOTS, build_job_scheduler
+from .vcpu import build_vcpu_model
+from .workload_generator import build_workload_generator
+
+GENERATOR_NAME = "Workload_Generator"
+JOB_SCHEDULER_NAME = "VM_Job_Scheduler"
+
+
+def vcpu_model_name(index: int) -> str:
+    """The paper's VCPU sub-model naming: VCPU1, VCPU2, ..."""
+    return f"VCPU{index}"
+
+
+def build_vm_model(
+    name: str,
+    num_vcpus: int,
+    workload_model: WorkloadModel,
+    rng: Random,
+    num_slots: Optional[int] = None,
+    dispatch: str = "round_robin",
+    dispatch_rng: Optional[Random] = None,
+) -> ComposedModel:
+    """Construct a Virtual Machine composed model.
+
+    Args:
+        name: VM name, e.g. ``"VM_2VCPU_1"`` (the paper's convention).
+        num_vcpus: number of VCPU sub-models to plug in (>= 1).
+        workload_model: this VM's workload characterization.
+        rng: the VM's workload random stream.
+        num_slots: statically defined job-scheduler slots (default 8,
+            as in the paper's Figure 3).
+        dispatch: job-dispatch policy (see
+            :mod:`repro.vmm.job_scheduler`; default is the paper's even
+            round-robin).
+        dispatch_rng: random stream for the ``"random"`` policy.
+
+    Returns:
+        A :class:`repro.san.ComposedModel` whose join-place table matches
+        the paper's Table 1 (see :meth:`ComposedModel.join_place_table`).
+    """
+    if num_vcpus < 1:
+        raise ModelError(f"VM {name!r} needs at least one VCPU, got {num_vcpus}")
+    slots = num_slots if num_slots is not None else DEFAULT_NUM_SLOTS
+
+    generator = build_workload_generator(GENERATOR_NAME, workload_model, rng)
+    job_scheduler = build_job_scheduler(
+        JOB_SCHEDULER_NAME, num_vcpus, slots, dispatch=dispatch, rng=dispatch_rng
+    )
+    vcpus = [
+        build_vcpu_model(vcpu_model_name(i), lock_owner_id=i)
+        for i in range(1, num_vcpus + 1)
+    ]
+
+    submodels = {GENERATOR_NAME: generator, JOB_SCHEDULER_NAME: job_scheduler}
+    for vcpu in vcpus:
+        submodels[vcpu.name] = vcpu
+
+    everyone = [GENERATOR_NAME, JOB_SCHEDULER_NAME] + [v.name for v in vcpus]
+    shared = [
+        SharedVariable("Blocked", [(sub, "Blocked") for sub in everyone]),
+        SharedVariable(
+            "Num_VCPUs_ready", [(sub, "Num_VCPUs_ready") for sub in everyone]
+        ),
+        SharedVariable(
+            "Workload",
+            [(GENERATOR_NAME, "Workload"), (JOB_SCHEDULER_NAME, "Workload")],
+        ),
+    ]
+    for index, vcpu in enumerate(vcpus, start=1):
+        shared.append(
+            SharedVariable(
+                f"VCPU{index}_slot",
+                [(JOB_SCHEDULER_NAME, f"VCPU{index}_slot"), (vcpu.name, "VCPU_slot")],
+            )
+        )
+    if num_vcpus > 1:
+        shared.append(
+            SharedVariable("Lock", [(vcpu.name, "Lock") for vcpu in vcpus])
+        )
+
+    model = join(name, submodels, shared)
+    # Convenience metadata consumed by the Virtual System builder.
+    model.num_vcpus = num_vcpus
+    return model

@@ -1,0 +1,27 @@
+"""Workload characterization: load distributions, sync policies, traces."""
+
+from .generators import (
+    BernoulliRatio,
+    DeterministicRatio,
+    Job,
+    JobKind,
+    LockingWorkloadModel,
+    NoSync,
+    SyncPolicy,
+    WorkloadModel,
+)
+from .traces import RecordingWorkloadModel, TraceWorkloadModel, WorkloadTrace
+
+__all__ = [
+    "SyncPolicy",
+    "NoSync",
+    "DeterministicRatio",
+    "BernoulliRatio",
+    "Job",
+    "JobKind",
+    "WorkloadModel",
+    "LockingWorkloadModel",
+    "WorkloadTrace",
+    "TraceWorkloadModel",
+    "RecordingWorkloadModel",
+]

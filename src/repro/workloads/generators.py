@@ -1,0 +1,261 @@
+"""Workload characterization: load durations and synchronization points.
+
+The paper's workload generator produces jobs with two fields — ``load``
+(ticks of VCPU time) and ``sync_point`` (barrier flag) — where "the
+generation of load and sync_point is configurable to any distribution
+and rate" (§III.B.3).  This module provides that configurability:
+
+* load durations come from any :class:`repro.des.Distribution`,
+  coerced to an integer >= 1;
+* synchronization points follow a :class:`SyncPolicy`.  The paper's
+  headline parameter is the sync *ratio* — "the 1:5 ratio means that
+  for five workloads there is one synchronization point" — offered
+  both deterministically (every k-th job) and probabilistically
+  (each job independently with probability 1/k).
+
+Policies are *stateless* given the job index: the generator sub-model
+keeps the job counter in a SAN place (``Num_Generated``), so the whole
+workload state is visible in the marking and resets with the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+from typing import Optional, Tuple
+
+from ..des.distributions import Distribution, UniformInt
+from ..errors import ConfigurationError
+
+
+class JobKind:
+    """Synchronization semantics a job can carry.
+
+    * ``NONE`` — plain computation.
+    * ``BARRIER`` — the paper's synchronization point: generation stops
+      until all preceding jobs complete.
+    * ``CRITICAL`` — the extension of the paper's §V future work: the
+      job holds the VM's lock while processing; sibling VCPUs whose
+      current job is also CRITICAL *spin* (burn PCPU time without
+      progress) until the lock frees.  This models the §II.B
+      lock-holder-preemption story directly.
+    """
+
+    NONE = "none"
+    BARRIER = "barrier"
+    CRITICAL = "critical"
+
+    ALL = (NONE, BARRIER, CRITICAL)
+
+
+@dataclass
+class Job:
+    """One generated workload: a duration plus synchronization kind."""
+
+    load: int
+    kind: str = JobKind.NONE
+
+    def __post_init__(self) -> None:
+        if self.load < 1:
+            raise ConfigurationError(f"job load must be >= 1, got {self.load}")
+        if self.kind not in JobKind.ALL:
+            raise ConfigurationError(f"unknown job kind {self.kind!r}")
+
+    @property
+    def sync_point(self) -> int:
+        """The paper's sync_point field: 1 for a barrier job."""
+        return 1 if self.kind == JobKind.BARRIER else 0
+
+    @property
+    def critical(self) -> int:
+        """1 if the job executes inside the VM's critical section."""
+        return 1 if self.kind == JobKind.CRITICAL else 0
+
+
+class SyncPolicy:
+    """Decides whether the job with a given index carries a barrier."""
+
+    def is_sync(self, index: int, rng: Random) -> bool:
+        """True if job ``index`` (0-based) is a synchronization point."""
+        raise NotImplementedError
+
+
+class NoSync(SyncPolicy):
+    """No synchronization points at all (embarrassingly parallel VM)."""
+
+    def is_sync(self, index: int, rng: Random) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "NoSync()"
+
+
+class DeterministicRatio(SyncPolicy):
+    """Every ``k``-th job is a synchronization point (the 1:k ratio).
+
+    With ``k=5``, jobs 4, 9, 14, ... (0-based) carry the barrier: one
+    sync point per five workloads, the paper's default setup.
+    """
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ConfigurationError(f"sync ratio 1:{k} needs k >= 1")
+        self.k = int(k)
+
+    def is_sync(self, index: int, rng: Random) -> bool:
+        return (index + 1) % self.k == 0
+
+    def __repr__(self) -> str:
+        return f"DeterministicRatio(1:{self.k})"
+
+
+class BernoulliRatio(SyncPolicy):
+    """Each job is independently a sync point with probability ``1/k``.
+
+    Produces the same long-run 1:k ratio as :class:`DeterministicRatio`
+    but with geometric gaps, for studying sensitivity to sync burstiness.
+    """
+
+    def __init__(self, k: float) -> None:
+        if k < 1:
+            raise ConfigurationError(f"sync ratio 1:{k} needs k >= 1")
+        self.k = float(k)
+
+    def is_sync(self, index: int, rng: Random) -> bool:
+        return rng.random() < 1.0 / self.k
+
+    def __repr__(self) -> str:
+        return f"BernoulliRatio(1:{self.k})"
+
+
+class WorkloadModel:
+    """A VM's workload characterization: load distribution + sync policy.
+
+    Example:
+        >>> from repro.des import UniformInt
+        >>> model = WorkloadModel(UniformInt(5, 15), DeterministicRatio(5))
+        >>> load, sync = model.next_workload(0, Random(1))
+        >>> load >= 1
+        True
+    """
+
+    def __init__(
+        self,
+        load_distribution: Distribution = None,
+        sync_policy: SyncPolicy = None,
+    ) -> None:
+        self.load_distribution = (
+            load_distribution if load_distribution is not None else UniformInt(5, 15)
+        )
+        if not isinstance(self.load_distribution, Distribution):
+            raise ConfigurationError(
+                "load_distribution must be a repro.des Distribution, got "
+                f"{type(self.load_distribution).__name__}"
+            )
+        self.sync_policy = sync_policy if sync_policy is not None else DeterministicRatio(5)
+        if not isinstance(self.sync_policy, SyncPolicy):
+            raise ConfigurationError(
+                f"sync_policy must be a SyncPolicy, got {type(self.sync_policy).__name__}"
+            )
+
+    def next_workload(self, index: int, rng: Random) -> Tuple[int, int]:
+        """Sample job ``index``: returns ``(load, sync_point)``.
+
+        Loads are coerced to integers >= 1: a zero-length workload would
+        complete without ever occupying a VCPU, which the discrete-time
+        model cannot represent.
+        """
+        load = max(1, int(round(self.load_distribution.sample(rng))))
+        sync = 1 if self.sync_policy.is_sync(index, rng) else 0
+        return load, sync
+
+    def next_job(self, index: int, rng: Random) -> Job:
+        """Sample job ``index`` as a :class:`Job`.
+
+        The base model only emits NONE/BARRIER jobs (the paper's
+        semantics); :class:`LockingWorkloadModel` overrides this to emit
+        CRITICAL jobs as well.
+        """
+        load, sync = self.next_workload(index, rng)
+        return Job(load, JobKind.BARRIER if sync else JobKind.NONE)
+
+    def mean_load(self) -> float:
+        """Analytic mean load duration (for tests and back-of-envelope)."""
+        return self.load_distribution.mean()
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkloadModel(load={self.load_distribution!r}, "
+            f"sync={self.sync_policy!r})"
+        )
+
+
+class LockingWorkloadModel(WorkloadModel):
+    """A workload whose jobs periodically enter a critical section.
+
+    Extends the paper's model per its §V future work ("represent more
+    synchronization mechanisms"): every ``critical_ratio``-th job holds
+    the VM-wide lock while it processes; sibling VCPUs whose current
+    job is also critical spin until the lock frees.  Critical sections
+    get their own (typically short) duration distribution — the §V
+    discussion's "spinlocks assum[e] that the critical sections are
+    short".
+
+    Args:
+        load_distribution: duration of ordinary jobs (default
+            UniformInt(5, 15), as the base model).
+        critical_ratio: one critical job per ``k`` jobs (1:k).
+        critical_load: duration distribution of critical sections
+            (default UniformInt(1, 3) — short, per the spinlock
+            assumption).
+        barrier_ratio: optionally also emit barriers at 1:k (offset so
+            a job is never both); ``None`` disables barriers.
+    """
+
+    def __init__(
+        self,
+        load_distribution: Optional[Distribution] = None,
+        critical_ratio: int = 5,
+        critical_load: Optional[Distribution] = None,
+        barrier_ratio: Optional[int] = None,
+    ) -> None:
+        super().__init__(load_distribution, NoSync())
+        if critical_ratio < 1:
+            raise ConfigurationError(f"critical ratio 1:{critical_ratio} needs k >= 1")
+        if barrier_ratio is not None and barrier_ratio < 2:
+            raise ConfigurationError(
+                "barrier_ratio must be >= 2 (1:1 barriers would collide with "
+                f"critical jobs), got {barrier_ratio}"
+            )
+        self.critical_ratio = int(critical_ratio)
+        self.critical_load = (
+            critical_load if critical_load is not None else UniformInt(1, 3)
+        )
+        if not isinstance(self.critical_load, Distribution):
+            raise ConfigurationError(
+                "critical_load must be a repro.des Distribution, got "
+                f"{type(self.critical_load).__name__}"
+            )
+        self.barrier_ratio = barrier_ratio
+
+    def next_job(self, index: int, rng: Random) -> Job:
+        if (index + 1) % self.critical_ratio == 0:
+            load = max(1, int(round(self.critical_load.sample(rng))))
+            return Job(load, JobKind.CRITICAL)
+        if self.barrier_ratio is not None and (index + 2) % self.barrier_ratio == 0:
+            load = max(1, int(round(self.load_distribution.sample(rng))))
+            return Job(load, JobKind.BARRIER)
+        load = max(1, int(round(self.load_distribution.sample(rng))))
+        return Job(load, JobKind.NONE)
+
+    def next_workload(self, index: int, rng: Random) -> Tuple[int, int]:
+        job = self.next_job(index, rng)
+        return job.load, job.sync_point
+
+    def __repr__(self) -> str:
+        return (
+            f"LockingWorkloadModel(load={self.load_distribution!r}, "
+            f"critical=1:{self.critical_ratio}, "
+            f"critical_load={self.critical_load!r}, "
+            f"barriers={self.barrier_ratio})"
+        )

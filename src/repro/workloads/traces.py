@@ -1,0 +1,197 @@
+"""Workload trace recording and replay.
+
+Supports trace-driven simulation: record the job stream one VM
+generated during a run, then replay it verbatim in another run — e.g.
+to compare two schedulers on *literally identical* job sequences
+rather than merely identically distributed ones.  (Seeded streams
+already give distributional equality; traces give sample-path equality
+even across schedulers that consume randomness differently.)
+
+Traces store full :class:`~repro.workloads.generators.Job` records
+(duration + synchronization kind), so barrier *and* critical-section
+workloads replay exactly.  Two JSON formats are read:
+
+* version 2 (written): ``{"version": 2, "jobs": [[load, kind], ...]}``
+* version 1 (legacy):  ``{"jobs": [[load, sync_point], ...]}``
+"""
+
+from __future__ import annotations
+
+import json
+from random import Random
+from typing import Iterable, List, Tuple
+
+from ..errors import ConfigurationError
+from .generators import Job, JobKind, WorkloadModel
+
+
+class WorkloadTrace:
+    """An ordered sequence of jobs.
+
+    Accepts either ``(load, sync_point)`` pairs (the paper's two-field
+    workloads) or :class:`Job` instances.
+    """
+
+    def __init__(self, jobs: Iterable = ()) -> None:
+        self._jobs: List[Job] = [self._coerce(entry) for entry in jobs]
+
+    @staticmethod
+    def _coerce(entry) -> Job:
+        if isinstance(entry, Job):
+            return entry
+        try:
+            load, second = entry
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(f"malformed trace entry {entry!r}") from exc
+        if isinstance(second, str):
+            return Job(int(load), second)
+        if int(second) not in (0, 1):
+            raise ConfigurationError(
+                f"trace sync_point must be 0 or 1, got {second}"
+            )
+        return Job(int(load), JobKind.BARRIER if int(second) else JobKind.NONE)
+
+    def append(self, load: int, sync_point: int = 0) -> None:
+        """Record one (load, sync_point) job at the end of the trace."""
+        self._jobs.append(self._coerce((load, sync_point)))
+
+    def append_job(self, job: Job) -> None:
+        """Record one full :class:`Job` (any kind)."""
+        self._jobs.append(self._coerce(job))
+
+    @property
+    def jobs(self) -> List[Tuple[int, int]]:
+        """The paper's two-field view: ``(load, sync_point)`` pairs."""
+        return [(job.load, job.sync_point) for job in self._jobs]
+
+    def job_records(self) -> List[Job]:
+        """The full records, including critical-section jobs."""
+        return list(self._jobs)
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __getitem__(self, index: int) -> Tuple[int, int]:
+        job = self._jobs[index]
+        return (job.load, job.sync_point)
+
+    def job(self, index: int) -> Job:
+        """The full job record at ``index``."""
+        return self._jobs[index]
+
+    def sync_ratio(self) -> float:
+        """Observed fraction of jobs carrying a barrier."""
+        if not self._jobs:
+            return 0.0
+        return sum(job.sync_point for job in self._jobs) / len(self._jobs)
+
+    def critical_ratio(self) -> float:
+        """Observed fraction of jobs entering the critical section."""
+        if not self._jobs:
+            return 0.0
+        return sum(job.critical for job in self._jobs) / len(self._jobs)
+
+    def total_load(self) -> int:
+        """Sum of all job durations."""
+        return sum(job.load for job in self._jobs)
+
+    # -- persistence -------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialize the trace to a JSON string (format version 2)."""
+        return json.dumps(
+            {"version": 2, "jobs": [[job.load, job.kind] for job in self._jobs]}
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "WorkloadTrace":
+        """Parse a trace in either JSON format (v1 pairs or v2 kinds)."""
+        try:
+            payload = json.loads(text)
+            return cls(payload["jobs"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(f"malformed workload trace: {exc}") from exc
+
+    def save(self, path: str) -> None:
+        """Write the trace to a file."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def load(cls, path: str) -> "WorkloadTrace":
+        """Read a trace from a file."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+
+class TraceWorkloadModel(WorkloadModel):
+    """A :class:`WorkloadModel` that replays a recorded trace.
+
+    Jobs beyond the end of the trace wrap around to the beginning, so a
+    finite trace can drive an arbitrarily long simulation (documented
+    behaviour; pass ``wrap=False`` to raise instead).
+    """
+
+    def __init__(self, trace: WorkloadTrace, wrap: bool = True) -> None:
+        if len(trace) == 0:
+            raise ConfigurationError("cannot replay an empty trace")
+        # Intentionally skip WorkloadModel.__init__: replay needs neither a
+        # distribution nor a sync policy.
+        self.trace = trace
+        self.wrap = bool(wrap)
+
+    def _index(self, index: int) -> int:
+        if index >= len(self.trace):
+            if not self.wrap:
+                raise ConfigurationError(
+                    f"trace exhausted at job {index} (length {len(self.trace)})"
+                )
+            index %= len(self.trace)
+        return index
+
+    def next_job(self, index: int, rng: Random) -> Job:
+        return self.trace.job(self._index(index))
+
+    def next_workload(self, index: int, rng: Random) -> Tuple[int, int]:
+        return self.trace[self._index(index)]
+
+    def mean_load(self) -> float:
+        return self.trace.total_load() / len(self.trace)
+
+    def __repr__(self) -> str:
+        return f"TraceWorkloadModel(jobs={len(self.trace)}, wrap={self.wrap})"
+
+
+class RecordingWorkloadModel(WorkloadModel):
+    """Wraps another workload model, recording every job it emits.
+
+    Records full :class:`Job` objects, so critical-section workloads
+    replay faithfully.
+
+    Example:
+        >>> from random import Random
+        >>> from repro.workloads import WorkloadModel
+        >>> recorder = RecordingWorkloadModel(WorkloadModel())
+        >>> _ = recorder.next_workload(0, Random(7))
+        >>> len(recorder.recorded)
+        1
+    """
+
+    def __init__(self, inner: WorkloadModel) -> None:
+        self.inner = inner
+        self.recorded = WorkloadTrace()
+
+    def next_job(self, index: int, rng: Random) -> Job:
+        job = self.inner.next_job(index, rng)
+        self.recorded.append_job(job)
+        return job
+
+    def next_workload(self, index: int, rng: Random) -> Tuple[int, int]:
+        job = self.next_job(index, rng)
+        return job.load, job.sync_point
+
+    def mean_load(self) -> float:
+        return self.inner.mean_load()
+
+    def __repr__(self) -> str:
+        return f"RecordingWorkloadModel(inner={self.inner!r}, recorded={len(self.recorded)})"

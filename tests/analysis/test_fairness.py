@@ -1,0 +1,51 @@
+"""Unit tests for fairness analysis."""
+
+import pytest
+
+from repro.analysis import availability_fairness, rank_by_fairness
+from repro.core import ExperimentResult, MetricEstimate
+from repro.errors import StatisticsError
+
+
+def make_result(label, availabilities):
+    estimates = {
+        f"vcpu_availability[{vcpu}]": MetricEstimate(vcpu, [value, value])
+        for vcpu, value in availabilities.items()
+    }
+    estimates["pcpu_utilization"] = MetricEstimate("pcpu_utilization", [1.0, 1.0])
+    return ExperimentResult(label=label, estimates=estimates)
+
+
+class TestAvailabilityFairness:
+    def test_perfectly_fair(self):
+        result = make_result("rrs", {"VCPU1.1": 0.5, "VCPU1.2": 0.5})
+        report = availability_fairness(result)
+        assert report.jain_index == pytest.approx(1.0)
+        assert report.spread == 0.0
+
+    def test_starved_vcpu_detected(self):
+        result = make_result(
+            "scs", {"VCPU1.1": 0.0, "VCPU1.2": 0.0, "VCPU2.1": 0.5, "VCPU3.1": 0.5}
+        )
+        report = availability_fairness(result)
+        assert report.jain_index == pytest.approx(0.5)
+        assert report.min_share == 0.0
+        assert report.max_share == 0.5
+
+    def test_ignores_non_availability_metrics(self):
+        result = make_result("x", {"VCPU1.1": 0.4})
+        report = availability_fairness(result)
+        assert set(report.availabilities) == {"vcpu_availability[VCPU1.1]"}
+
+    def test_no_availability_metrics_raises(self):
+        result = ExperimentResult(label="empty", estimates={})
+        with pytest.raises(StatisticsError):
+            availability_fairness(result)
+
+
+class TestRankByFairness:
+    def test_fairest_first(self):
+        fair = make_result("rrs", {"a": 0.5, "b": 0.5})
+        unfair = make_result("scs", {"a": 0.0, "b": 1.0})
+        ranked = rank_by_fairness([unfair, fair])
+        assert [r.label for r in ranked] == ["rrs", "scs"]

@@ -1,0 +1,75 @@
+"""Unit tests for figure-style text rendering."""
+
+from repro.analysis import (
+    bar_strip,
+    comparison_strip,
+    experiments_matrix,
+    figure_series_table,
+)
+from repro.core import ExperimentResult, MetricEstimate
+
+
+class TestBarStrip:
+    def test_full_and_empty(self):
+        assert bar_strip(1.0, width=10) == "#" * 10
+        assert bar_strip(0.0, width=10) == "." * 10
+
+    def test_half(self):
+        assert bar_strip(0.5, width=10) == "#" * 5 + "." * 5
+
+    def test_clamps_out_of_range(self):
+        assert bar_strip(1.7, width=4) == "####"
+        assert bar_strip(-0.3, width=4) == "...."
+
+
+class TestFigureSeriesTable:
+    def test_rows_and_columns(self):
+        text = figure_series_table(
+            "Figure 8",
+            "pcpus",
+            [1, 2],
+            {
+                "rrs": [(0.25, 0.01), (0.5, 0.02)],
+                "scs": [(0.0, 0.0), (0.5, 0.01)],
+            },
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Figure 8"
+        assert "pcpus" in lines[2]
+        assert "rrs" in lines[2]
+        assert "0.250 ±0.010" in text
+        assert "0.500 ±0.020" in text
+
+
+class TestComparisonStrip:
+    def test_labels_and_bars(self):
+        text = comparison_strip("util", {"rrs": 1.0, "scs": 0.5}, width=8)
+        assert "rrs" in text
+        assert "########" in text
+        assert "0.500" in text
+
+
+class TestExperimentsMatrix:
+    def make(self, scheduler, pcpus, value):
+        return ExperimentResult(
+            label=f"{scheduler}-{pcpus}",
+            estimates={"m": MetricEstimate("m", [value, value])},
+            parameters={"scheduler": scheduler, "pcpus": pcpus},
+        )
+
+    def test_pivots(self):
+        results = [
+            self.make("rrs", 1, 0.25),
+            self.make("rrs", 2, 0.5),
+            self.make("scs", 1, 0.0),
+            self.make("scs", 2, 0.5),
+        ]
+        text = experiments_matrix(results, "m", row_key="scheduler", column_key="pcpus")
+        assert "rrs" in text
+        assert "0.250" in text
+        assert "0.000" in text
+
+    def test_missing_cell_rendered_as_dash(self):
+        results = [self.make("rrs", 1, 0.25), self.make("scs", 2, 0.5)]
+        text = experiments_matrix(results, "m", row_key="scheduler", column_key="pcpus")
+        assert "-" in text

@@ -1,0 +1,59 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import SystemSpec, VMSpec, WorkloadSpec
+from repro.des import StreamFactory
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random stream for sampling tests."""
+    return random.Random(12345)
+
+
+@pytest.fixture
+def streams():
+    """A deterministic stream factory (root seed 7, replication 0)."""
+    return StreamFactory(root_seed=7, replication=0)
+
+
+@pytest.fixture
+def paper_fig8_spec():
+    """The paper's Figure 8 setup: VMs 2+1+1, sync 1:5 (PCPUs vary)."""
+    return SystemSpec(
+        vms=[VMSpec(2), VMSpec(1), VMSpec(1)],
+        pcpus=2,
+        scheduler="rrs",
+        sim_time=600,
+        warmup=100,
+    )
+
+
+@pytest.fixture
+def small_spec():
+    """A tiny 2-VM system for fast end-to-end tests."""
+    return SystemSpec(
+        vms=[VMSpec(2), VMSpec(1)],
+        pcpus=2,
+        scheduler="rrs",
+        sim_time=300,
+        warmup=50,
+    )
+
+
+def make_spec(topology, pcpus, scheduler="rrs", sync_ratio=5, sim_time=600,
+              warmup=100, **scheduler_params):
+    """Helper used across integration tests to build specs tersely."""
+    return SystemSpec(
+        vms=[VMSpec(n, WorkloadSpec(sync_ratio=sync_ratio)) for n in topology],
+        pcpus=pcpus,
+        scheduler=scheduler,
+        scheduler_params=scheduler_params,
+        sim_time=sim_time,
+        warmup=warmup,
+    )

@@ -1,0 +1,115 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def spec_file(tmp_path):
+    payload = {
+        "vms": [{"vcpus": 1}, {"vcpus": 1}],
+        "pcpus": 1,
+        "scheduler": "rrs",
+        "sim_time": 300,
+        "warmup": 50,
+    }
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+class TestListSchedulers:
+    def test_prints_builtins(self, capsys):
+        assert main(["list-schedulers"]) == 0
+        out = capsys.readouterr().out
+        for name in ("rrs", "scs", "rcs", "balance", "credit", "fifo"):
+            assert name in out.splitlines()
+
+
+class TestRun:
+    def test_runs_spec_and_prints_metrics(self, spec_file, capsys):
+        code = main(
+            ["run", "--spec", spec_file, "--min-replications", "2",
+             "--max-replications", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pcpu_utilization" in out
+        assert "vcpu_availability[VCPU1.1]" in out
+        assert "2 replications" in out
+
+    def test_csv_output(self, spec_file, capsys):
+        code = main(
+            ["run", "--spec", spec_file, "--csv", "--min-replications", "2",
+             "--max-replications", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("label,")
+        assert "pcpu_utilization_mean" in out
+
+    def test_probes_flag(self, spec_file, capsys):
+        main(
+            ["run", "--spec", spec_file, "--probes", "--min-replications", "2",
+             "--max-replications", "2"]
+        )
+        out = capsys.readouterr().out
+        assert "blocked_fraction" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["run", "--spec", "/nonexistent.json"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_malformed_json(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        assert main(["run", "--spec", str(path)]) == 2
+        assert "malformed JSON" in capsys.readouterr().err
+
+    def test_invalid_spec(self, tmp_path, capsys):
+        path = tmp_path / "invalid.json"
+        path.write_text(json.dumps({"vms": [], "pcpus": 1}))
+        assert main(["run", "--spec", str(path)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_seed_changes_results(self, tmp_path, capsys):
+        # A 2-VCPU VM makes barrier stalls (and thus utilization) depend
+        # on the sampled workloads, so the seed must matter.
+        payload = {
+            "vms": [{"vcpus": 2}, {"vcpus": 1}],
+            "pcpus": 1,
+            "scheduler": "rrs",
+            "sim_time": 300,
+            "warmup": 50,
+        }
+        path = tmp_path / "noisy.json"
+        path.write_text(json.dumps(payload))
+        main(["run", "--spec", str(path), "--csv", "--seed", "1",
+              "--min-replications", "2", "--max-replications", "2"])
+        first = capsys.readouterr().out
+        main(["run", "--spec", str(path), "--csv", "--seed", "2",
+              "--min-replications", "2", "--max-replications", "2"])
+        second = capsys.readouterr().out
+        assert first != second
+
+
+class TestTables:
+    def test_prints_both_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "TABLE 1" in out
+        assert "TABLE 2" in out
+        assert "Workload_Generator->Blocked" in out
+
+
+class TestFigures:
+    def test_quick_figure9_through_real_cli(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_FIGURES_SIM_TIME", "300")
+        monkeypatch.setenv("REPRO_FIGURES_REPS", "2")
+        assert main(["figures", "--figure", "9"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 9" in out
+        assert "PCPU utilization" in out

@@ -1,0 +1,143 @@
+"""Unit tests for declarative system specs."""
+
+import pytest
+
+from repro.core import SystemSpec, VMSpec, WorkloadSpec
+from repro.des import UniformInt
+from repro.errors import ConfigurationError
+from repro.workloads import BernoulliRatio, DeterministicRatio, NoSync
+
+
+class TestWorkloadSpec:
+    def test_defaults_build(self):
+        model = WorkloadSpec().build()
+        assert isinstance(model.sync_policy, DeterministicRatio)
+        assert model.sync_policy.k == 5
+        assert model.mean_load() == 10.0
+
+    def test_dict_load_spec(self):
+        model = WorkloadSpec(load={"kind": "uniform_int", "low": 1, "high": 3}).build()
+        assert model.mean_load() == 2.0
+
+    def test_distribution_instance_accepted(self):
+        model = WorkloadSpec(load=UniformInt(2, 4)).build()
+        assert model.mean_load() == 3.0
+
+    def test_no_sync(self):
+        model = WorkloadSpec(sync_ratio=None).build()
+        assert isinstance(model.sync_policy, NoSync)
+
+    def test_bernoulli_sync(self):
+        model = WorkloadSpec(sync_ratio=4, sync_kind="bernoulli").build()
+        assert isinstance(model.sync_policy, BernoulliRatio)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(sync_ratio=0).validate()
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(sync_kind="sometimes").validate()
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(load={"kind": "nope"}).validate()
+
+    def test_dict_round_trip(self):
+        spec = WorkloadSpec(load={"kind": "uniform_int", "low": 5, "high": 15}, sync_ratio=3)
+        restored = WorkloadSpec.from_dict(spec.to_dict())
+        assert restored == spec
+
+    def test_to_dict_rejects_instances(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(load=UniformInt(1, 2)).to_dict()
+
+
+class TestVMSpec:
+    def test_defaults(self):
+        vm = VMSpec(vcpus=2)
+        vm.validate()
+        assert vm.workload.sync_ratio == 5
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            VMSpec(vcpus=0).validate()
+
+    def test_round_trip(self):
+        vm = VMSpec(vcpus=3)
+        assert VMSpec.from_dict(vm.to_dict()) == vm
+
+
+class TestSystemSpec:
+    def good(self, **overrides):
+        spec = SystemSpec(vms=[VMSpec(2), VMSpec(1)], pcpus=2, sim_time=100, warmup=10)
+        for key, value in overrides.items():
+            setattr(spec, key, value)
+        return spec
+
+    def test_valid_spec_passes(self):
+        self.good().validate()
+
+    def test_totals(self):
+        spec = self.good()
+        assert spec.total_vcpus() == 3
+        assert spec.topology() == [2, 1]
+
+    def test_empty_vms_rejected(self):
+        with pytest.raises(ConfigurationError, match="at least one VM"):
+            self.good(vms=[]).validate()
+
+    def test_bad_vm_error_names_index(self):
+        with pytest.raises(ConfigurationError, match=r"vms\[1\]"):
+            self.good(vms=[VMSpec(1), VMSpec(0)]).validate()
+
+    def test_bad_pcpus_rejected(self):
+        with pytest.raises(ConfigurationError, match="pcpus"):
+            self.good(pcpus=0).validate()
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(ConfigurationError, match="not registered"):
+            self.good(scheduler="quantum-fair").validate()
+
+    def test_warmup_bounds(self):
+        with pytest.raises(ConfigurationError):
+            self.good(warmup=100).validate()  # == sim_time
+        with pytest.raises(ConfigurationError):
+            self.good(warmup=-1).validate()
+
+    def test_slot_capacity_checks(self):
+        with pytest.raises(ConfigurationError, match="vm_slots"):
+            SystemSpec(vms=[VMSpec(9)], pcpus=1, sim_time=10, warmup=0).validate()
+        with pytest.raises(ConfigurationError, match="scheduler_slots"):
+            SystemSpec(
+                vms=[VMSpec(8), VMSpec(8), VMSpec(8)], pcpus=1, sim_time=10, warmup=0
+            ).validate()
+
+    def test_round_trip(self):
+        spec = self.good(scheduler="rcs", scheduler_params={"timeslice": 10})
+        restored = SystemSpec.from_dict(spec.to_dict())
+        assert restored == spec
+
+    def test_malformed_dict_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SystemSpec.from_dict({"pcpus": 2})
+
+    def test_with_overrides_copies(self):
+        base = self.good()
+        swept = base.with_overrides(pcpus=4, scheduler="scs")
+        assert swept.pcpus == 4
+        assert swept.scheduler == "scs"
+        assert base.pcpus == 2  # base untouched
+        swept.vms[0].vcpus = 99
+        assert base.vms[0].vcpus == 2  # deep copy
+
+    def test_with_overrides_rejects_unknown_field(self):
+        with pytest.raises(ConfigurationError):
+            self.good().with_overrides(cpus=4)
+
+    def test_with_overrides_handles_distribution_instances(self):
+        spec = SystemSpec(
+            vms=[VMSpec(1, WorkloadSpec(load=UniformInt(1, 2)))],
+            pcpus=1,
+            sim_time=100,
+            warmup=0,
+        )
+        swept = spec.with_overrides(pcpus=2)
+        assert swept.pcpus == 2
+        assert swept.vms[0].workload.load.mean() == 1.5

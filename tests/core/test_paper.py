@@ -1,0 +1,89 @@
+"""Tests for repro.paper — the canonical experiment definitions.
+
+These run the figures at reduced fidelity (short sims, 2 replications)
+so the suite stays fast; the benches run them at full fidelity.
+"""
+
+import pytest
+
+from repro.paper import (
+    FIG8_PCPU_RANGE,
+    FIG9_VM_SETS,
+    FigureResult,
+    run_figure8,
+    run_figure9,
+    run_figure10,
+    table1,
+    table2,
+)
+
+QUICK = {"sim_time": 400, "warmup": 50, "replications": (2, 2)}
+
+
+class TestTables:
+    def test_table1_lists_paper_rows(self):
+        text = table1()
+        assert "TABLE 1" in text
+        for member in (
+            "Workload_Generator->Blocked",
+            "VCPU2->Num_VCPUs_ready",
+            "VM_Job_Scheduler->Workload",
+            "VCPU1->VCPU_slot",
+        ):
+            assert member in text
+
+    def test_table1_scales_with_vcpus(self):
+        text = table1(num_vcpus=3)
+        assert "VCPU3->VCPU_slot" in text
+
+    def test_table2_lists_paper_rows(self):
+        text = table2()
+        assert "TABLE 2" in text
+        assert "VM_2VCPU_1->VCPU1.Schedule_In" in text
+        assert "VCPU_Scheduler->VCPU3_Schedule_In" in text  # second VM
+
+
+class TestFigure8:
+    def test_structure(self):
+        figure = run_figure8(pcpu_range=(1, 2), **QUICK)
+        assert isinstance(figure, FigureResult)
+        assert len(figure.results) == 2 * 3  # 2 pcpu counts x 3 schedulers
+        assert "Figure 8" in figure.table
+
+    def test_by_params_lookup(self):
+        figure = run_figure8(pcpu_range=(1,), **QUICK)
+        result = figure.by_params(scheduler="scs", pcpus=1)
+        assert result.mean("vcpu_availability[VCPU1.1]") == 0.0
+        with pytest.raises(KeyError):
+            figure.by_params(scheduler="cfs", pcpus=1)
+
+    def test_default_range_is_papers(self):
+        assert FIG8_PCPU_RANGE == (1, 2, 3, 4)
+
+
+class TestFigure9:
+    def test_structure(self):
+        vm_sets = {"set1 (2+2)": (2, 2)}
+        figure = run_figure9(vm_sets=vm_sets, **QUICK)
+        assert len(figure.results) == 3
+        assert "PCPU utilization" in figure.table
+
+    def test_default_sets_are_papers(self):
+        assert FIG9_VM_SETS["set2 (2+3)"] == (2, 3)
+
+
+class TestFigure10:
+    def test_structure(self):
+        figure = run_figure10(
+            vm_sets={"set1 (2+2)": (2, 2)}, sync_ratios=(5,), **QUICK
+        )
+        assert len(figure.results) == 3
+        result = figure.by_params(scheduler="rrs", sync_ratio=5)
+        assert 0.0 <= result.mean("vcpu_utilization") <= 1.0
+
+    def test_sync_ratio_recorded_in_parameters(self):
+        figure = run_figure10(
+            vm_sets={"set1 (2+2)": (2, 2)}, sync_ratios=(5, 2), **QUICK
+        )
+        ratios = {r.parameters["sync_ratio"] for r in figure.results}
+        assert ratios == {5, 2}

@@ -1,0 +1,84 @@
+"""Unit tests for the scheduler registry."""
+
+import pytest
+
+from repro.core import (
+    create_scheduler,
+    is_registered,
+    list_schedulers,
+    register_schedule_function,
+    register_scheduler,
+)
+from repro.errors import RegistryError
+from repro.schedulers import RoundRobinScheduler, SchedulingAlgorithm
+
+
+class TestBuiltins:
+    def test_paper_algorithms_registered(self):
+        for name in ("rrs", "scs", "rcs"):
+            assert is_registered(name)
+
+    def test_extensions_registered(self):
+        for name in ("balance", "credit", "fifo"):
+            assert is_registered(name)
+
+    def test_create_with_params(self):
+        algo = create_scheduler("rrs", timeslice=7)
+        assert isinstance(algo, RoundRobinScheduler)
+        assert algo.timeslice == 7
+
+    def test_create_rcs_with_thresholds(self):
+        algo = create_scheduler("rcs", timeslice=20, skew_threshold=9, relax_threshold=2)
+        assert algo.skew_threshold == 9
+
+    def test_instances_are_fresh(self):
+        assert create_scheduler("rrs") is not create_scheduler("rrs")
+
+    def test_unknown_name(self):
+        with pytest.raises(RegistryError, match="unknown scheduler"):
+            create_scheduler("cfs")
+
+    def test_bad_params_reported(self):
+        with pytest.raises(RegistryError, match="rejected parameters"):
+            create_scheduler("rrs", quantum=5)
+
+
+class TestRegistration:
+    def test_register_and_create(self):
+        class MyAlgo(SchedulingAlgorithm):
+            name = "test-mine"
+
+            def schedule(self, vcpus, num_vcpu, pcpus, num_pcpu, timestamp):
+                return False
+
+        register_scheduler("test-mine", MyAlgo, replace=True)
+        assert isinstance(create_scheduler("test-mine"), MyAlgo)
+
+    def test_duplicate_requires_replace(self):
+        with pytest.raises(RegistryError, match="already registered"):
+            register_scheduler("rrs", RoundRobinScheduler)
+
+    def test_bad_factory_rejected(self):
+        with pytest.raises(RegistryError):
+            register_scheduler("test-broken", "not-callable")
+        with pytest.raises(RegistryError):
+            register_scheduler("", RoundRobinScheduler)
+
+    def test_factory_returning_wrong_type_rejected(self):
+        register_scheduler("test-wrong", lambda **kw: object(), replace=True)
+        with pytest.raises(RegistryError, match="not a SchedulingAlgorithm"):
+            create_scheduler("test-wrong")
+
+    def test_register_bare_function(self):
+        def noop(vcpus, num_vcpu, pcpus, num_pcpu, timestamp):
+            return False
+
+        register_schedule_function("test-noop", noop, timeslice=12)
+        algo = create_scheduler("test-noop")
+        assert algo.name == "test-noop"
+        assert algo.timeslice == 12
+
+    def test_list_is_sorted(self):
+        names = list_schedulers()
+        assert names == sorted(names)
+        assert "rrs" in names

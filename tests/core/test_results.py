@@ -1,0 +1,94 @@
+"""Unit tests for result containers and rendering."""
+
+import pytest
+
+from repro.core import ExperimentResult, MetricEstimate, render_table, results_to_csv
+from repro.errors import StatisticsError
+
+
+class TestMetricEstimate:
+    def test_mean_and_half_width(self):
+        est = MetricEstimate("m", values=[0.4, 0.5, 0.6])
+        assert est.mean == pytest.approx(0.5)
+        assert est.half_width > 0
+        assert est.n == 3
+
+    def test_single_value_has_zero_width(self):
+        est = MetricEstimate("m", values=[0.7])
+        assert est.half_width == 0.0
+
+    def test_empty_estimate_raises(self):
+        with pytest.raises(StatisticsError):
+            MetricEstimate("m").mean
+
+    def test_str_format(self):
+        text = str(MetricEstimate("m", values=[0.5, 0.5]))
+        assert "0.500" in text
+        assert "±" in text
+
+
+class TestExperimentResult:
+    def make(self):
+        return ExperimentResult(
+            label="demo",
+            estimates={
+                "a": MetricEstimate("a", [1.0, 2.0]),
+                "b": MetricEstimate("b", [3.0, 3.0]),
+            },
+            replications=2,
+            parameters={"pcpus": 4},
+        )
+
+    def test_accessors(self):
+        result = self.make()
+        assert result.mean("a") == 1.5
+        assert result.half_width("b") == 0.0
+        assert result.metrics() == ["a", "b"]
+
+    def test_unknown_metric_mentions_available(self):
+        with pytest.raises(KeyError, match="available"):
+            self.make().mean("zzz")
+
+
+class TestRenderTable:
+    def test_alignment_and_formatting(self):
+        text = render_table(["name", "value"], [["x", 0.12345], ["longer", 7]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "0.123" in text
+        assert "longer" in text
+
+    def test_title(self):
+        text = render_table(["a"], [[1]], title="Figure 8")
+        assert text.splitlines()[0] == "Figure 8"
+        assert text.splitlines()[1] == "========"
+
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestResultsToCsv:
+    def test_flattens_results(self):
+        results = [
+            ExperimentResult(
+                label="one",
+                estimates={"m": MetricEstimate("m", [0.5, 0.5])},
+                parameters={"pcpus": 1},
+            ),
+            ExperimentResult(
+                label="two",
+                estimates={"m": MetricEstimate("m", [0.9, 0.9])},
+                parameters={"pcpus": 2},
+            ),
+        ]
+        csv_text = results_to_csv(results, metrics=["m"])
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "label,pcpus,m_mean,m_hw"
+        assert lines[1].startswith("one,1,0.5")
+        assert len(lines) == 3
+
+    def test_missing_metric_leaves_blank(self):
+        results = [ExperimentResult(label="x", estimates={})]
+        csv_text = results_to_csv(results, metrics=["m"])
+        assert csv_text.strip().splitlines()[1] == "x,,"

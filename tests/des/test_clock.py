@@ -1,0 +1,51 @@
+"""Unit tests for the simulation clock."""
+
+import pytest
+
+from repro.des import SimulationClock
+from repro.errors import SimulationError
+
+
+def test_starts_at_zero():
+    assert SimulationClock().now == 0.0
+
+
+def test_custom_start():
+    assert SimulationClock(start=4.5).now == 4.5
+
+
+def test_advance_forward():
+    clock = SimulationClock()
+    clock.advance_to(3.0)
+    assert clock.now == 3.0
+
+
+def test_advance_to_same_time_allowed():
+    # Instantaneous activities complete in zero simulated time.
+    clock = SimulationClock(start=2.0)
+    clock.advance_to(2.0)
+    assert clock.now == 2.0
+
+
+def test_advance_backwards_raises():
+    clock = SimulationClock(start=5.0)
+    with pytest.raises(SimulationError):
+        clock.advance_to(4.999)
+
+
+def test_reset_rewinds():
+    clock = SimulationClock()
+    clock.advance_to(10.0)
+    clock.reset()
+    assert clock.now == 0.0
+
+
+def test_reset_to_custom_start():
+    clock = SimulationClock()
+    clock.advance_to(10.0)
+    clock.reset(start=1.0)
+    assert clock.now == 1.0
+
+
+def test_repr_mentions_time():
+    assert "3.5" in repr(SimulationClock(start=3.5))

@@ -1,0 +1,246 @@
+"""Unit tests for the sampling-distribution catalogue."""
+
+import math
+import random
+
+import pytest
+
+from repro.des import (
+    Deterministic,
+    Discretized,
+    Empirical,
+    Erlang,
+    Exponential,
+    Geometric,
+    LogNormal,
+    Normal,
+    Uniform,
+    UniformInt,
+    from_spec,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def rng():
+    return random.Random(999)
+
+
+class TestDeterministic:
+    def test_always_same_value(self, rng):
+        d = Deterministic(3.0)
+        assert d.sample_many(rng, 10) == [3.0] * 10
+
+    def test_mean(self):
+        assert Deterministic(7).mean() == 7.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Deterministic(-1)
+
+
+class TestUniform:
+    def test_samples_in_range(self, rng):
+        d = Uniform(2.0, 5.0)
+        for value in d.sample_many(rng, 200):
+            assert 2.0 <= value <= 5.0
+
+    def test_mean(self):
+        assert Uniform(2.0, 6.0).mean() == 4.0
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Uniform(5, 2)
+
+    def test_degenerate_interval(self, rng):
+        assert Uniform(3, 3).sample(rng) == 3.0
+
+
+class TestUniformInt:
+    def test_samples_are_integral_and_in_range(self, rng):
+        d = UniformInt(5, 15)
+        for value in d.sample_many(rng, 200):
+            assert value == int(value)
+            assert 5 <= value <= 15
+
+    def test_all_values_reachable(self, rng):
+        d = UniformInt(1, 3)
+        seen = {d.sample(rng) for _ in range(500)}
+        assert seen == {1.0, 2.0, 3.0}
+
+    def test_mean(self):
+        assert UniformInt(5, 15).mean() == 10.0
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UniformInt(10, 5)
+
+
+class TestExponential:
+    def test_sample_mean_approximates_analytic(self, rng):
+        d = Exponential(rate=0.5)
+        samples = d.sample_many(rng, 5000)
+        assert abs(sum(samples) / len(samples) - 2.0) < 0.15
+
+    def test_positive(self, rng):
+        assert all(v >= 0 for v in Exponential(2.0).sample_many(rng, 100))
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Exponential(0)
+        with pytest.raises(ConfigurationError):
+            Exponential(-1)
+
+
+class TestGeometric:
+    def test_support_starts_at_one(self, rng):
+        assert all(v >= 1 for v in Geometric(0.3).sample_many(rng, 500))
+
+    def test_integral(self, rng):
+        assert all(v == int(v) for v in Geometric(0.3).sample_many(rng, 100))
+
+    def test_p_one_always_one(self, rng):
+        assert Geometric(1.0).sample_many(rng, 10) == [1.0] * 10
+
+    def test_sample_mean(self, rng):
+        d = Geometric(0.25)
+        samples = d.sample_many(rng, 5000)
+        assert abs(sum(samples) / len(samples) - 4.0) < 0.3
+
+    def test_bad_p_rejected(self):
+        for p in (0, -0.1, 1.5):
+            with pytest.raises(ConfigurationError):
+                Geometric(p)
+
+
+class TestNormal:
+    def test_truncated_at_zero(self, rng):
+        d = Normal(mu=0.1, sigma=5.0)
+        assert all(v >= 0 for v in d.sample_many(rng, 200))
+
+    def test_sample_mean(self, rng):
+        d = Normal(mu=100.0, sigma=5.0)
+        samples = d.sample_many(rng, 2000)
+        assert abs(sum(samples) / len(samples) - 100.0) < 1.0
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Normal(0, -1)
+
+
+class TestLogNormal:
+    def test_positive(self, rng):
+        assert all(v > 0 for v in LogNormal(0, 1).sample_many(rng, 100))
+
+    def test_analytic_mean(self):
+        assert abs(LogNormal(0.0, 1.0).mean() - math.exp(0.5)) < 1e-12
+
+
+class TestErlang:
+    def test_mean(self):
+        assert Erlang(k=3, rate=0.5).mean() == 6.0
+
+    def test_sample_mean(self, rng):
+        samples = Erlang(k=2, rate=1.0).sample_many(rng, 4000)
+        assert abs(sum(samples) / len(samples) - 2.0) < 0.15
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Erlang(0, 1.0)
+        with pytest.raises(ConfigurationError):
+            Erlang(2, 0.0)
+
+
+class TestEmpirical:
+    def test_samples_come_from_values(self, rng):
+        d = Empirical([1.0, 2.0, 9.0])
+        assert set(d.sample_many(rng, 200)) <= {1.0, 2.0, 9.0}
+
+    def test_mean(self):
+        assert Empirical([1, 2, 3]).mean() == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Empirical([])
+
+
+class TestDiscretized:
+    def test_rounds_up_to_floor(self, rng):
+        d = Discretized(Deterministic(0.2), floor=1)
+        assert d.sample(rng) == 1.0
+
+    def test_ceils_fractional_values(self, rng):
+        d = Discretized(Deterministic(4.3))
+        assert d.sample(rng) == 5.0
+
+    def test_integral_output(self, rng):
+        d = Discretized(Exponential(0.2))
+        assert all(v == int(v) and v >= 1 for v in d.sample_many(rng, 200))
+
+    def test_negative_floor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Discretized(Deterministic(1), floor=-1)
+
+
+class TestFromSpec:
+    def test_passthrough_distribution(self):
+        d = UniformInt(1, 2)
+        assert from_spec(d) is d
+
+    def test_builds_from_dict(self, rng):
+        d = from_spec({"kind": "uniform_int", "low": 5, "high": 15})
+        assert isinstance(d, UniformInt)
+        assert 5 <= d.sample(rng) <= 15
+
+    def test_every_registered_kind_builds(self):
+        specs = [
+            {"kind": "deterministic", "value": 1},
+            {"kind": "uniform", "low": 0, "high": 1},
+            {"kind": "uniform_int", "low": 1, "high": 2},
+            {"kind": "exponential", "rate": 1.0},
+            {"kind": "geometric", "p": 0.5},
+            {"kind": "normal", "mu": 1, "sigma": 0.1},
+            {"kind": "lognormal", "mu": 0, "sigma": 1},
+            {"kind": "erlang", "k": 2, "rate": 1.0},
+        ]
+        for spec in specs:
+            assert from_spec(spec).mean() >= 0
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            from_spec({"kind": "zipf", "s": 1.1})
+
+    def test_missing_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            from_spec({"low": 1, "high": 2})
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            from_spec({"kind": "uniform_int", "low": 1})  # missing high
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ConfigurationError):
+            from_spec("uniform")
+
+
+class TestMarkingDependentExponentialFromModule:
+    """Edge cases beyond tests/san/test_marking_dependent.py."""
+
+    def test_rate_evaluated_lazily(self, rng):
+        from repro.des import MarkingDependentExponential
+
+        calls = []
+
+        def rate():
+            calls.append(1)
+            return 2.0
+
+        dist = MarkingDependentExponential(rate)
+        assert calls == []  # construction does not evaluate
+        dist.sample(rng)
+        assert len(calls) == 1
+
+    def test_repr(self):
+        from repro.des import MarkingDependentExponential
+
+        assert "rate_fn" in repr(MarkingDependentExponential(lambda: 1.0))

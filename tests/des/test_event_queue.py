@@ -1,0 +1,157 @@
+"""Unit tests for the cancellable event queue."""
+
+import pytest
+
+from repro.des import EventQueue
+
+
+class TestScheduleAndPop:
+    def test_pop_returns_earliest(self):
+        q = EventQueue()
+        q.schedule(5.0, "late")
+        q.schedule(1.0, "early")
+        q.schedule(3.0, "middle")
+        assert q.pop().payload == "early"
+        assert q.pop().payload == "middle"
+        assert q.pop().payload == "late"
+
+    def test_pop_empty_raises(self):
+        q = EventQueue()
+        with pytest.raises(IndexError):
+            q.pop()
+
+    def test_len_counts_live_events(self):
+        q = EventQueue()
+        assert len(q) == 0
+        q.schedule(1.0, "a")
+        q.schedule(2.0, "b")
+        assert len(q) == 2
+        q.pop()
+        assert len(q) == 1
+
+    def test_bool_reflects_liveness(self):
+        q = EventQueue()
+        assert not q
+        q.schedule(1.0, "a")
+        assert q
+
+    def test_equal_times_pop_in_insertion_order(self):
+        q = EventQueue()
+        for name in ["first", "second", "third"]:
+            q.schedule(2.0, name)
+        assert [q.pop().payload for _ in range(3)] == ["first", "second", "third"]
+
+    def test_priority_breaks_time_ties(self):
+        q = EventQueue()
+        q.schedule(1.0, "low-prio", priority=5)
+        q.schedule(1.0, "high-prio", priority=1)
+        assert q.pop().payload == "high-prio"
+
+    def test_nan_time_rejected(self):
+        q = EventQueue()
+        with pytest.raises(ValueError):
+            q.schedule(float("nan"), "bad")
+
+    def test_negative_time_is_allowed(self):
+        # The queue itself has no notion of "now"; the clock enforces
+        # monotonicity.  Negative keys must still order correctly.
+        q = EventQueue()
+        q.schedule(0.0, "zero")
+        q.schedule(-1.0, "minus")
+        assert q.pop().payload == "minus"
+
+
+class TestCancellation:
+    def test_cancelled_event_is_skipped(self):
+        q = EventQueue()
+        doomed = q.schedule(1.0, "doomed")
+        q.schedule(2.0, "survivor")
+        q.cancel(doomed)
+        assert q.pop().payload == "survivor"
+
+    def test_cancel_updates_len(self):
+        q = EventQueue()
+        event = q.schedule(1.0, "a")
+        q.cancel(event)
+        assert len(q) == 0
+        assert not q
+
+    def test_double_cancel_is_noop(self):
+        q = EventQueue()
+        event = q.schedule(1.0, "a")
+        q.schedule(2.0, "b")
+        q.cancel(event)
+        q.cancel(event)
+        assert len(q) == 1
+
+    def test_cancel_after_pop_is_noop(self):
+        q = EventQueue()
+        event = q.schedule(1.0, "a")
+        q.schedule(2.0, "b")
+        popped = q.pop()
+        assert popped is event
+        q.cancel(event)
+        assert len(q) == 1  # "b" still live
+
+    def test_cancel_all_then_pop_raises(self):
+        q = EventQueue()
+        events = [q.schedule(float(i), i) for i in range(5)]
+        for event in events:
+            q.cancel(event)
+        with pytest.raises(IndexError):
+            q.pop()
+
+
+class TestPeekAndNextTime:
+    def test_peek_does_not_remove(self):
+        q = EventQueue()
+        q.schedule(1.0, "a")
+        assert q.peek().payload == "a"
+        assert len(q) == 1
+
+    def test_peek_skips_cancelled_head(self):
+        q = EventQueue()
+        head = q.schedule(1.0, "head")
+        q.schedule(2.0, "next")
+        q.cancel(head)
+        assert q.peek().payload == "next"
+
+    def test_peek_empty_returns_none(self):
+        assert EventQueue().peek() is None
+
+    def test_next_time(self):
+        q = EventQueue()
+        assert q.next_time() is None
+        q.schedule(7.5, "a")
+        assert q.next_time() == 7.5
+
+
+class TestClearAndIteration:
+    def test_clear_empties_everything(self):
+        q = EventQueue()
+        for i in range(10):
+            q.schedule(float(i), i)
+        q.clear()
+        assert len(q) == 0
+        assert q.peek() is None
+
+    def test_iter_live_excludes_cancelled(self):
+        q = EventQueue()
+        keep = q.schedule(1.0, "keep")
+        drop = q.schedule(2.0, "drop")
+        q.cancel(drop)
+        live = list(q.iter_live())
+        assert keep in live
+        assert drop not in live
+
+    def test_interleaved_schedule_pop_cancel(self):
+        q = EventQueue()
+        a = q.schedule(1.0, "a")
+        b = q.schedule(2.0, "b")
+        q.schedule(3.0, "c")
+        q.cancel(b)
+        assert q.pop() is a
+        d = q.schedule(0.5, "d")
+        assert q.pop() is d
+        assert q.pop().payload == "c"
+        assert len(q) == 0

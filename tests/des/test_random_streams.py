@@ -1,0 +1,65 @@
+"""Unit tests for reproducible random streams."""
+
+from repro.des import StreamFactory, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a", 0) == derive_seed(1, "a", 0)
+
+    def test_key_changes_seed(self):
+        assert derive_seed(1, "a", 0) != derive_seed(1, "b", 0)
+
+    def test_replication_changes_seed(self):
+        assert derive_seed(1, "a", 0) != derive_seed(1, "a", 1)
+
+    def test_root_changes_seed(self):
+        assert derive_seed(1, "a", 0) != derive_seed(2, "a", 0)
+
+    def test_seed_fits_64_bits(self):
+        assert 0 <= derive_seed(123, "x.y.z", 42) < 2**64
+
+
+class TestStreamFactory:
+    def test_same_key_memoized(self):
+        factory = StreamFactory(root_seed=42)
+        assert factory.stream("a") is factory.stream("a")
+
+    def test_different_keys_different_streams(self):
+        factory = StreamFactory(root_seed=42)
+        a, b = factory.stream("a"), factory.stream("b")
+        assert a is not b
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_reproducible_across_factories(self):
+        draws1 = [StreamFactory(9).stream("vm.wg").random() for _ in range(1)]
+        draws2 = [StreamFactory(9).stream("vm.wg").random() for _ in range(1)]
+        assert draws1 == draws2
+
+    def test_replications_are_independent(self):
+        base = StreamFactory(root_seed=3, replication=0)
+        other = base.for_replication(1)
+        assert other.root_seed == 3
+        assert other.replication == 1
+        assert base.stream("k").random() != other.stream("k").random()
+
+    def test_for_replication_preserves_family(self):
+        a = StreamFactory(5).for_replication(2).stream("k").random()
+        b = StreamFactory(5, replication=2).stream("k").random()
+        assert a == b
+
+    def test_keys_lists_created_streams(self):
+        factory = StreamFactory()
+        factory.stream("b")
+        factory.stream("a")
+        assert factory.keys() == ["a", "b"]
+
+    def test_adding_a_stream_does_not_perturb_existing(self):
+        # The common-random-numbers property: stream "a" draws the same
+        # values whether or not stream "b" was ever created.
+        solo = StreamFactory(11)
+        solo_draws = [solo.stream("a").random() for _ in range(3)]
+        mixed = StreamFactory(11)
+        mixed.stream("b")  # created first
+        mixed_draws = [mixed.stream("a").random() for _ in range(3)]
+        assert solo_draws == mixed_draws

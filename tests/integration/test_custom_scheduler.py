@@ -1,0 +1,92 @@
+"""End-to-end test of the paper's headline workflow: plug in a new
+VCPU scheduling algorithm "in the form of a C function" — here, a bare
+Python function — and evaluate it without touching any SAN internals.
+"""
+
+import pytest
+
+from repro.core import (
+    SystemSpec,
+    VMSpec,
+    register_schedule_function,
+    register_scheduler,
+    simulate_once,
+)
+from repro.schedulers import SchedulingAlgorithm
+
+
+def test_plug_in_bare_function():
+    def smallest_vm_first(vcpus, num_vcpu, pcpus, num_pcpu, timestamp):
+        """Dispatch idle VCPUs from the smallest VM first."""
+        free = sum(1 for p in pcpus if p.idle)
+        sizes = {}
+        for view in vcpus:
+            sizes[view.vm_id] = sizes.get(view.vm_id, 0) + 1
+        waiting = sorted(
+            (v for v in vcpus if not v.active),
+            key=lambda v: (sizes[v.vm_id], v.vcpu_id),
+        )
+        for view in waiting[:free]:
+            view.schedule_in = True
+            view.next_timeslice = 10
+        return bool(waiting)
+
+    register_schedule_function("test-svf", smallest_vm_first)
+    spec = SystemSpec(
+        vms=[VMSpec(2), VMSpec(1)],
+        pcpus=1,
+        scheduler="test-svf",
+        sim_time=400,
+        warmup=50,
+    )
+    result = simulate_once(spec)
+    # The policy favours the 1-VCPU VM: it must get at least its fair
+    # share while the 2-VCPU VM still makes progress... actually with
+    # greedy smallest-first and one PCPU, the single-VCPU VM wins the
+    # PCPU every time its timeslice expires: the 2-VCPU VM starves.
+    assert result.metrics["vcpu_availability[VCPU2.1]"] > 0.9
+    assert result.metrics["vcpu_availability[VCPU1.1]"] < 0.1
+
+
+def test_plug_in_algorithm_class():
+    class LongestIdleFirst(SchedulingAlgorithm):
+        name = "test-lif"
+
+        def schedule(self, vcpus, num_vcpu, pcpus, num_pcpu, timestamp):
+            free = self.free_pcpu_count(pcpus)
+            waiting = sorted(
+                (v for v in vcpus if not v.active),
+                key=lambda v: v.last_scheduled_in,
+            )
+            for view in waiting[:free]:
+                self.start(view)
+            return bool(waiting)
+
+    register_scheduler("test-lif", LongestIdleFirst, replace=True)
+    spec = SystemSpec(
+        vms=[VMSpec(1), VMSpec(1), VMSpec(1)],
+        pcpus=1,
+        scheduler="test-lif",
+        scheduler_params={"timeslice": 10},
+        sim_time=600,
+        warmup=60,
+    )
+    result = simulate_once(spec)
+    shares = [
+        result.metrics[f"vcpu_availability[VCPU{i}.1]"] for i in (1, 2, 3)
+    ]
+    # Longest-idle-first is fair by construction.
+    assert max(shares) - min(shares) < 0.05
+
+
+def test_scheduler_params_reach_the_factory():
+    spec = SystemSpec(
+        vms=[VMSpec(1)],
+        pcpus=1,
+        scheduler="rcs",
+        scheduler_params={"timeslice": 8, "skew_threshold": 6, "relax_threshold": 2},
+        sim_time=100,
+        warmup=0,
+    )
+    result = simulate_once(spec)
+    assert result.metrics["vcpu_availability[VCPU1.1]"] == pytest.approx(1.0, abs=0.02)

@@ -1,0 +1,45 @@
+"""Smoke tests: the runnable examples must actually run.
+
+Only the fast examples are exercised (the consolidation/SLA sweeps
+take minutes by design); each runs as a real subprocess — the same way
+a user would — and its headline output is checked.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "PCPU utilization" in out
+    assert "VCPU1.1" in out
+
+
+def test_schedule_gantt():
+    out = run_example("schedule_gantt.py")
+    assert "RRS" in out and "SCS" in out and "RCS" in out
+    # SCS's starved wide VM: two all-dots rows.
+    scs_section = out.split("SCS on VMs")[1].split("RCS on VMs")[0]
+    assert "[0% active]" in scs_section
+
+
+@pytest.mark.parametrize("name", ["quickstart.py"])
+def test_examples_emit_no_tracebacks(name):
+    out = run_example(name)
+    assert "Traceback" not in out

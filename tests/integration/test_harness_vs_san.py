@@ -1,0 +1,85 @@
+"""Cross-validation: the scheduler harness vs the full SAN model.
+
+The unit suite tests algorithms through :class:`SchedulerHarness` and
+the system suite through the SAN stack; this family ties them
+together.  Under saturated, synchronization-free workloads the two
+substrates implement the same process, so their long-run availabilities
+must agree — if they drift apart, one of the two hypervisor
+implementations has a semantics bug.
+
+(Saturation + NoSync matters: the harness has no workload generator,
+so barrier stalls and job boundaries exist only on the SAN side.)
+"""
+
+import pytest
+
+from repro.core import SystemSpec, VMSpec, WorkloadSpec, simulate_once
+from repro.core.registry import create_scheduler
+from repro.schedulers import SchedulerHarness
+
+TICKS = 1800
+
+SCENARIOS = [
+    ("rrs", [2, 1, 1], 1),
+    ("rrs", [2, 1, 1], 3),
+    ("scs", [2, 1, 1], 1),
+    ("scs", [2, 1, 1], 2),
+    ("scs", [2, 3], 4),
+    ("rcs", [2, 1, 1], 1),
+    ("rcs", [2, 3], 4),
+    ("credit", [2, 1, 1], 2),
+    ("balance", [2, 2], 2),
+    ("hybrid", [1, 1, 1], 2),
+    ("sedf", [1, 1], 1),
+]
+
+
+def harness_availability(scheduler_name, topology, pcpus):
+    algorithm = create_scheduler(scheduler_name)
+    harness = SchedulerHarness(algorithm, topology, pcpus)
+    harness.run(TICKS)
+    return [
+        harness.availability(i) for i in range(sum(topology))
+    ]
+
+
+def san_availability(scheduler_name, topology, pcpus):
+    spec = SystemSpec(
+        vms=[VMSpec(n, WorkloadSpec(sync_ratio=None)) for n in topology],
+        pcpus=pcpus,
+        scheduler=scheduler_name,
+        sim_time=TICKS,
+        warmup=0,
+    )
+    result = simulate_once(spec)
+    values = []
+    for vm_id, count in enumerate(topology):
+        for k in range(count):
+            values.append(
+                result.metrics[f"vcpu_availability[VCPU{vm_id + 1}.{k + 1}]"]
+            )
+    return values
+
+
+@pytest.mark.parametrize("scheduler,topology,pcpus", SCENARIOS)
+def test_harness_and_san_agree_on_availability(scheduler, topology, pcpus):
+    from_harness = harness_availability(scheduler, topology, pcpus)
+    from_san = san_availability(scheduler, topology, pcpus)
+    for vcpu_id, (a, b) in enumerate(zip(from_harness, from_san)):
+        # The substrates differ by a one-tick dispatch offset and the
+        # SAN side's startup tick, so allow a small absolute tolerance.
+        assert a == pytest.approx(b, abs=0.05), (
+            f"{scheduler} {topology} pcpus={pcpus} vcpu={vcpu_id}: "
+            f"harness={a:.3f} san={b:.3f}"
+        )
+
+
+@pytest.mark.parametrize("scheduler,topology,pcpus", SCENARIOS)
+def test_total_availability_is_supply_limited_in_both(scheduler, topology, pcpus):
+    total_vcpus = sum(topology)
+    cap = min(total_vcpus, pcpus)
+    for values in (
+        harness_availability(scheduler, topology, pcpus),
+        san_availability(scheduler, topology, pcpus),
+    ):
+        assert sum(values) <= cap + 0.02

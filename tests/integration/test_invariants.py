@@ -1,0 +1,103 @@
+"""System-wide invariant checks over full simulations.
+
+These tests run the complete stack and assert the structural
+invariants that, if violated, silently corrupt every metric:
+
+* Num_VCPUs_ready equals the number of READY slots in its VM;
+* a PCPU is ASSIGNED iff exactly one VCPU claims it;
+* ACTIVE VCPU count equals ASSIGNED PCPU count;
+* tick tokens never accumulate across ticks;
+* remaining_load is never negative; Blocked is 0/1.
+"""
+
+import pytest
+
+from repro.core import build_system
+from repro.des import StreamFactory
+from repro.san import SANSimulator
+from repro.schedulers import VCPUStatus
+from repro.vmm import SCHEDULER_NAME, pcpus_place, slot_value_place
+
+from ..conftest import make_spec
+
+
+def check_invariants(system):
+    # Per-VM: ready counter vs slot statuses; Blocked domain.
+    for vm_index, vm_name in enumerate(system.vm_names):
+        ready_place = system.place(f"{vm_name}.Num_VCPUs_ready")
+        slots = [
+            slot_value_place(system, g)
+            for g, (vm_id, _) in enumerate(system.slot_map)
+            if vm_id == vm_index
+        ]
+        ready_slots = sum(1 for s in slots if s.value["status"] == VCPUStatus.READY)
+        assert ready_place.tokens == ready_slots, (
+            f"{vm_name}: counter={ready_place.tokens} ready_slots={ready_slots}"
+        )
+        assert system.place(f"{vm_name}.Blocked").tokens in (0, 1)
+        for slot in slots:
+            assert slot.value["remaining_load"] >= 0
+            assert slot.value["sync_point"] in (0, 1)
+
+    # Hypervisor: PCPU array vs per-slot assignments.
+    entries = pcpus_place(system).value
+    claimed = {}
+    for g in range(len(system.slot_map)):
+        pcpu = system.place(f"{SCHEDULER_NAME}.VCPU{g + 1}_PCPU").value
+        if pcpu is not None:
+            assert pcpu not in claimed, f"PCPU {pcpu} claimed twice"
+            claimed[pcpu] = g
+    for index, entry in enumerate(entries):
+        if entry["state"] == "ASSIGNED":
+            assert claimed.get(index) == entry["vcpu"]
+        else:
+            assert index not in claimed
+            assert entry["vcpu"] is None
+
+    # ACTIVE VCPUs == ASSIGNED PCPUs (the slot statuses agree with the
+    # hypervisor between ticks).
+    active = sum(
+        1
+        for g in range(len(system.slot_map))
+        if slot_value_place(system, g).value["status"] in VCPUStatus.ACTIVE
+    )
+    assigned = sum(1 for e in entries if e["state"] == "ASSIGNED")
+    assert active == assigned
+
+    # Tick channels drained.
+    for g in range(len(system.slot_map)):
+        assert system.place(f"{SCHEDULER_NAME}.VCPU{g + 1}_Tick").tokens == 0
+
+
+SCENARIOS = [
+    ("rrs", [2, 1, 1], 1),
+    ("rrs", [2, 3], 4),
+    ("scs", [2, 1, 1], 1),
+    ("scs", [2, 3], 4),
+    ("scs", [2, 4], 4),
+    ("rcs", [2, 1, 1], 1),
+    ("rcs", [2, 3], 4),
+    ("balance", [2, 2], 2),
+    ("credit", [2, 1, 1], 2),
+    ("fifo", [2, 1, 1], 2),
+]
+
+
+@pytest.mark.parametrize("scheduler,topology,pcpus", SCENARIOS)
+def test_invariants_hold_throughout(scheduler, topology, pcpus):
+    spec = make_spec(topology, pcpus, scheduler, sim_time=10_000, warmup=0)
+    system = build_system(spec, replication=0, root_seed=42)
+    sim = SANSimulator(system, StreamFactory(42, 0))
+    for stop in range(20, 401, 20):
+        sim.run(until=stop + 0.5)
+        check_invariants(system)
+
+
+@pytest.mark.parametrize("sync_ratio", [1, 2, 5])
+def test_invariants_hold_under_heavy_synchronization(sync_ratio):
+    spec = make_spec([2, 4], 4, "rrs", sync_ratio=sync_ratio, sim_time=10_000, warmup=0)
+    system = build_system(spec, replication=1, root_seed=7)
+    sim = SANSimulator(system, StreamFactory(7, 1))
+    for stop in range(25, 301, 25):
+        sim.run(until=stop + 0.5)
+        check_invariants(system)

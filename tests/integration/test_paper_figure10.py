@@ -1,0 +1,58 @@
+"""Integration tests asserting the paper's Figure 10 shape.
+
+Figure 10: averaged VCPU utilization with four PCPUs, VM sets {2+2,
+2+3, 2+4}, sync ratio varied 1:5 to 1:2.  §IV.C's claims:
+
+* with VCPUs == PCPUs (set 1) there is no difference among the
+  algorithms;
+* with VCPUs > PCPUs, co-scheduling reduces synchronization latency:
+  SCS achieves the highest VCPU utilization, followed by RCS;
+* RRS is significantly affected by the synchronization rate — as the
+  rate increases, its utilization degrades.
+"""
+
+import pytest
+
+from repro.core import simulate_once
+
+from ..conftest import make_spec
+
+
+def vcpu_utilization(topology, scheduler, sync_ratio=5, replications=3):
+    total = 0.0
+    for rep in range(replications):
+        spec = make_spec(
+            topology, pcpus=4, scheduler=scheduler, sync_ratio=sync_ratio,
+            sim_time=1200, warmup=100,
+        )
+        total += simulate_once(spec, replication=rep).metrics["vcpu_utilization"]
+    return total / replications
+
+
+class TestBalancedSet:
+    def test_no_difference_when_vcpus_equal_pcpus(self):
+        values = [vcpu_utilization([2, 2], s) for s in ("rrs", "scs", "rcs")]
+        assert max(values) - min(values) < 0.02
+
+
+class TestOversubscribedSets:
+    @pytest.mark.parametrize("topology", [[2, 3], [2, 4]])
+    def test_scs_highest_at_paper_sync_ratio(self, topology):
+        scs = vcpu_utilization(topology, "scs")
+        rcs = vcpu_utilization(topology, "rcs")
+        rrs = vcpu_utilization(topology, "rrs")
+        assert scs > rcs - 0.01
+        assert scs > rrs + 0.02
+
+    def test_rcs_beats_rrs_on_2_plus_3(self):
+        assert vcpu_utilization([2, 3], "rcs") > vcpu_utilization([2, 3], "rrs")
+
+    def test_rrs_degrades_with_sync_rate(self):
+        relaxed = vcpu_utilization([2, 3], "rrs", sync_ratio=5, replications=4)
+        tight = vcpu_utilization([2, 3], "rrs", sync_ratio=2, replications=4)
+        assert tight < relaxed
+
+    def test_everything_in_unit_interval(self):
+        for scheduler in ("rrs", "scs", "rcs"):
+            value = vcpu_utilization([2, 4], scheduler, replications=2)
+            assert 0.0 <= value <= 1.0

@@ -1,0 +1,82 @@
+"""Integration tests asserting the paper's Figure 8 shape.
+
+Figure 8: availability of four VCPUs in three VMs (2+1+1), sync 1:5,
+PCPUs varied 1..4, under RRS / SCS / RCS.  These tests use short runs
+(they assert shapes, not tight values — the benches do the full
+reproduction), but every claim below is a sentence from §IV.A.
+"""
+
+import pytest
+
+from repro.core import simulate_once
+
+from ..conftest import make_spec
+
+LABELS = ["VCPU1.1", "VCPU1.2", "VCPU2.1", "VCPU3.1"]
+
+
+def availabilities(topology, pcpus, scheduler, replications=3, **kw):
+    acc = {label: 0.0 for label in LABELS}
+    for rep in range(replications):
+        spec = make_spec(topology, pcpus, scheduler, **kw)
+        result = simulate_once(spec, replication=rep)
+        for label in LABELS:
+            acc[label] += result.metrics[f"vcpu_availability[{label}]"] / replications
+    return acc
+
+
+class TestOnePCPU:
+    def test_rrs_always_achieves_fairness(self):
+        av = availabilities([2, 1, 1], pcpus=1, scheduler="rrs", sim_time=1500)
+        for label in LABELS:
+            assert av[label] == pytest.approx(0.25, abs=0.03)
+
+    def test_scs_cannot_schedule_the_wide_vm(self):
+        # "SCS cannot schedule the 2-VCPUs VM due to the strict
+        # requirement of VCPU co-start."
+        av = availabilities([2, 1, 1], pcpus=1, scheduler="scs")
+        assert av["VCPU1.1"] == 0.0
+        assert av["VCPU1.2"] == 0.0
+        assert av["VCPU2.1"] == pytest.approx(0.5, abs=0.03)
+        assert av["VCPU3.1"] == pytest.approx(0.5, abs=0.03)
+
+    def test_rcs_schedules_the_wide_vm_with_penalty(self):
+        # "RCS is able to schedule the 2-VCPU VM ... however ... these
+        # VCPUs receive less PCPU resources than the 1-VCPU VMs."
+        av = availabilities([2, 1, 1], pcpus=1, scheduler="rcs", replications=5)
+        wide = (av["VCPU1.1"] + av["VCPU1.2"]) / 2
+        narrow = (av["VCPU2.1"] + av["VCPU3.1"]) / 2
+        assert wide > 0.15  # scheduled, unlike SCS
+        assert wide <= narrow + 1e-9  # but never ahead of the singles
+
+
+class TestScalingWithPCPUs:
+    @pytest.mark.parametrize("pcpus,expected", [(1, 0.25), (2, 0.5), (4, 1.0)])
+    def test_rrs_share_tracks_supply(self, pcpus, expected):
+        av = availabilities([2, 1, 1], pcpus=pcpus, scheduler="rrs", sim_time=1500)
+        for label in LABELS:
+            assert av[label] == pytest.approx(expected, abs=0.03)
+
+    def test_coscheduling_fairness_improves_with_pcpus(self):
+        # "The fairness of the two co-scheduling algorithms improves as
+        # the number of PCPUs increases."
+        from repro.metrics import jain_fairness
+
+        for scheduler in ("scs", "rcs"):
+            low = jain_fairness(list(availabilities([2, 1, 1], 1, scheduler).values()))
+            high = jain_fairness(list(availabilities([2, 1, 1], 4, scheduler).values()))
+            assert high >= low
+
+    def test_everyone_saturates_at_four_pcpus(self):
+        for scheduler in ("rrs", "scs", "rcs"):
+            av = availabilities([2, 1, 1], pcpus=4, scheduler=scheduler)
+            for label in LABELS:
+                assert av[label] == pytest.approx(1.0, abs=0.01)
+
+    def test_rcs_generally_fairer_than_scs(self):
+        # "RCS generally achieves better fairness than SCS."
+        from repro.metrics import jain_fairness
+
+        rcs = jain_fairness(list(availabilities([2, 1, 1], 1, "rcs").values()))
+        scs = jain_fairness(list(availabilities([2, 1, 1], 1, "scs").values()))
+        assert rcs > scs

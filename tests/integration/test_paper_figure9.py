@@ -1,0 +1,59 @@
+"""Integration tests asserting the paper's Figure 9 shape.
+
+Figure 9: averaged PCPU utilization of four PCPUs, VM sets {2+2, 2+3,
+2+4} VCPUs, sync ratio 1:5.  §IV.B's claims:
+
+* with VCPUs > PCPUs, the co-schedulers cannot fully utilize the
+  PCPUs (CPU fragmentation);
+* relaxed co-scheduling mitigates the problem, always achieving more
+  than 90% PCPU utilization;
+* (implicit) RRS stays at full utilization.
+"""
+
+import pytest
+
+from repro.core import simulate_once
+
+from ..conftest import make_spec
+
+
+def pcpu_utilization(topology, scheduler, replications=3):
+    total = 0.0
+    for rep in range(replications):
+        spec = make_spec(topology, pcpus=4, scheduler=scheduler)
+        total += simulate_once(spec, replication=rep).metrics["pcpu_utilization"]
+    return total / replications
+
+
+class TestBalancedSet:
+    def test_all_algorithms_full_when_vcpus_equal_pcpus(self):
+        for scheduler in ("rrs", "scs", "rcs"):
+            assert pcpu_utilization([2, 2], scheduler) == pytest.approx(1.0, abs=0.02)
+
+
+class TestOversubscribedSets:
+    @pytest.mark.parametrize("topology", [[2, 3], [2, 4]])
+    def test_rrs_stays_full(self, topology):
+        assert pcpu_utilization(topology, "rrs") == pytest.approx(1.0, abs=0.02)
+
+    def test_scs_fragments_on_2_plus_3(self):
+        # VMs of 2 and 3 VCPUs cannot co-run on 4 PCPUs (5 > 4); gangs
+        # alternate, wasting (4-2)/4 and (4-3)/4: expect ~0.625.
+        value = pcpu_utilization([2, 3], "scs")
+        assert value == pytest.approx(0.625, abs=0.05)
+
+    def test_scs_fragments_on_2_plus_4(self):
+        value = pcpu_utilization([2, 4], "scs")
+        assert value == pytest.approx(0.75, abs=0.05)
+
+    @pytest.mark.parametrize("topology", [[2, 3], [2, 4]])
+    def test_rcs_always_above_ninety_percent(self, topology):
+        assert pcpu_utilization(topology, "rcs") > 0.9
+
+    @pytest.mark.parametrize("topology", [[2, 3], [2, 4]])
+    def test_ordering_rrs_rcs_scs(self, topology):
+        rrs = pcpu_utilization(topology, "rrs")
+        rcs = pcpu_utilization(topology, "rcs")
+        scs = pcpu_utilization(topology, "scs")
+        assert rrs >= rcs - 0.02
+        assert rcs > scs + 0.05

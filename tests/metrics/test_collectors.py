@@ -1,0 +1,102 @@
+"""Unit tests for the auxiliary measurement probes."""
+
+import pytest
+
+from repro.des import StreamFactory
+from repro.metrics import (
+    StateTimeline,
+    per_vm_blocked_fraction,
+    workloads_completed,
+    workloads_generated,
+)
+from repro.san import SANSimulator
+from repro.schedulers import RoundRobinScheduler
+from repro.vmm import build_virtual_system
+from repro.workloads import DeterministicRatio, WorkloadModel
+from repro.des import Deterministic
+
+
+@pytest.fixture
+def system():
+    workload = WorkloadModel(Deterministic(5), DeterministicRatio(3))
+    return build_virtual_system(
+        [(2, workload), (1, WorkloadModel())],
+        RoundRobinScheduler(),
+        2,
+        StreamFactory(0),
+    )
+
+
+def run_with(system, rewards, until=300):
+    sim = SANSimulator(system, StreamFactory(0))
+    for reward in rewards:
+        sim.add_reward(reward)
+    sim.run(until=until)
+    return sim
+
+
+class TestBlockedFraction:
+    def test_one_reward_per_vm(self, system):
+        rewards = per_vm_blocked_fraction(system)
+        assert set(rewards) == {
+            "blocked_fraction[VM_2VCPU_1]",
+            "blocked_fraction[VM_1VCPU_2]",
+        }
+
+    def test_synchronizing_vm_blocks_sometimes(self, system):
+        rewards = per_vm_blocked_fraction(system)
+        run_with(system, list(rewards.values()))
+        value = rewards["blocked_fraction[VM_2VCPU_1]"].result()
+        assert 0.0 < value < 1.0
+
+
+class TestThroughputCounters:
+    def test_generated_counts_are_positive(self, system):
+        rewards = workloads_generated(system)
+        run_with(system, list(rewards.values()))
+        for reward in rewards.values():
+            assert reward.count > 0
+
+    def test_completed_close_to_generated(self, system):
+        generated = workloads_generated(system)
+        completed = workloads_completed(system)
+        run_with(system, list(generated.values()) + list(completed.values()), until=600)
+        total_generated = sum(r.total for r in generated.values())
+        total_completed = sum(r.total for r in completed.values())
+        # Completions lag generations only by the in-flight jobs.
+        assert total_completed <= total_generated
+        assert total_completed >= total_generated - 4
+
+    def test_completed_per_vcpu_roughly_even_within_vm(self, system):
+        completed = workloads_completed(system)
+        run_with(system, list(completed.values()), until=900)
+        a = completed["workloads_completed[VCPU1.1]"].total
+        b = completed["workloads_completed[VCPU1.2]"].total
+        assert a > 0 and b > 0
+        assert abs(a - b) / max(a, b) < 0.3  # the job scheduler spreads evenly
+
+
+class TestStateTimeline:
+    def test_samples_statuses(self, system):
+        sim = SANSimulator(system, StreamFactory(0))
+        timeline = StateTimeline(system)
+        for t in range(1, 51):
+            sim.run(until=t + 0.5)
+            timeline.sample(t)
+        assert len(timeline) == 50
+        series = timeline.series("VCPU1.1")
+        assert set(series) <= {"READY", "BUSY", "INACTIVE"}
+
+    def test_active_fraction_consistent_with_series(self, system):
+        sim = SANSimulator(system, StreamFactory(0))
+        timeline = StateTimeline(system)
+        for t in range(1, 101):
+            sim.run(until=t + 0.5)
+            timeline.sample(t)
+        fraction = timeline.active_fraction("VCPU2.1")
+        assert 0.0 <= fraction <= 1.0
+
+    def test_unknown_label_raises(self, system):
+        timeline = StateTimeline(system)
+        with pytest.raises(KeyError):
+            timeline.series("VCPU9.9")

@@ -1,0 +1,127 @@
+"""Unit tests for batch means and Welch's warm-up procedure."""
+
+import random
+
+import pytest
+
+from repro.errors import StatisticsError
+from repro.metrics import (
+    BatchMeansEstimator,
+    effective_warmup_for,
+    moving_average,
+    welch_warmup,
+)
+
+
+class TestBatchMeans:
+    def test_batches_partition_the_series(self):
+        est = BatchMeansEstimator(num_batches=4)
+        est.extend([1.0] * 40 + [3.0] * 40)
+        means = est.batch_means()
+        assert means == [1.0, 1.0, 3.0, 3.0]
+
+    def test_trailing_remainder_dropped(self):
+        est = BatchMeansEstimator(num_batches=3)
+        est.extend([1.0] * 10)  # batch size 3, one value dropped
+        assert len(est.batch_means()) == 3
+
+    def test_estimate_on_iid_noise(self):
+        rng = random.Random(4)
+        est = BatchMeansEstimator(num_batches=20)
+        est.extend([rng.gauss(5.0, 1.0) for _ in range(10_000)])
+        mean, half = est.estimate()
+        assert mean == pytest.approx(5.0, abs=0.1)
+        assert half < 0.1
+
+    def test_ci_covers_true_mean_most_of_the_time(self):
+        covered = 0
+        for seed in range(20):
+            rng = random.Random(seed)
+            est = BatchMeansEstimator(num_batches=10)
+            est.extend([rng.uniform(0, 2) for _ in range(2_000)])
+            mean, half = est.estimate()
+            if abs(mean - 1.0) <= half:
+                covered += 1
+        assert covered >= 16  # nominal 95%, allow slack
+
+    def test_autocorrelation_low_for_iid(self):
+        rng = random.Random(9)
+        est = BatchMeansEstimator(num_batches=25)
+        est.extend([rng.random() for _ in range(25_000)])
+        assert abs(est.lag1_autocorrelation()) < 0.4
+
+    def test_autocorrelation_high_for_trending_series(self):
+        est = BatchMeansEstimator(num_batches=10)
+        est.extend([float(i) for i in range(1000)])  # strong trend
+        assert est.lag1_autocorrelation() > 0.5
+
+    def test_validation(self):
+        with pytest.raises(StatisticsError):
+            BatchMeansEstimator(num_batches=1)
+        est = BatchMeansEstimator(num_batches=10)
+        est.extend([1.0] * 5)  # fewer observations than batches
+        with pytest.raises(StatisticsError):
+            est.batch_means()
+
+
+class TestMovingAverage:
+    def test_preserves_constant_series(self):
+        assert moving_average([2.0] * 5, window=2) == [2.0] * 5
+
+    def test_smooths_noise(self):
+        series = [0.0, 2.0, 0.0, 2.0, 0.0, 2.0]
+        smoothed = moving_average(series, window=1)
+        interior = smoothed[1:-1]
+        assert all(abs(v - 1.0) < 0.7 for v in interior)
+
+    def test_edges_use_shrinking_windows(self):
+        smoothed = moving_average([1.0, 2.0, 3.0], window=5)
+        assert smoothed[0] == 1.0  # window shrinks to 0 at the edge
+        assert smoothed[1] == 2.0
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(StatisticsError):
+            moving_average([1.0], window=-1)
+
+
+class TestWelchWarmup:
+    def make_transient_series(self, seed, length=300, transient=60):
+        rng = random.Random(seed)
+        series = []
+        for i in range(length):
+            # Exponential approach to 1.0 plus noise.
+            level = 1.0 - (1.0 - 0.2) * (0.95 ** min(i, transient) if i < transient else 0.0)
+            series.append(level + rng.gauss(0, 0.02))
+        return series
+
+    def test_detects_initial_transient(self):
+        replications = [self.make_transient_series(seed) for seed in range(8)]
+        warmup = welch_warmup(replications, window=10, tolerance=0.05)
+        assert 10 <= warmup <= 150
+
+    def test_stationary_series_needs_no_warmup(self):
+        rng = random.Random(2)
+        replications = [
+            [1.0 + rng.gauss(0, 0.001) for _ in range(200)] for _ in range(5)
+        ]
+        assert welch_warmup(replications, window=5, tolerance=0.05) == 0
+
+    def test_never_settling_series_returns_full_length(self):
+        # A pure ramp never stays near its terminal level (the mean of
+        # the second half), so the answer is the full length.
+        replications = [[float(i) for i in range(100)]]
+        assert welch_warmup(replications, window=0, tolerance=0.001) == 100
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(StatisticsError):
+            welch_warmup([])
+
+    def test_effective_warmup_applies_safety_factor(self):
+        replications = [self.make_transient_series(seed) for seed in range(5)]
+        base = welch_warmup(replications, window=10, tolerance=0.05)
+        padded = effective_warmup_for(replications, window=10, tolerance=0.05)
+        assert padded >= base
+
+    def test_bad_safety_factor_rejected(self):
+        with pytest.raises(StatisticsError):
+            effective_warmup_for([[1.0, 1.0]], safety_factor=0.5)

@@ -1,0 +1,139 @@
+"""Unit tests for replication statistics."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import StatisticsError
+from repro.metrics import (
+    ReplicationEstimator,
+    RunningStats,
+    confidence_interval,
+    jain_fairness,
+    t_quantile,
+)
+
+
+class TestRunningStats:
+    def test_mean_and_variance(self):
+        rs = RunningStats()
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]:
+            rs.push(x)
+        assert rs.mean == pytest.approx(5.0)
+        assert rs.variance == pytest.approx(32 / 7)
+        assert rs.stddev == pytest.approx(math.sqrt(32 / 7))
+
+    def test_matches_naive_computation(self):
+        rng = random.Random(8)
+        values = [rng.gauss(10, 2) for _ in range(500)]
+        rs = RunningStats()
+        for value in values:
+            rs.push(value)
+        naive_mean = sum(values) / len(values)
+        naive_var = sum((v - naive_mean) ** 2 for v in values) / (len(values) - 1)
+        assert rs.mean == pytest.approx(naive_mean)
+        assert rs.variance == pytest.approx(naive_var)
+
+    def test_errors_on_insufficient_data(self):
+        rs = RunningStats()
+        with pytest.raises(StatisticsError):
+            rs.mean
+        rs.push(1.0)
+        with pytest.raises(StatisticsError):
+            rs.variance
+
+    def test_standard_error_shrinks_with_n(self):
+        a, b = RunningStats(), RunningStats()
+        for i in range(10):
+            a.push(float(i))
+        for i in range(1000):
+            b.push(float(i % 10))
+        assert b.standard_error() < a.standard_error()
+
+
+class TestTQuantile:
+    def test_matches_known_values(self):
+        # t_{0.975, 9} = 2.262...
+        assert t_quantile(0.95, 9) == pytest.approx(2.2622, abs=1e-3)
+        # Large df converges to the normal quantile 1.96.
+        assert t_quantile(0.95, 10000) == pytest.approx(1.96, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(StatisticsError):
+            t_quantile(1.5, 9)
+        with pytest.raises(StatisticsError):
+            t_quantile(0.95, 0)
+
+
+class TestConfidenceInterval:
+    def test_known_sample(self):
+        mean, half = confidence_interval([1.0, 2.0, 3.0], confidence=0.95)
+        assert mean == pytest.approx(2.0)
+        # s = 1, se = 1/sqrt(3), t_{0.975,2} = 4.3027
+        assert half == pytest.approx(4.3027 / math.sqrt(3), abs=1e-3)
+
+    def test_single_value_rejected(self):
+        with pytest.raises(StatisticsError):
+            confidence_interval([1.0])
+
+    def test_zero_variance_gives_zero_width(self):
+        _, half = confidence_interval([5.0, 5.0, 5.0])
+        assert half == 0.0
+
+
+class TestReplicationEstimator:
+    def test_stops_when_tight(self):
+        est = ReplicationEstimator(target_half_width=0.1)
+        for value in [0.5, 0.51, 0.49, 0.5, 0.5]:
+            est.push(value)
+        assert est.satisfied(min_replications=5)
+
+    def test_keeps_going_when_noisy(self):
+        est = ReplicationEstimator(target_half_width=0.01)
+        for value in [0.1, 0.9, 0.2, 0.8]:
+            est.push(value)
+        assert not est.satisfied()
+
+    def test_respects_min_replications(self):
+        est = ReplicationEstimator(target_half_width=10.0)
+        est.push(1.0)
+        est.push(1.0)
+        assert not est.satisfied(min_replications=3)
+        est.push(1.0)
+        assert est.satisfied(min_replications=3)
+
+    def test_estimate(self):
+        est = ReplicationEstimator()
+        est.push(1.0)
+        est.push(3.0)
+        mean, half = est.estimate()
+        assert mean == 2.0
+        assert half > 0
+
+    def test_validation(self):
+        with pytest.raises(StatisticsError):
+            ReplicationEstimator(confidence=0)
+        with pytest.raises(StatisticsError):
+            ReplicationEstimator(target_half_width=0)
+
+
+class TestJainFairness:
+    def test_equal_allocation_scores_one(self):
+        assert jain_fairness([0.5, 0.5, 0.5]) == pytest.approx(1.0)
+
+    def test_single_winner_scores_one_over_n(self):
+        assert jain_fairness([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_intermediate(self):
+        value = jain_fairness([1.0, 0.5])
+        assert 0.5 < value < 1.0
+
+    def test_all_zero_is_fair(self):
+        assert jain_fairness([0.0, 0.0]) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(StatisticsError):
+            jain_fairness([])
+        with pytest.raises(StatisticsError):
+            jain_fairness([-0.1, 0.5])

@@ -1,0 +1,108 @@
+"""Property-based tests for the distribution catalogue (hypothesis)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.des import (
+    Discretized,
+    Empirical,
+    Erlang,
+    Exponential,
+    Geometric,
+    Normal,
+    Uniform,
+    UniformInt,
+    from_spec,
+)
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+@given(seeds, st.floats(min_value=0.01, max_value=100, allow_nan=False))
+def test_exponential_samples_nonnegative(seed, rate):
+    rng = random.Random(seed)
+    d = Exponential(rate)
+    assert all(v >= 0 for v in d.sample_many(rng, 20))
+
+
+@given(seeds, st.integers(min_value=-50, max_value=50), st.integers(min_value=0, max_value=100))
+def test_uniform_int_within_bounds(seed, low, span):
+    rng = random.Random(seed)
+    d = UniformInt(low, low + span)
+    for value in d.sample_many(rng, 20):
+        assert low <= value <= low + span
+        assert value == int(value)
+
+
+@given(seeds, st.floats(min_value=0.01, max_value=1.0))
+def test_geometric_support(seed, p):
+    rng = random.Random(seed)
+    d = Geometric(p)
+    for value in d.sample_many(rng, 20):
+        assert value >= 1
+        assert value == int(value)
+
+
+@given(seeds)
+def test_discretized_always_integral_and_floored(seed):
+    rng = random.Random(seed)
+    inner = Exponential(5.0)  # mean 0.2: often below the floor
+    d = Discretized(inner, floor=1)
+    for value in d.sample_many(rng, 30):
+        assert value >= 1
+        assert value == int(value)
+
+
+@given(seeds, st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False), min_size=1, max_size=30))
+def test_empirical_samples_subset_of_values(seed, values):
+    rng = random.Random(seed)
+    d = Empirical(values)
+    assert set(d.sample_many(rng, 20)) <= set(float(v) for v in values)
+
+
+@settings(max_examples=30)
+@given(
+    seeds,
+    st.sampled_from(
+        [
+            {"kind": "deterministic", "value": 2},
+            {"kind": "uniform", "low": 1, "high": 4},
+            {"kind": "uniform_int", "low": 1, "high": 9},
+            {"kind": "exponential", "rate": 0.5},
+            {"kind": "geometric", "p": 0.4},
+            {"kind": "normal", "mu": 10, "sigma": 2},
+            {"kind": "lognormal", "mu": 0.5, "sigma": 0.5},
+            {"kind": "erlang", "k": 3, "rate": 2.0},
+        ]
+    ),
+)
+def test_from_spec_samples_are_finite_nonnegative(seed, spec):
+    rng = random.Random(seed)
+    d = from_spec(spec)
+    for value in d.sample_many(rng, 10):
+        assert value >= 0
+        assert value == value  # not NaN
+        assert value != float("inf")
+
+
+@given(seeds, st.floats(min_value=0.1, max_value=50), st.floats(min_value=0, max_value=10))
+def test_normal_truncation(seed, mu, sigma):
+    rng = random.Random(seed)
+    d = Normal(mu, sigma)
+    assert all(v >= 0 for v in d.sample_many(rng, 20))
+
+
+@given(seeds, st.integers(min_value=1, max_value=10), st.floats(min_value=0.1, max_value=10))
+def test_erlang_mean_identity(seed, k, rate):
+    d = Erlang(k, rate)
+    assert abs(d.mean() - k / rate) < 1e-9
+
+
+@given(seeds, st.floats(min_value=-100, max_value=100), st.floats(min_value=0, max_value=100))
+def test_uniform_bounds_property(seed, low, span):
+    rng = random.Random(seed)
+    d = Uniform(low, low + span)
+    for value in d.sample_many(rng, 20):
+        assert low <= value <= low + span

@@ -1,0 +1,77 @@
+"""Property-based tests for the event queue (hypothesis)."""
+
+import heapq
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.des import EventQueue
+
+times = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+@given(st.lists(times, max_size=200))
+def test_pops_in_nondecreasing_time_order(values):
+    q = EventQueue()
+    for t in values:
+        q.schedule(t, payload=t)
+    popped = [q.pop().time for _ in range(len(values))]
+    assert popped == sorted(popped)
+
+
+@given(st.lists(times, max_size=200))
+def test_matches_reference_heap(values):
+    q = EventQueue()
+    reference = []
+    for i, t in enumerate(values):
+        q.schedule(t, payload=i)
+        heapq.heappush(reference, (t, i))
+    for _ in range(len(values)):
+        t, i = heapq.heappop(reference)
+        event = q.pop()
+        assert event.time == t
+        assert event.payload == i  # FIFO among equal keys matches insertion
+
+
+@given(
+    st.lists(
+        st.tuples(times, st.booleans()),
+        max_size=150,
+    )
+)
+def test_cancellation_never_leaks(entries):
+    q = EventQueue()
+    live = []
+    for t, cancel in entries:
+        event = q.schedule(t, payload=t)
+        if cancel:
+            q.cancel(event)
+        else:
+            live.append(t)
+    assert len(q) == len(live)
+    popped = [q.pop().time for _ in range(len(live))]
+    assert popped == sorted(live)
+
+
+@settings(max_examples=50)
+@given(st.lists(st.sampled_from(["push", "pop", "cancel"]), max_size=300))
+def test_random_operation_sequences_keep_len_consistent(ops):
+    q = EventQueue()
+    handles = []
+    expected = 0
+    t = 0.0
+    for op in ops:
+        if op == "push":
+            handles.append(q.schedule(t, payload=t))
+            expected += 1
+            t += 1.0
+        elif op == "pop" and expected:
+            q.pop()
+            expected -= 1
+            handles = [h for h in handles if not h.cancelled]
+        elif op == "cancel" and handles:
+            handle = handles.pop()
+            if not handle.cancelled and handle.sequence >= 0:
+                q.cancel(handle)
+                expected -= 1
+    assert len(q) == max(0, expected)

@@ -1,0 +1,54 @@
+"""Property-based tests for SAN places and sharing (hypothesis)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.san import ExtendedPlace, Place, share
+
+
+@given(st.lists(st.integers(min_value=-5, max_value=5), max_size=100))
+def test_marking_never_negative(deltas):
+    p = Place("p", initial=0)
+    expected = 0
+    for delta in deltas:
+        try:
+            if delta >= 0:
+                p.add(delta)
+                expected += delta
+            else:
+                p.remove(-delta)
+                expected += delta
+        except SimulationError:
+            assert expected + delta < 0  # only rejected when it would go < 0
+        else:
+            assert p.tokens == expected
+            assert p.tokens >= 0
+        expected = p.tokens
+
+
+@given(st.integers(min_value=0, max_value=1000), st.lists(st.integers(min_value=0, max_value=10), max_size=50))
+def test_reset_always_restores_initial(initial, adds):
+    p = Place("p", initial=initial)
+    for n in adds:
+        p.add(n)
+    p.reset()
+    assert p.tokens == initial
+
+
+@given(st.integers(min_value=2, max_value=10), st.lists(st.integers(min_value=0, max_value=5), max_size=50))
+def test_shared_places_always_agree(group_size, adds):
+    places = [Place(f"p{i}", initial=0) for i in range(group_size)]
+    share(places)
+    for i, n in enumerate(adds):
+        places[i % group_size].add(n)
+    assert len({p.tokens for p in places}) == 1
+    assert places[0].tokens == sum(adds)
+
+
+@given(st.dictionaries(st.text(min_size=1, max_size=5), st.integers(), max_size=5))
+def test_extended_place_reset_is_deep(initial):
+    place = ExtendedPlace("slot", dict(initial))
+    place.value["__mutated__"] = 1
+    place.reset()
+    assert place.value == initial

@@ -1,0 +1,123 @@
+"""Property-based tests for scheduling algorithms (hypothesis).
+
+Random topologies, PCPU counts, timeslices, and load patterns are
+thrown at every algorithm through the harness; the harness itself
+enforces the hard invariants (no over-commitment, no double
+assignment, valid timeslices) by raising, so surviving the run *is*
+the property.  On top of that we assert work conservation and
+non-starvation where each algorithm guarantees them.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schedulers import (
+    BalanceScheduler,
+    CreditScheduler,
+    FifoScheduler,
+    RelaxedCoScheduler,
+    RoundRobinScheduler,
+    SchedulerHarness,
+    StrictCoScheduler,
+)
+
+topologies = st.lists(st.integers(min_value=1, max_value=3), min_size=1, max_size=4)
+pcpu_counts = st.integers(min_value=1, max_value=5)
+timeslices = st.integers(min_value=1, max_value=12)
+
+ALGORITHMS = [
+    lambda ts: RoundRobinScheduler(timeslice=ts),
+    lambda ts: StrictCoScheduler(timeslice=ts),
+    lambda ts: RelaxedCoScheduler(timeslice=max(ts, 3), skew_threshold=2 * max(ts, 3),
+                                  relax_threshold=max(ts, 3)),
+    lambda ts: BalanceScheduler(timeslice=ts),
+    lambda ts: CreditScheduler(timeslice=ts),
+    lambda ts: FifoScheduler(timeslice=ts),
+]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=len(ALGORITHMS) - 1),
+    topologies,
+    pcpu_counts,
+    timeslices,
+)
+def test_no_invalid_decision_under_saturation(algo_index, topology, pcpus, timeslice):
+    algo = ALGORITHMS[algo_index](timeslice)
+    harness = SchedulerHarness(algo, topology, pcpus)
+    harness.run(120)  # harness raises SchedulingError on any violation
+    assert 0.0 <= harness.pcpu_utilization() <= 1.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(topologies, pcpu_counts, timeslices)
+def test_rrs_work_conservation(topology, pcpus, timeslice):
+    # Round-robin never leaves a PCPU idle while someone waits.
+    harness = SchedulerHarness(RoundRobinScheduler(timeslice=timeslice), topology, pcpus)
+    harness.run(100)
+    total_vcpus = sum(topology)
+    expected = min(1.0, total_vcpus / pcpus)
+    assert harness.pcpu_utilization() >= expected - 0.05
+
+
+@settings(max_examples=25, deadline=None)
+@given(topologies, pcpu_counts, timeslices)
+def test_rrs_no_starvation(topology, pcpus, timeslice):
+    harness = SchedulerHarness(RoundRobinScheduler(timeslice=timeslice), topology, pcpus)
+    harness.run(60 * timeslice)
+    for vcpu_id in range(sum(topology)):
+        assert harness.active_time[vcpu_id] > 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(topologies, pcpu_counts, timeslices)
+def test_scs_gang_atomicity(topology, pcpus, timeslice):
+    algo = StrictCoScheduler(timeslice=timeslice)
+    harness = SchedulerHarness(algo, topology, pcpus)
+    harness.saturate()
+    vm_of = {v.vcpu_id: v.vm_id for v in harness.views}
+    sizes = {}
+    for v in harness.views:
+        sizes[v.vm_id] = sizes.get(v.vm_id, 0) + 1
+    for _ in range(80):
+        harness.tick()
+        active_by_vm = {}
+        for vcpu_id in harness.active_ids():
+            vm = vm_of[vcpu_id]
+            active_by_vm[vm] = active_by_vm.get(vm, 0) + 1
+        for vm, count in active_by_vm.items():
+            assert count == sizes[vm], "a gang ran partially"
+
+
+@settings(max_examples=25, deadline=None)
+@given(topologies, pcpu_counts)
+def test_balance_anti_stacking_when_possible(topology, pcpus):
+    harness = SchedulerHarness(BalanceScheduler(timeslice=7), topology, pcpus)
+    harness.saturate()
+    for _ in range(80):
+        harness.tick()
+        assignment = harness.assignment()
+        by_vm = {}
+        for v in harness.views:
+            if v.vcpu_id in assignment:
+                by_vm.setdefault(v.vm_id, []).append(assignment[v.vcpu_id])
+        for vm_id, pcpu_list in by_vm.items():
+            vm_size = sum(1 for v in harness.views if v.vm_id == vm_id)
+            if vm_size <= pcpus:
+                assert len(set(pcpu_list)) == len(pcpu_list), "siblings stacked"
+
+
+@settings(max_examples=20, deadline=None)
+@given(topologies, pcpu_counts, timeslices)
+def test_credit_equal_weights_roughly_fair(topology, pcpus, timeslice):
+    harness = SchedulerHarness(CreditScheduler(timeslice=timeslice), topology, pcpus)
+    cycles = 50
+    harness.run(cycles * timeslice * max(1, sum(topology)))
+    total = sum(topology)
+    if total <= pcpus:
+        return  # everyone runs constantly; fairness is trivial
+    shares = [harness.availability(i) for i in range(total)]
+    expected = pcpus / total
+    for share in shares:
+        assert abs(share - expected) < 0.15

@@ -1,0 +1,64 @@
+"""Property-based tests for the statistics module (hypothesis)."""
+
+import math
+
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro.metrics import RunningStats, confidence_interval, jain_fairness
+
+floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+@given(st.lists(floats, min_size=1, max_size=200))
+def test_running_mean_matches_naive(values):
+    rs = RunningStats()
+    for value in values:
+        rs.push(value)
+    assert math.isclose(rs.mean, sum(values) / len(values), rel_tol=1e-9, abs_tol=1e-6)
+
+
+@given(st.lists(floats, min_size=2, max_size=200))
+def test_running_variance_nonnegative_and_matches_naive(values):
+    rs = RunningStats()
+    for value in values:
+        rs.push(value)
+    assert rs.variance >= -1e-9
+    mean = sum(values) / len(values)
+    naive = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+    assert math.isclose(rs.variance, naive, rel_tol=1e-6, abs_tol=1e-6)
+
+
+@given(st.lists(floats, min_size=2, max_size=100))
+def test_ci_contains_mean_and_is_symmetric(values):
+    mean, half = confidence_interval(values)
+    assert half >= 0
+    assert math.isclose(mean, sum(values) / len(values), rel_tol=1e-9, abs_tol=1e-6)
+
+
+@given(st.lists(floats, min_size=2, max_size=100), st.floats(min_value=0.5, max_value=0.999))
+def test_ci_width_grows_with_confidence(values, confidence):
+    assume(len(set(values)) > 1)
+    _, narrow = confidence_interval(values, confidence=0.5)
+    _, wide = confidence_interval(values, confidence=confidence)
+    assert wide >= narrow - 1e-12
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False), min_size=1, max_size=100))
+def test_jain_index_in_unit_interval(values):
+    index = jain_fairness(values)
+    assert 1.0 / len(values) - 1e-9 <= index <= 1.0 + 1e-9
+
+
+@given(st.floats(min_value=0.001, max_value=1e6), st.integers(min_value=1, max_value=50))
+def test_jain_index_of_equal_allocations_is_one(value, n):
+    assert math.isclose(jain_fairness([value] * n), 1.0, rel_tol=1e-12)
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False), min_size=1, max_size=50),
+       st.floats(min_value=0.001, max_value=1000))
+def test_jain_index_scale_invariant(values, scale):
+    assume(sum(values) > 0)
+    a = jain_fairness(values)
+    b = jain_fairness([v * scale for v in values])
+    assert math.isclose(a, b, rel_tol=1e-9)

@@ -1,0 +1,89 @@
+"""Property-based tests over random whole-system configurations.
+
+Hypothesis draws random topologies, PCPU counts, schedulers, sync
+ratios, dispatch policies, and (sometimes) failure processes; every
+drawn system must simulate without errors and satisfy the global
+invariants — conservation of PCPUs, supply-limited availability,
+metric ranges, and the per-VM ready-counter consistency checked by the
+integration helper.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import SystemSpec, VMSpec, WorkloadSpec, build_system, simulate_once
+from repro.des import StreamFactory
+from repro.san import SANSimulator
+
+from ..integration.test_invariants import check_invariants
+
+schedulers = st.sampled_from(["rrs", "scs", "rcs", "balance", "credit", "fifo", "hybrid"])
+topologies = st.lists(st.integers(min_value=1, max_value=3), min_size=1, max_size=3)
+pcpu_counts = st.integers(min_value=1, max_value=4)
+sync_ratios = st.one_of(st.none(), st.integers(min_value=1, max_value=6))
+dispatches = st.sampled_from(["round_robin", "first_ready", "random"])
+
+
+def make_spec(topology, pcpus, scheduler, sync_ratio, dispatch, failures=None):
+    return SystemSpec(
+        vms=[
+            VMSpec(n, WorkloadSpec(sync_ratio=sync_ratio), dispatch=dispatch)
+            for n in topology
+        ],
+        pcpus=pcpus,
+        scheduler=scheduler,
+        sim_time=250,
+        warmup=50,
+        pcpu_failures=failures,
+    )
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(topologies, pcpu_counts, schedulers, sync_ratios, dispatches,
+       st.integers(min_value=0, max_value=5))
+def test_random_systems_simulate_with_sane_metrics(
+    topology, pcpus, scheduler, sync_ratio, dispatch, replication
+):
+    spec = make_spec(topology, pcpus, scheduler, sync_ratio, dispatch)
+    result = simulate_once(spec, replication=replication)
+    for name, value in result.metrics.items():
+        assert 0.0 <= value <= 1.0, f"{name}={value}"
+    # Work conservation cap: total availability cannot exceed supply.
+    total_availability = sum(
+        value
+        for name, value in result.metrics.items()
+        if name.startswith("vcpu_availability[")
+    )
+    assert total_availability <= min(sum(topology), pcpus) + 0.02
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(topologies, pcpu_counts, schedulers, sync_ratios,
+       st.integers(min_value=0, max_value=3))
+def test_random_systems_hold_structural_invariants(
+    topology, pcpus, scheduler, sync_ratio, replication
+):
+    spec = make_spec(topology, pcpus, scheduler, sync_ratio, "round_robin")
+    system = build_system(spec, replication=replication, root_seed=13)
+    sim = SANSimulator(system, StreamFactory(13, replication))
+    for stop in range(25, 201, 25):
+        sim.run(until=stop + 0.5)
+        check_invariants(system)
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(topologies, pcpu_counts, schedulers,
+       st.floats(min_value=50, max_value=400),
+       st.floats(min_value=10, max_value=100))
+def test_random_failure_processes_keep_invariants(
+    topology, pcpus, scheduler, mtbf, mttr
+):
+    spec = make_spec(
+        topology, pcpus, scheduler, 5, "round_robin",
+        failures={"mtbf": mtbf, "mttr": mttr},
+    )
+    system = build_system(spec, replication=0, root_seed=29)
+    sim = SANSimulator(system, StreamFactory(29, 0))
+    for stop in range(25, 201, 25):
+        sim.run(until=stop + 0.5)
+        check_invariants(system)

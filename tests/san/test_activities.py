@@ -1,0 +1,158 @@
+"""Unit tests for timed/instantaneous activities and cases."""
+
+import random
+
+import pytest
+
+from repro.des import Deterministic, Exponential
+from repro.errors import ModelError
+from repro.san import (
+    Case,
+    InputGate,
+    InstantaneousActivity,
+    OutputGate,
+    Place,
+    TimedActivity,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(4)
+
+
+class TestEnabling:
+    def test_no_gates_never_enabled(self):
+        activity = InstantaneousActivity("a")
+        assert not activity.enabled()
+
+    def test_all_gates_must_hold(self):
+        p, q = Place("p", 1), Place("q", 0)
+        activity = InstantaneousActivity(
+            "a",
+            input_gates=[
+                InputGate("gp", lambda: p.tokens > 0),
+                InputGate("gq", lambda: q.tokens > 0),
+            ],
+        )
+        assert not activity.enabled()
+        q.add()
+        assert activity.enabled()
+
+
+class TestCompletion:
+    def test_input_then_output_order(self, rng):
+        order = []
+        activity = InstantaneousActivity(
+            "a",
+            input_gates=[InputGate("in", lambda: True, lambda: order.append("in"))],
+            output_gates=[OutputGate("out", lambda: order.append("out"))],
+        )
+        activity.complete(rng)
+        assert order == ["in", "out"]
+
+    def test_output_gates_fire_in_attachment_order(self, rng):
+        order = []
+        activity = InstantaneousActivity(
+            "a",
+            input_gates=[InputGate("in", lambda: True)],
+            output_gates=[
+                OutputGate("g1", lambda: order.append(1)),
+                OutputGate("g2", lambda: order.append(2)),
+                OutputGate("g3", lambda: order.append(3)),
+            ],
+        )
+        activity.complete(rng)
+        assert order == [1, 2, 3]
+
+    def test_add_output_gate_appends(self, rng):
+        order = []
+        activity = InstantaneousActivity(
+            "a",
+            input_gates=[InputGate("in", lambda: True)],
+            output_gates=[OutputGate("g1", lambda: order.append(1))],
+        )
+        activity.add_output_gate(OutputGate("g2", lambda: order.append(2)))
+        activity.complete(rng)
+        assert order == [1, 2]
+
+
+class TestCases:
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(ModelError):
+            InstantaneousActivity(
+                "a",
+                cases=[Case(0.5, []), Case(0.3, [])],
+            )
+
+    def test_cases_and_output_gates_mutually_exclusive(self):
+        with pytest.raises(ModelError):
+            InstantaneousActivity(
+                "a",
+                output_gates=[OutputGate("g", lambda: None)],
+                cases=[Case(1.0, [])],
+            )
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(ModelError):
+            Case(-0.1, [])
+
+    def test_case_selection_follows_probabilities(self, rng):
+        hits = {"left": 0, "right": 0}
+        activity = InstantaneousActivity(
+            "a",
+            input_gates=[InputGate("in", lambda: True)],
+            cases=[
+                Case(0.25, [OutputGate("l", lambda: hits.__setitem__("left", hits["left"] + 1))]),
+                Case(0.75, [OutputGate("r", lambda: hits.__setitem__("right", hits["right"] + 1))]),
+            ],
+        )
+        for _ in range(2000):
+            activity.complete(rng)
+        ratio = hits["right"] / 2000
+        assert 0.70 < ratio < 0.80
+
+    def test_single_case_skips_randomness(self):
+        # With one case the selection must not consume random numbers, so
+        # adding cases elsewhere cannot perturb this activity's stream.
+        activity = InstantaneousActivity(
+            "a", input_gates=[InputGate("in", lambda: True)]
+        )
+
+        class ExplodingRng:
+            def random(self):
+                raise AssertionError("should not be called")
+
+        activity.complete(ExplodingRng())
+
+
+class TestTimedActivity:
+    def test_sample_delay(self, rng):
+        activity = TimedActivity(
+            "t", Deterministic(2.5), input_gates=[InputGate("g", lambda: True)]
+        )
+        assert activity.sample_delay(rng) == 2.5
+
+    def test_random_delay_uses_distribution(self, rng):
+        activity = TimedActivity(
+            "t", Exponential(1.0), input_gates=[InputGate("g", lambda: True)]
+        )
+        delays = [activity.sample_delay(rng) for _ in range(100)]
+        assert all(d >= 0 for d in delays)
+        assert len(set(delays)) > 1
+
+    def test_requires_distribution(self):
+        with pytest.raises(ModelError):
+            TimedActivity("t", distribution=2.0)
+
+    def test_qualified_name_defaults_to_name(self):
+        assert TimedActivity("t", Deterministic(1)).qualified_name == "t"
+
+
+class TestInstantaneousActivity:
+    def test_priority_stored(self):
+        assert InstantaneousActivity("a", priority=7).priority == 7
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ModelError):
+            InstantaneousActivity("")

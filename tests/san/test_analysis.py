@@ -1,0 +1,205 @@
+"""Tests for reachability and deadlock analysis."""
+
+import pytest
+
+from repro.des import Deterministic, Exponential, Uniform
+from repro.errors import ModelError
+from repro.san import (
+    InputGate,
+    InstantaneousActivity,
+    OutputGate,
+    Place,
+    ReachabilityAnalyzer,
+    SANModel,
+    TimedActivity,
+)
+
+
+def cyclic_model():
+    """Token bounces between two places forever (no deadlock)."""
+    m = SANModel("cycle")
+    left = m.add_place(Place("left", initial=1))
+    right = m.add_place(Place("right"))
+    m.add_activity(
+        TimedActivity(
+            "lr",
+            Uniform(1, 2),  # reachability accepts any distribution
+            input_gates=[InputGate("l", lambda: left.tokens > 0, left.remove)],
+            output_gates=[OutputGate("to_r", right.add)],
+        )
+    )
+    m.add_activity(
+        TimedActivity(
+            "rl",
+            Deterministic(1),
+            input_gates=[InputGate("r", lambda: right.tokens > 0, right.remove)],
+            output_gates=[OutputGate("to_l", left.add)],
+        )
+    )
+    return m, left, right
+
+
+def draining_model(fuel=3):
+    """Consumes fuel tokens one by one, then quiesces (deadlock)."""
+    m = SANModel("drain")
+    tank = m.add_place(Place("fuel", initial=fuel))
+    burned = m.add_place(Place("burned"))
+    m.add_activity(
+        TimedActivity(
+            "burn",
+            Exponential(1.0),
+            input_gates=[InputGate("has", lambda: tank.tokens > 0, tank.remove)],
+            output_gates=[OutputGate("b", burned.add)],
+        )
+    )
+    return m, tank, burned
+
+
+class TestExploration:
+    def test_counts_reachable_states(self):
+        model, _, _ = cyclic_model()
+        analyzer = ReachabilityAnalyzer(model)
+        assert analyzer.explore() == 2
+
+    def test_accepts_non_exponential_distributions(self):
+        model, _, _ = cyclic_model()  # uses Uniform and Deterministic
+        ReachabilityAnalyzer(model).explore()
+
+    def test_state_cap(self):
+        model, _, _ = draining_model(fuel=100)
+        with pytest.raises(ModelError, match="max_states"):
+            ReachabilityAnalyzer(model, max_states=5).explore()
+
+    def test_model_restored_after_exploration(self):
+        model, left, right = cyclic_model()
+        ReachabilityAnalyzer(model).explore()
+        assert left.tokens == 1
+        assert right.tokens == 0
+
+
+class TestDeadlocks:
+    def test_cyclic_model_has_none(self):
+        model, _, _ = cyclic_model()
+        analyzer = ReachabilityAnalyzer(model)
+        analyzer.explore()
+        assert not analyzer.has_deadlock()
+        assert analyzer.deadlocks() == []
+
+    def test_draining_model_deadlocks_once(self):
+        model, _, _ = draining_model(fuel=3)
+        analyzer = ReachabilityAnalyzer(model)
+        assert analyzer.explore() == 4  # fuel = 3, 2, 1, 0
+        assert analyzer.has_deadlock()
+        (deadlock,) = analyzer.deadlocks()
+        assert deadlock["fuel"] == 0
+        assert deadlock["burned"] == 3
+
+    def test_query_before_explore_rejected(self):
+        model, _, _ = cyclic_model()
+        with pytest.raises(ModelError, match="explore"):
+            ReachabilityAnalyzer(model).has_deadlock()
+
+
+class TestInvariants:
+    def test_conservation_invariant_holds(self):
+        model, left, right = cyclic_model()
+        analyzer = ReachabilityAnalyzer(model)
+        analyzer.explore()
+        violations = analyzer.check_invariant(
+            lambda: left.tokens + right.tokens == 1
+        )
+        assert violations == []
+
+    def test_violations_are_reported_with_snapshots(self):
+        model, tank, burned = draining_model(fuel=2)
+        analyzer = ReachabilityAnalyzer(model)
+        analyzer.explore()
+        violations = analyzer.check_invariant(lambda: tank.tokens > 0)
+        assert len(violations) == 1
+        assert violations[0]["fuel"] == 0
+
+
+class TestOnTheVirtualizationModel:
+    def test_single_vcpu_system_never_deadlocks(self):
+        # A tiny end-to-end structural check: one 1-VCPU VM, one PCPU,
+        # deterministic loads.  The Clock is always enabled, so no
+        # reachable settled marking can be a deadlock; and the ready
+        # counter invariant must hold in *every* reachable state.
+        from repro.des import StreamFactory
+        from repro.schedulers import RoundRobinScheduler, VCPUStatus
+        from repro.vmm import build_virtual_system
+        from repro.workloads import NoSync, WorkloadModel
+
+        system = build_virtual_system(
+            [(1, WorkloadModel(Deterministic(2), NoSync()))],
+            RoundRobinScheduler(timeslice=3),
+            1,
+            StreamFactory(0),
+        )
+        # Project out the unbounded counters (the behavioural state is
+        # finite; these grow forever).
+        unbounded = ("Timestamp", "Num_Generated", "Last_Scheduled_In", "Spin_ticks")
+        analyzer = ReachabilityAnalyzer(
+            system,
+            max_states=5000,
+            ignore_place=lambda name: any(name.endswith(s) for s in unbounded),
+        )
+        count = analyzer.explore()
+        assert count > 1
+        assert not analyzer.has_deadlock()
+
+        slot = system.place("VCPU_Scheduler.VCPU1_slot")
+        ready = system.place("VM_1VCPU_1.Num_VCPUs_ready")
+        violations = analyzer.check_invariant(
+            lambda: ready.tokens
+            == (1 if slot.value["status"] == VCPUStatus.READY else 0)
+        )
+        assert violations == []
+
+
+class TestIgnorePlaces:
+    def counter_model(self):
+        """A bounded toggle plus an unbounded tick counter."""
+        m = SANModel("counted")
+        on = m.add_place(Place("on"))
+        count = m.add_place(Place("count"))
+
+        def toggle_on():
+            on.add()
+            count.add()
+
+        def toggle_off():
+            on.remove()
+            count.add()
+
+        m.add_activity(
+            TimedActivity(
+                "up",
+                Exponential(1.0),
+                input_gates=[InputGate("off", lambda: on.tokens == 0)],
+                output_gates=[OutputGate("ou", toggle_on)],
+            )
+        )
+        m.add_activity(
+            TimedActivity(
+                "down",
+                Exponential(1.0),
+                input_gates=[InputGate("onn", lambda: on.tokens == 1)],
+                output_gates=[OutputGate("od", toggle_off)],
+            )
+        )
+        return m
+
+    def test_unbounded_counter_explodes_without_projection(self):
+        analyzer = ReachabilityAnalyzer(self.counter_model(), max_states=50)
+        with pytest.raises(ModelError, match="max_states"):
+            analyzer.explore()
+
+    def test_projection_restores_finiteness(self):
+        analyzer = ReachabilityAnalyzer(
+            self.counter_model(),
+            max_states=50,
+            ignore_place=lambda name: name == "count",
+        )
+        assert analyzer.explore() == 2
+        assert not analyzer.has_deadlock()

@@ -1,0 +1,84 @@
+"""Tests for the Graphviz DOT export."""
+
+import random
+
+from repro.des import Deterministic
+from repro.san import (
+    InputGate,
+    InstantaneousActivity,
+    OutputGate,
+    Place,
+    SANModel,
+    TimedActivity,
+    save_dot,
+    to_dot,
+)
+from repro.vmm import build_vm_model
+from repro.workloads import WorkloadModel
+
+
+def small_model():
+    m = SANModel("demo")
+    src = m.add_place(Place("src", 1))
+    dst = m.add_place(Place("dst"))
+    m.add_activity(
+        TimedActivity(
+            "move",
+            Deterministic(1),
+            input_gates=[InputGate("has", lambda: src.tokens > 0, src.remove)],
+            output_gates=[OutputGate("put", dst.add)],
+        )
+    )
+    m.add_activity(
+        InstantaneousActivity(
+            "noop", priority=3, input_gates=[InputGate("never", lambda: False)]
+        )
+    )
+    return m
+
+
+class TestToDot:
+    def test_structure_is_valid_dot(self):
+        text = to_dot(small_model(), title="Demo")
+        assert text.startswith("digraph san {")
+        assert text.endswith("}")
+        assert text.count("{") == text.count("}")
+
+    def test_places_rendered_with_shapes(self):
+        text = to_dot(small_model())
+        assert '"p:src" [shape=circle' in text
+        assert '"p:dst" [shape=circle' in text
+
+    def test_activities_and_gates(self):
+        text = to_dot(small_model())
+        assert '"a:demo.move"' in text
+        assert "Deterministic(1.0)" in text
+        assert "prio=3" in text
+        assert '"g:demo.move:has"' in text  # input gate triangle
+        assert '-> "a:demo.move"' in text
+        assert '"a:demo.move" ->' in text  # output gate edge
+
+    def test_title(self):
+        assert 'label="Hello"' in to_dot(small_model(), title="Hello")
+
+    def test_composed_model_lists_join_places(self):
+        vm = build_vm_model("VM_2VCPU_1", 2, WorkloadModel(), random.Random(0))
+        text = to_dot(vm)
+        assert "Join places" in text
+        assert "Workload_Generator->Blocked" in text
+
+    def test_shared_aliases_deduplicated(self):
+        vm = build_vm_model("VM_2VCPU_1", 2, WorkloadModel(), random.Random(0))
+        text = to_dot(vm)
+        # The shared Blocked place renders as ONE node even though it has
+        # several qualified aliases.
+        blocked_nodes = [
+            line for line in text.splitlines()
+            if line.strip().startswith('"p:') and "Blocked" in line
+        ]
+        assert len(blocked_nodes) == 1
+
+    def test_save_dot(self, tmp_path):
+        path = tmp_path / "model.dot"
+        save_dot(small_model(), str(path))
+        assert path.read_text().startswith("digraph")

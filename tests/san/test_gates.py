@@ -1,0 +1,87 @@
+"""Unit tests for input and output gates."""
+
+import pytest
+
+from repro.errors import ModelError, SimulationError
+from repro.san import InputGate, OutputGate, Place
+
+
+class TestInputGate:
+    def test_predicate_evaluation(self):
+        p = Place("p")
+        gate = InputGate("g", lambda: p.tokens > 0)
+        assert not gate.holds()
+        p.add()
+        assert gate.holds()
+
+    def test_default_function_is_noop(self):
+        gate = InputGate("g", lambda: True)
+        gate.fire()  # must not raise
+
+    def test_function_runs_on_fire(self):
+        p = Place("p", 2)
+        gate = InputGate("g", lambda: p.tokens > 0, p.remove)
+        gate.fire()
+        assert p.tokens == 1
+
+    def test_predicate_exception_wrapped(self):
+        gate = InputGate("boom", lambda: 1 / 0)
+        with pytest.raises(SimulationError, match="boom"):
+            gate.holds()
+
+    def test_function_exception_wrapped(self):
+        def explode():
+            raise RuntimeError("kaput")
+
+        gate = InputGate("boom", lambda: True, explode)
+        with pytest.raises(SimulationError, match="boom"):
+            gate.fire()
+
+    def test_truthy_predicate_coerced_to_bool(self):
+        p = Place("p", 3)
+        gate = InputGate("g", lambda: p.tokens)  # returns int
+        assert gate.holds() is True
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ModelError):
+            InputGate("", lambda: True)
+
+    def test_non_callable_predicate_rejected(self):
+        with pytest.raises(ModelError):
+            InputGate("g", True)
+
+
+class TestOutputGate:
+    def test_function_runs_on_fire(self):
+        p = Place("p")
+        OutputGate("g", p.add).fire()
+        assert p.tokens == 1
+
+    def test_exception_wrapped_with_name(self):
+        def explode():
+            raise ValueError("nope")
+
+        with pytest.raises(SimulationError, match="broken_gate"):
+            OutputGate("broken_gate", explode).fire()
+
+    def test_simulation_error_passes_through_unwrapped(self):
+        # A gate that violates a marking invariant raises SimulationError
+        # directly; it must not be double-wrapped.
+        p = Place("p")
+
+        def bad():
+            p.remove()  # below zero
+
+        with pytest.raises(SimulationError):
+            OutputGate("g", bad).fire()
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ModelError):
+            OutputGate("", lambda: None)
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(ModelError):
+            OutputGate("g", 42)
+
+    def test_repr_contains_name(self):
+        assert "deposit" in repr(OutputGate("deposit", lambda: None))

@@ -1,0 +1,105 @@
+"""Unit tests for atomic SAN models."""
+
+import pytest
+
+from repro.des import Deterministic
+from repro.errors import ModelError
+from repro.san import (
+    ExtendedPlace,
+    InputGate,
+    InstantaneousActivity,
+    Place,
+    SANModel,
+    TimedActivity,
+)
+
+
+def test_add_and_lookup_place():
+    m = SANModel("m")
+    p = m.add_place(Place("p", 1))
+    assert m.place("p") is p
+
+
+def test_duplicate_place_rejected():
+    m = SANModel("m")
+    m.add_place(Place("p"))
+    with pytest.raises(ModelError):
+        m.add_place(Place("p"))
+
+
+def test_add_places_bulk():
+    m = SANModel("m")
+    m.add_places([Place("a"), Place("b"), ExtendedPlace("c", None)])
+    assert set(m.places()) == {"a", "b", "c"}
+
+
+def test_unknown_place_lookup_mentions_known_names():
+    m = SANModel("m")
+    m.add_place(Place("known"))
+    with pytest.raises(ModelError, match="known"):
+        m.place("unknown")
+
+
+def test_activity_qualified_name():
+    m = SANModel("vm")
+    a = m.add_activity(InstantaneousActivity("go"))
+    assert a.qualified_name == "vm.go"
+
+
+def test_duplicate_activity_rejected():
+    m = SANModel("m")
+    m.add_activity(InstantaneousActivity("a"))
+    with pytest.raises(ModelError):
+        m.add_activity(InstantaneousActivity("a"))
+
+
+def test_activities_in_registration_order():
+    m = SANModel("m")
+    names = ["z", "a", "k"]
+    for name in names:
+        m.add_activity(InstantaneousActivity(name))
+    assert [a.name for a in m.activities()] == names
+
+
+def test_timed_and_instantaneous_partition():
+    m = SANModel("m")
+    m.add_activity(
+        TimedActivity("clock", Deterministic(1), input_gates=[InputGate("g", lambda: True)])
+    )
+    m.add_activity(InstantaneousActivity("now"))
+    assert [a.name for a in m.timed_activities()] == ["clock"]
+    assert [a.name for a in m.instantaneous_activities()] == ["now"]
+
+
+def test_reset_restores_all_places():
+    m = SANModel("m")
+    p = m.add_place(Place("p", 1))
+    slot = m.add_place(ExtendedPlace("slot", {"n": 0}))
+    p.add(4)
+    slot.value["n"] = 9
+    m.reset()
+    assert p.tokens == 1
+    assert slot.value == {"n": 0}
+
+
+def test_marking_view():
+    m = SANModel("m")
+    m.add_place(Place("p", 2))
+    assert m.marking()["p"] == 2
+
+
+def test_dotted_model_name_rejected():
+    with pytest.raises(ModelError):
+        SANModel("a.b")
+
+
+def test_empty_model_name_rejected():
+    with pytest.raises(ModelError):
+        SANModel("")
+
+
+def test_repr_mentions_counts():
+    m = SANModel("demo")
+    m.add_place(Place("p"))
+    assert "demo" in repr(m)
+    assert "places=1" in repr(m)

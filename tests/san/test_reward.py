@@ -1,0 +1,142 @@
+"""Unit tests for reward variables (rate, ratio, impulse)."""
+
+import pytest
+
+from repro.errors import ModelError, StatisticsError
+from repro.san import ImpulseReward, RateReward, RatioRateReward
+
+
+class TestRateReward:
+    def test_integrates_rate_times_dt(self):
+        level = {"x": 2.0}
+        reward = RateReward("r", lambda: level["x"])
+        reward.observe(0.0, 3.0)
+        level["x"] = 4.0
+        reward.observe(3.0, 5.0)
+        assert reward.integral == pytest.approx(2 * 3 + 4 * 2)
+        assert reward.time_average() == pytest.approx(14 / 5)
+
+    def test_warmup_clips_interval(self):
+        reward = RateReward("r", lambda: 1.0, warmup=2.0)
+        reward.observe(0.0, 1.0)  # entirely inside warmup
+        assert reward.integral == 0.0
+        reward.observe(1.0, 4.0)  # straddles the boundary: only [2, 4)
+        assert reward.integral == pytest.approx(2.0)
+        assert reward.observed_time == pytest.approx(2.0)
+
+    def test_zero_or_negative_interval_ignored(self):
+        reward = RateReward("r", lambda: 1.0)
+        reward.observe(3.0, 3.0)
+        assert reward.integral == 0.0
+
+    def test_time_average_without_observation_raises(self):
+        reward = RateReward("r", lambda: 1.0)
+        with pytest.raises(StatisticsError):
+            reward.time_average()
+
+    def test_result_is_time_average(self):
+        reward = RateReward("r", lambda: 0.5)
+        reward.observe(0, 10)
+        assert reward.result() == pytest.approx(0.5)
+
+    def test_reset(self):
+        reward = RateReward("r", lambda: 1.0)
+        reward.observe(0, 5)
+        reward.reset()
+        assert reward.integral == 0.0
+        assert reward.observed_time == 0.0
+
+    def test_negative_warmup_rejected(self):
+        with pytest.raises(ModelError):
+            RateReward("r", lambda: 1.0, warmup=-1)
+
+    def test_non_callable_rate_rejected(self):
+        with pytest.raises(ModelError):
+            RateReward("r", 3.0)
+
+
+class TestRatioRateReward:
+    def test_ratio_of_integrals(self):
+        state = {"busy": 1.0, "active": 1.0}
+        reward = RatioRateReward("u", lambda: state["busy"], lambda: state["active"])
+        reward.observe(0, 4)  # busy 4, active 4
+        state["busy"] = 0.0
+        reward.observe(4, 8)  # busy 0, active 4
+        assert reward.ratio() == pytest.approx(0.5)
+        assert reward.result() == pytest.approx(0.5)
+
+    def test_zero_denominator_reports_zero(self):
+        reward = RatioRateReward("u", lambda: 0.0, lambda: 0.0)
+        reward.observe(0, 10)
+        assert reward.result() == 0.0
+
+    def test_warmup_applies_to_both_integrals(self):
+        state = {"busy": 1.0}
+        reward = RatioRateReward(
+            "u", lambda: state["busy"], lambda: 1.0, warmup=5.0
+        )
+        reward.observe(0, 5)  # discarded
+        state["busy"] = 0.25
+        reward.observe(5, 9)
+        assert reward.ratio() == pytest.approx(0.25)
+        assert reward.denominator_integral == pytest.approx(4.0)
+
+    def test_reset_clears_denominator(self):
+        reward = RatioRateReward("u", lambda: 1.0, lambda: 1.0)
+        reward.observe(0, 2)
+        reward.reset()
+        assert reward.denominator_integral == 0.0
+        assert reward.result() == 0.0
+
+    def test_non_callable_denominator_rejected(self):
+        with pytest.raises(ModelError):
+            RatioRateReward("u", lambda: 1.0, 2.0)
+
+
+class TestImpulseReward:
+    def test_exact_name_match(self):
+        reward = ImpulseReward("count", "sys.vm.gen")
+        reward.on_completion("sys.vm.gen", 1.0)
+        reward.on_completion("sys.vm.other", 2.0)
+        assert reward.count == 1
+        assert reward.total == 1.0
+
+    def test_predicate_match(self):
+        reward = ImpulseReward("count", lambda q: q.endswith(".gen"))
+        reward.on_completion("a.gen", 1.0)
+        reward.on_completion("b.gen", 1.0)
+        reward.on_completion("b.nope", 1.0)
+        assert reward.count == 2
+
+    def test_custom_value(self):
+        weights = iter([2.0, 3.0])
+        reward = ImpulseReward("weighted", "a", value=lambda: next(weights))
+        reward.on_completion("a", 1.0)
+        reward.on_completion("a", 2.0)
+        assert reward.total == 5.0
+
+    def test_warmup_discards_early_completions(self):
+        reward = ImpulseReward("count", "a", warmup=10.0)
+        reward.on_completion("a", 5.0)
+        reward.on_completion("a", 15.0)
+        assert reward.count == 1
+
+    def test_result_is_total(self):
+        reward = ImpulseReward("count", "a")
+        reward.on_completion("a", 0.0)
+        assert reward.result() == 1.0
+
+    def test_reset(self):
+        reward = ImpulseReward("count", "a")
+        reward.on_completion("a", 0.0)
+        reward.reset()
+        assert reward.count == 0
+        assert reward.total == 0.0
+
+    def test_bad_matcher_rejected(self):
+        with pytest.raises(ModelError):
+            ImpulseReward("count", 42)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ModelError):
+            ImpulseReward("", "a")

@@ -1,0 +1,65 @@
+"""Unit tests for marking traces."""
+
+import pytest
+
+from repro.san import ExtendedPlace, MarkingTrace, Place, SANModel
+
+
+def make_model():
+    m = SANModel("m")
+    m.add_place(Place("count", 1))
+    m.add_place(ExtendedPlace("slot", {"status": "IDLE"}))
+    return m
+
+
+def test_records_watched_places():
+    m = make_model()
+    trace = MarkingTrace(m, ["count", "slot"])
+    trace.record(0.0)
+    m.place("count").add()
+    m.place("slot").value["status"] = "BUSY"
+    trace.record(1.0)
+    rows = trace.rows()
+    assert rows[0] == {"time": 0.0, "count": 1, "slot": {"status": "IDLE"}}
+    assert rows[1]["count"] == 2
+    assert rows[1]["slot"] == {"status": "BUSY"}
+
+
+def test_snapshots_are_deep_copies():
+    m = make_model()
+    trace = MarkingTrace(m, ["slot"])
+    trace.record(0.0)
+    m.place("slot").value["status"] = "CHANGED"
+    assert trace.rows()[0]["slot"] == {"status": "IDLE"}
+
+
+def test_series_and_times():
+    m = make_model()
+    trace = MarkingTrace(m, ["count"])
+    for t in range(3):
+        trace.record(float(t))
+        m.place("count").add()
+    assert trace.series("count") == [1, 2, 3]
+    assert trace.times() == [0.0, 1.0, 2.0]
+
+
+def test_unknown_watch_name_fails_fast():
+    m = make_model()
+    with pytest.raises(KeyError):
+        MarkingTrace(m, ["typo"])
+
+
+def test_series_of_unwatched_place_raises():
+    m = make_model()
+    trace = MarkingTrace(m, ["count"])
+    with pytest.raises(KeyError):
+        trace.series("slot")
+
+
+def test_clear_and_len():
+    m = make_model()
+    trace = MarkingTrace(m, ["count"])
+    trace.record(0.0)
+    assert len(trace) == 1
+    trace.clear()
+    assert len(trace) == 0

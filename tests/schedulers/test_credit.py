@@ -1,0 +1,63 @@
+"""Unit tests for the proportional-share (credit) scheduler."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.schedulers import CreditScheduler, SchedulerHarness
+
+
+def test_equal_weights_give_equal_shares():
+    h = SchedulerHarness(CreditScheduler(timeslice=10), topology=[1, 1], num_pcpus=1)
+    h.run(600)
+    assert h.availability(0) == pytest.approx(0.5, abs=0.02)
+    assert h.availability(1) == pytest.approx(0.5, abs=0.02)
+
+
+def test_weights_bias_shares_proportionally():
+    algo = CreditScheduler(timeslice=10, weights={0: 3.0, 1: 1.0})
+    h = SchedulerHarness(algo, topology=[1, 1], num_pcpus=1)
+    h.run(2000)
+    ratio = h.availability(0) / h.availability(1)
+    assert ratio == pytest.approx(3.0, rel=0.1)
+
+
+def test_vm_weight_is_split_across_its_vcpus():
+    # A 2-VCPU VM with weight 2 and a 1-VCPU VM with weight 1: each VCPU
+    # is charged vtime at dt/weight(vm), so VM0's VCPUs individually get
+    # twice the share of VM1's single VCPU.
+    algo = CreditScheduler(timeslice=10, weights={0: 2.0, 1: 1.0})
+    h = SchedulerHarness(algo, topology=[2, 1], num_pcpus=1)
+    h.run(3000)
+    assert h.availability(0) / h.availability(2) == pytest.approx(2.0, rel=0.15)
+
+
+def test_virtual_time_accounting():
+    algo = CreditScheduler(timeslice=5, weights={0: 2.0})
+    h = SchedulerHarness(algo, topology=[1], num_pcpus=1)
+    h.run(10)
+    # 10 ticks of runtime at weight 2 => close to 5 units of virtual time
+    # (the last tick is accounted on the next call).
+    assert algo.virtual_time(0) == pytest.approx(4.5, abs=1.0)
+
+
+def test_default_weight_is_one():
+    algo = CreditScheduler(timeslice=10, weights={0: 2.0})  # VM1 unspecified
+    h = SchedulerHarness(algo, topology=[1, 1], num_pcpus=1)
+    h.run(2000)
+    assert h.availability(0) / h.availability(1) == pytest.approx(2.0, rel=0.1)
+
+
+def test_bad_weight_rejected():
+    with pytest.raises(SchedulingError):
+        CreditScheduler(weights={0: 0.0})
+    with pytest.raises(SchedulingError):
+        CreditScheduler(weights={0: -1.0})
+
+
+def test_reset():
+    algo = CreditScheduler()
+    h = SchedulerHarness(algo, topology=[1], num_pcpus=1)
+    h.run(30)
+    assert algo.virtual_time(0) > 0
+    algo.reset()
+    assert algo.virtual_time(0) == 0.0

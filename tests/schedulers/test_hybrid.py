@@ -1,0 +1,75 @@
+"""Unit tests for the hybrid scheduler (Weng et al. [7])."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.schedulers import HybridScheduler, SchedulerHarness
+
+
+def test_concurrent_vm_runs_as_gang():
+    algo = HybridScheduler(timeslice=10, concurrent_vms=[0])
+    h = SchedulerHarness(algo, topology=[2, 1, 1], num_pcpus=2)
+    h.saturate()
+    for _ in range(200):
+        h.tick()
+        active = set(h.active_ids())
+        # VM0's pair runs complete or not at all.
+        assert not ({0} == active & {0, 1}) and not ({1} == active & {0, 1})
+
+
+def test_share_class_is_proportional():
+    algo = HybridScheduler(
+        timeslice=10, concurrent_vms=[], weights={0: 3.0, 1: 1.0}
+    )
+    h = SchedulerHarness(algo, topology=[1, 1], num_pcpus=1)
+    h.run(3000)
+    assert h.availability(0) / h.availability(1) == pytest.approx(3.0, rel=0.1)
+
+
+def test_gang_with_insufficient_pcpus_starves_like_scs():
+    algo = HybridScheduler(timeslice=10, concurrent_vms=[0])
+    h = SchedulerHarness(algo, topology=[2, 1], num_pcpus=1)
+    h.run(400)
+    assert h.availability(0) == 0.0
+    assert h.availability(1) == 0.0
+    assert h.availability(2) > 0.9  # the share-class VM takes everything
+
+
+def test_gang_admitted_whole_on_empty_host():
+    algo = HybridScheduler(timeslice=10, concurrent_vms=[0])
+    h = SchedulerHarness(algo, topology=[2, 2], num_pcpus=2)
+    h.saturate()
+    h.tick()
+    active = set(h.active_ids())
+    # Either the whole gang or two share-class VCPUs — never a split gang.
+    assert active in ({0, 1}, {2, 3})
+
+
+def test_mixed_classes_share_the_host():
+    algo = HybridScheduler(timeslice=10, concurrent_vms=[0])
+    h = SchedulerHarness(algo, topology=[2, 1, 1], num_pcpus=2)
+    h.run(2000)
+    for vcpu_id in range(4):
+        assert h.availability(vcpu_id) > 0.2
+
+
+def test_pure_share_degenerates_to_credit_like_fairness():
+    algo = HybridScheduler(timeslice=10)
+    h = SchedulerHarness(algo, topology=[1, 1, 1], num_pcpus=1)
+    h.run(1500)
+    shares = [h.availability(i) for i in range(3)]
+    assert max(shares) - min(shares) < 0.05
+
+
+def test_bad_weight_rejected():
+    with pytest.raises(SchedulingError):
+        HybridScheduler(weights={0: 0})
+
+
+def test_reset():
+    algo = HybridScheduler(concurrent_vms=[0])
+    h = SchedulerHarness(algo, topology=[2, 1], num_pcpus=2)
+    h.run(40)
+    assert algo.virtual_time(0) > 0.0
+    algo.reset()
+    assert algo.virtual_time(0) == 0.0

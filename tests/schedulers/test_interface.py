@@ -1,0 +1,113 @@
+"""Unit tests for the scheduling interface types and base helpers."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.schedulers import (
+    FunctionScheduler,
+    PCPUView,
+    SchedulingAlgorithm,
+    VCPUHostView,
+    VCPUStatus,
+)
+
+
+def make_views(topology):
+    views = []
+    for vm_id, count in enumerate(topology):
+        for k in range(count):
+            views.append(VCPUHostView(vcpu_id=len(views), vm_id=vm_id, vcpu_index=k))
+    return views
+
+
+class TestViews:
+    def test_defaults(self):
+        view = VCPUHostView(vcpu_id=0, vm_id=0, vcpu_index=0)
+        assert view.status == VCPUStatus.INACTIVE
+        assert not view.active
+        assert view.pcpu is None
+        assert not view.schedule_in and not view.schedule_out
+
+    def test_active_property(self):
+        view = VCPUHostView(vcpu_id=0, vm_id=0, vcpu_index=0)
+        for status, expected in [("READY", True), ("BUSY", True), ("INACTIVE", False)]:
+            view.status = status
+            assert view.active is expected
+
+    def test_pcpu_view_idle(self):
+        pcpu = PCPUView(pcpu_id=0)
+        assert pcpu.idle
+        pcpu.state = "ASSIGNED"
+        assert not pcpu.idle
+
+
+class TestBaseHelpers:
+    def test_by_vm_groups_in_order(self):
+        views = make_views([2, 1])
+        groups = SchedulingAlgorithm.by_vm(views)
+        assert [v.vcpu_id for v in groups[0]] == [0, 1]
+        assert [v.vcpu_id for v in groups[1]] == [2]
+
+    def test_free_pcpu_count(self):
+        pcpus = [PCPUView(0), PCPUView(1, state="ASSIGNED", vcpu=0)]
+        assert SchedulingAlgorithm.free_pcpu_count(pcpus) == 1
+
+    def test_start_sets_flags_and_defaults(self):
+        algo = SchedulingAlgorithm(timeslice=17)
+        view = make_views([1])[0]
+        algo.start(view)
+        assert view.schedule_in
+        assert view.next_timeslice == 17
+
+    def test_start_with_overrides(self):
+        algo = SchedulingAlgorithm()
+        view = make_views([1])[0]
+        algo.start(view, timeslice=5, pcpu=2)
+        assert view.next_timeslice == 5
+        assert view.next_pcpu == 2
+
+    def test_stop_sets_flag(self):
+        view = make_views([1])[0]
+        SchedulingAlgorithm.stop(view)
+        assert view.schedule_out
+
+    def test_requeue_order_prefers_never_dispatched(self):
+        algo = SchedulingAlgorithm()
+        views = make_views([3])
+        algo.start(views[2])  # dispatched first
+        algo.start(views[0])  # dispatched second
+        ordered = algo.requeue_order(views)
+        assert [v.vcpu_id for v in ordered] == [1, 2, 0]
+
+    def test_reset_clears_dispatch_order(self):
+        algo = SchedulingAlgorithm()
+        views = make_views([2])
+        algo.start(views[1])
+        algo.reset()
+        ordered = algo.requeue_order(views)
+        assert [v.vcpu_id for v in ordered] == [0, 1]
+
+    def test_bad_timeslice_rejected(self):
+        with pytest.raises(SchedulingError):
+            SchedulingAlgorithm(timeslice=0)
+
+
+class TestFunctionScheduler:
+    def test_wraps_bare_function(self):
+        calls = []
+
+        def fn(vcpus, num_vcpu, pcpus, num_pcpu, timestamp):
+            calls.append((num_vcpu, num_pcpu, timestamp))
+            return True
+
+        algo = FunctionScheduler("mine", fn, timeslice=9)
+        views = make_views([2])
+        pcpus = [PCPUView(0)]
+        assert algo.schedule(views, 2, pcpus, 1, 3.0) is True
+        assert calls == [(2, 1, 3.0)]
+        assert algo.name == "mine"
+        assert algo.timeslice == 9
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(SchedulingError):
+            FunctionScheduler("bad", 42)

@@ -1,0 +1,86 @@
+"""Unit tests for the SEDF (earliest-deadline-first) scheduler."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.schedulers import SchedulerHarness, SEDFScheduler
+
+
+def test_equal_reservations_share_equally():
+    algo = SEDFScheduler(timeslice=10, default_reservation=(100, 50))
+    h = SchedulerHarness(algo, topology=[1, 1], num_pcpus=1)
+    h.run(2000)
+    assert h.availability(0) == pytest.approx(0.5, abs=0.05)
+    assert h.availability(1) == pytest.approx(0.5, abs=0.05)
+
+
+def test_reservations_differentiate_shares():
+    # VM0 reserves 60/100, VM1 reserves 20/100 on one PCPU.
+    algo = SEDFScheduler(
+        timeslice=10,
+        reservations={0: (100, 60), 1: (100, 20)},
+        work_conserving=False,
+    )
+    h = SchedulerHarness(algo, topology=[1, 1], num_pcpus=1)
+    h.run(3000)
+    assert h.availability(0) == pytest.approx(0.6, abs=0.05)
+    assert h.availability(1) == pytest.approx(0.2, abs=0.05)
+
+
+def test_non_work_conserving_idles_after_slices():
+    algo = SEDFScheduler(
+        timeslice=10,
+        reservations={0: (100, 20)},
+        default_reservation=(100, 20),
+        work_conserving=False,
+    )
+    h = SchedulerHarness(algo, topology=[1], num_pcpus=1)
+    h.run(1000)
+    # Only the reserved 20% is used even though the PCPU is otherwise idle.
+    assert h.availability(0) == pytest.approx(0.2, abs=0.05)
+
+
+def test_work_conserving_fills_leftover_capacity():
+    algo = SEDFScheduler(
+        timeslice=10, reservations={0: (100, 20)}, work_conserving=True
+    )
+    h = SchedulerHarness(algo, topology=[1], num_pcpus=1)
+    h.run(1000)
+    assert h.availability(0) > 0.9
+
+
+def test_exhausted_vcpu_preempted_for_entitled_one():
+    algo = SEDFScheduler(
+        timeslice=5,
+        reservations={0: (50, 10), 1: (50, 10)},
+        work_conserving=True,
+    )
+    h = SchedulerHarness(algo, topology=[1, 1], num_pcpus=1)
+    h.run(1000)
+    # Both get their reservations; work conservation splits the rest.
+    assert h.availability(0) > 0.15
+    assert h.availability(1) > 0.15
+
+
+def test_slack_probe_tracks_consumption():
+    algo = SEDFScheduler(timeslice=10, default_reservation=(100, 30))
+    h = SchedulerHarness(algo, topology=[1], num_pcpus=1)
+    h.run(15)
+    assert algo.slack(0) < 30
+
+
+def test_bad_reservations_rejected():
+    with pytest.raises(SchedulingError):
+        SEDFScheduler(reservations={0: (10, 0)})
+    with pytest.raises(SchedulingError):
+        SEDFScheduler(reservations={0: (10, 11)})
+    with pytest.raises(SchedulingError):
+        SEDFScheduler(default_reservation=(0, 0))
+
+
+def test_reset():
+    algo = SEDFScheduler()
+    h = SchedulerHarness(algo, topology=[1], num_pcpus=1)
+    h.run(20)
+    algo.reset()
+    assert algo.slack(0) == 0

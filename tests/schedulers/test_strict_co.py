@@ -1,0 +1,80 @@
+"""Unit tests for Strict Co-Scheduling (SCS)."""
+
+import pytest
+
+from repro.schedulers import SchedulerHarness, StrictCoScheduler
+
+
+def test_co_start_requires_enough_pcpus():
+    # A 2-VCPU VM can never co-start on one PCPU (Figure 8's headline).
+    h = SchedulerHarness(StrictCoScheduler(), topology=[2, 1, 1], num_pcpus=1)
+    h.run(300)
+    assert h.availability(0) == 0.0
+    assert h.availability(1) == 0.0
+    assert h.availability(2) > 0.0
+    assert h.availability(3) > 0.0
+
+
+def test_siblings_always_co_run():
+    h = SchedulerHarness(StrictCoScheduler(timeslice=10), topology=[2, 2], num_pcpus=2)
+    h.saturate()
+    for _ in range(100):
+        h.tick()
+        active = set(h.active_ids())
+        # Either VM0's pair {0,1} or VM1's pair {2,3}, never a mix.
+        assert active in ({0, 1}, {2, 3}, set())
+
+
+def test_gangs_expire_together():
+    h = SchedulerHarness(StrictCoScheduler(timeslice=5), topology=[2], num_pcpus=2)
+    h.saturate()
+    h.tick()
+    assert set(h.active_ids()) == {0, 1}
+    for _ in range(4):
+        h.tick()
+    # Both relinquish and (being the only VM) restart together.
+    h.tick()
+    assert set(h.active_ids()) == {0, 1}
+
+
+def test_skip_ahead_lets_small_vms_run():
+    # VM0 needs 3 PCPUs; only 2 exist.  VM1 (1 VCPU) must still run.
+    h = SchedulerHarness(StrictCoScheduler(), topology=[3, 1], num_pcpus=2)
+    h.run(200)
+    assert h.availability(0) == 0.0
+    assert h.availability(3) > 0.9
+
+
+def test_fragmentation_wastes_pcpus():
+    # Paper Figure 9: VM sizes 2 and 3 on 4 PCPUs cannot co-run (5 > 4),
+    # so PCPU utilization is (2/4 + 3/4) / 2 = 0.625.
+    h = SchedulerHarness(StrictCoScheduler(timeslice=10), topology=[2, 3], num_pcpus=4)
+    h.run(400)
+    assert h.pcpu_utilization() == pytest.approx(0.625, abs=0.02)
+
+
+def test_equal_vms_share_fairly():
+    h = SchedulerHarness(StrictCoScheduler(timeslice=10), topology=[2, 2, 2], num_pcpus=2)
+    h.run(600)
+    shares = [h.availability(i) for i in range(6)]
+    assert max(shares) - min(shares) < 0.02
+    assert shares[0] == pytest.approx(1 / 3, abs=0.02)
+
+
+def test_rotation_fair_with_simultaneous_gang_expiry():
+    # Two 1-VCPU VMs and one 2-VCPU VM on 2 PCPUs: the singles co-run as a
+    # pair of gangs; rotation must not starve anyone.
+    h = SchedulerHarness(StrictCoScheduler(timeslice=10), topology=[2, 1, 1], num_pcpus=2)
+    h.run(800)
+    shares = [h.availability(i) for i in range(4)]
+    assert max(shares) - min(shares) < 0.05
+
+
+def test_reset_clears_vm_queue():
+    algo = StrictCoScheduler()
+    h = SchedulerHarness(algo, topology=[1, 1], num_pcpus=1)
+    h.run(20)
+    algo.reset()
+    h2 = SchedulerHarness(algo, topology=[1, 1], num_pcpus=1)
+    h2.run(20)
+    assert h2.active_time[0] > 0

@@ -1,0 +1,116 @@
+"""Tests for the job scheduler's configurable dispatch policies."""
+
+import random
+
+import pytest
+
+from repro.core import SystemSpec, VMSpec, simulate_once
+from repro.errors import ConfigurationError, ModelError
+from repro.schedulers import VCPUStatus
+from repro.vmm import build_job_scheduler, new_workload
+
+
+@pytest.fixture
+def rng():
+    return random.Random(6)
+
+
+def make_all_ready(model, num_vcpus):
+    for index in range(1, num_vcpus + 1):
+        model.place(f"VCPU{index}_slot").value["status"] = VCPUStatus.READY
+        model.place("Num_VCPUs_ready").add()
+
+
+class TestFirstReady:
+    def test_always_lowest_index(self, rng):
+        model = build_job_scheduler("js", 3, dispatch="first_ready")
+        make_all_ready(model, 3)
+        targets = set()
+        for _ in range(5):
+            model.place("Workload").value = new_workload(5, 0)
+            activity = next(a for a in model.activities() if a.name == "Scheduling")
+            activity.complete(rng)
+            slot = model.place("VCPU1_slot").value
+            targets.add(slot["status"])
+            # reset VCPU1 for the next round
+            slot["status"] = VCPUStatus.READY
+            slot["remaining_load"] = 0
+            model.place("Num_VCPUs_ready").add()
+        assert targets == {VCPUStatus.BUSY}
+        # VCPUs 2 and 3 never received anything.
+        assert model.place("VCPU2_slot").value["status"] == VCPUStatus.READY
+        assert model.place("VCPU3_slot").value["status"] == VCPUStatus.READY
+
+
+class TestRandom:
+    def test_requires_rng(self):
+        with pytest.raises(ModelError, match="needs an rng"):
+            build_job_scheduler("js", 2, dispatch="random")
+
+    def test_spreads_over_ready_vcpus(self, rng):
+        model = build_job_scheduler("js", 3, dispatch="random", rng=rng)
+        make_all_ready(model, 3)
+        hits = {1: 0, 2: 0, 3: 0}
+        activity = next(a for a in model.activities() if a.name == "Scheduling")
+        for _ in range(150):
+            model.place("Workload").value = new_workload(5, 0)
+            activity.complete(rng)
+            for i in (1, 2, 3):
+                slot = model.place(f"VCPU{i}_slot").value
+                if slot["status"] == VCPUStatus.BUSY:
+                    hits[i] += 1
+                    slot["status"] = VCPUStatus.READY
+                    slot["remaining_load"] = 0
+                    model.place("Num_VCPUs_ready").add()
+        assert all(count > 20 for count in hits.values())
+
+
+class TestValidationAndPlumbing:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ModelError, match="unknown dispatch policy"):
+            build_job_scheduler("js", 2, dispatch="zigzag")
+
+    def test_vmspec_validates_policy(self):
+        spec = SystemSpec(
+            vms=[VMSpec(2, dispatch="sideways")], pcpus=1, sim_time=10, warmup=0
+        )
+        with pytest.raises(ConfigurationError, match="dispatch"):
+            spec.validate()
+
+    def test_vmspec_round_trip_preserves_dispatch(self):
+        vm = VMSpec(2, dispatch="first_ready")
+        assert VMSpec.from_dict(vm.to_dict()).dispatch == "first_ready"
+
+    @pytest.mark.parametrize("policy", ["round_robin", "first_ready", "random"])
+    def test_end_to_end_with_each_policy(self, policy):
+        spec = SystemSpec(
+            vms=[VMSpec(2, dispatch=policy), VMSpec(1)],
+            pcpus=2,
+            scheduler="rrs",
+            sim_time=300,
+            warmup=50,
+        )
+        result = simulate_once(spec)
+        assert 0.0 <= result.metrics["vcpu_utilization"] <= 1.0
+
+    def test_first_ready_skews_per_vcpu_throughput(self):
+        # With 2 VCPUs always co-scheduled (2 PCPUs for this VM alone),
+        # first_ready should give VCPU1 visibly more completions.
+        base = dict(pcpus=2, scheduler="rrs", sim_time=800, warmup=100)
+        even = simulate_once(
+            SystemSpec(vms=[VMSpec(2, dispatch="round_robin")], **base),
+            extra_probes=False,
+        )
+        skewed = simulate_once(
+            SystemSpec(vms=[VMSpec(2, dispatch="first_ready")], **base),
+            extra_probes=False,
+        )
+        even_gap = abs(
+            even.metrics["vcpu_utilization[VCPU1.1]"]
+            - even.metrics["vcpu_utilization[VCPU1.2]"]
+        )
+        skewed_gap = abs(
+            skewed.metrics["vcpu_utilization[VCPU1.1]"]
+            - skewed.metrics["vcpu_utilization[VCPU1.2]"]
+        )
+        assert skewed_gap >= even_gap

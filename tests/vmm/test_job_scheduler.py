@@ -1,0 +1,130 @@
+"""Unit tests for the Job Scheduler sub-model (paper Figure 3)."""
+
+import random
+
+import pytest
+
+from repro.errors import ModelError
+from repro.schedulers import VCPUStatus
+from repro.vmm import build_job_scheduler, new_slot, new_workload
+
+
+@pytest.fixture
+def rng():
+    return random.Random(1)
+
+
+def make(num_vcpus=2, num_slots=8):
+    return build_job_scheduler("VM_Job_Scheduler", num_vcpus, num_slots)
+
+
+def activity(model, name):
+    return next(a for a in model.activities() if a.name == name)
+
+
+def make_ready(model, index):
+    slot = model.place(f"VCPU{index}_slot")
+    slot.value["status"] = VCPUStatus.READY
+    model.place("Num_VCPUs_ready").add()
+
+
+class TestStructure:
+    def test_eight_static_slots_by_default(self):
+        model = make(num_vcpus=2)
+        for index in range(1, 9):
+            assert f"VCPU{index}_slot" in model.places()
+
+    def test_unplugged_slots_hold_none(self):
+        model = make(num_vcpus=2)
+        assert model.place("VCPU3_slot").value is None
+        assert model.place("VCPU2_slot").value == new_slot()
+
+    def test_vcpu_count_bounds(self):
+        with pytest.raises(ModelError):
+            make(num_vcpus=0)
+        with pytest.raises(ModelError):
+            make(num_vcpus=9)
+
+    def test_more_slots_can_be_added(self):
+        # The paper: "more VCPU slots can easily be added".
+        model = build_job_scheduler("big", 12, num_slots=12)
+        assert "VCPU12_slot" in model.places()
+
+
+class TestDispatch:
+    def test_enabled_when_workload_and_ready_vcpu(self, rng):
+        model = make()
+        dispatch = activity(model, "Scheduling")
+        assert not dispatch.enabled()
+        model.place("Workload").value = new_workload(5, 0)
+        assert not dispatch.enabled()  # still no READY VCPU
+        make_ready(model, 1)
+        assert dispatch.enabled()
+
+    def test_dispatch_moves_workload_into_slot(self, rng):
+        model = make()
+        make_ready(model, 1)
+        model.place("Workload").value = new_workload(5, 1)
+        activity(model, "Scheduling").complete(rng)
+        slot = model.place("VCPU1_slot").value
+        assert slot == {
+            "remaining_load": 5,
+            "sync_point": 1,
+            "critical": 0,
+            "status": VCPUStatus.BUSY,
+        }
+        assert model.place("Workload").value is None
+        assert model.place("Num_VCPUs_ready").tokens == 0
+
+    def test_round_robin_cursor_spreads_jobs(self, rng):
+        model = make(num_vcpus=3)
+        for index in (1, 2, 3):
+            make_ready(model, index)
+        targets = []
+        for _ in range(3):
+            model.place("Workload").value = new_workload(5, 0)
+            activity(model, "Scheduling").complete(rng)
+            busy = [
+                i
+                for i in (1, 2, 3)
+                if model.place(f"VCPU{i}_slot").value["status"] == VCPUStatus.BUSY
+            ]
+            targets.append(tuple(busy))
+        # Each dispatch hits a fresh VCPU: 1, then 1+2, then 1+2+3.
+        assert targets == [(1,), (1, 2), (1, 2, 3)]
+
+    def test_cursor_skips_busy_vcpus(self, rng):
+        model = make(num_vcpus=2)
+        make_ready(model, 2)  # only VCPU2 is READY
+        model.place("Workload").value = new_workload(5, 0)
+        activity(model, "Scheduling").complete(rng)
+        assert model.place("VCPU2_slot").value["status"] == VCPUStatus.BUSY
+        assert model.place("VCPU1_slot").value["status"] == VCPUStatus.INACTIVE
+
+
+class TestUnblock:
+    def test_unblocks_when_all_loads_done(self, rng):
+        model = make()
+        model.place("Blocked").add()
+        unblock = activity(model, "Unblock")
+        assert unblock.enabled()
+        unblock.complete(rng)
+        assert model.place("Blocked").tokens == 0
+
+    def test_waits_for_outstanding_loads(self):
+        model = make()
+        model.place("Blocked").add()
+        model.place("VCPU2_slot").value["remaining_load"] = 3
+        assert not activity(model, "Unblock").enabled()
+
+    def test_waits_for_pending_workload(self):
+        model = make()
+        model.place("Blocked").add()
+        model.place("Workload").value = new_workload(2, 1)
+        assert not activity(model, "Unblock").enabled()
+
+    def test_ignores_unplugged_slots(self):
+        model = make(num_vcpus=1)
+        model.place("Blocked").add()
+        # Slot 2 is unplugged (None); the barrier check must not read it.
+        assert activity(model, "Unblock").enabled()

@@ -1,0 +1,145 @@
+"""Unit tests for the VCPU sub-model (paper Figure 4)."""
+
+import random
+
+import pytest
+
+from repro.schedulers import VCPUStatus
+from repro.vmm import build_vcpu_model
+
+
+@pytest.fixture
+def vcpu():
+    return build_vcpu_model("VCPU1")
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0)
+
+
+def fire(model, name, rng):
+    activity = next(a for a in model.activities() if a.name == name)
+    assert activity.enabled(), f"{name} is not enabled"
+    activity.complete(rng)
+
+
+def activity(model, name):
+    return next(a for a in model.activities() if a.name == name)
+
+
+class TestStructure:
+    def test_exposes_paper_join_places(self, vcpu):
+        places = vcpu.places()
+        for name in [
+            "VCPU_slot",
+            "Schedule_In",
+            "Schedule_Out",
+            "Blocked",
+            "Num_VCPUs_ready",
+            "Tick",
+        ]:
+            assert name in places
+
+    def test_initial_slot_state(self, vcpu):
+        slot = vcpu.place("VCPU_slot").value
+        assert slot == {
+            "remaining_load": 0,
+            "sync_point": 0,
+            "critical": 0,
+            "status": VCPUStatus.INACTIVE,
+        }
+
+
+class TestScheduleIn(object):
+    def test_idle_vcpu_becomes_ready(self, vcpu, rng):
+        vcpu.place("Schedule_In").add()
+        fire(vcpu, "Handle_Schedule_In", rng)
+        assert vcpu.place("VCPU_slot").value["status"] == VCPUStatus.READY
+        assert vcpu.place("Num_VCPUs_ready").tokens == 1
+        assert vcpu.place("Schedule_In").tokens == 0
+
+    def test_loaded_vcpu_resumes_busy(self, vcpu, rng):
+        vcpu.place("VCPU_slot").value["remaining_load"] = 5
+        vcpu.place("Schedule_In").add()
+        fire(vcpu, "Handle_Schedule_In", rng)
+        assert vcpu.place("VCPU_slot").value["status"] == VCPUStatus.BUSY
+        assert vcpu.place("Num_VCPUs_ready").tokens == 0
+
+    def test_not_enabled_without_token(self, vcpu):
+        assert not activity(vcpu, "Handle_Schedule_In").enabled()
+
+
+class TestScheduleOut:
+    def test_ready_vcpu_deactivates_and_decrements_count(self, vcpu, rng):
+        vcpu.place("Schedule_In").add()
+        fire(vcpu, "Handle_Schedule_In", rng)
+        vcpu.place("Schedule_Out").add()
+        fire(vcpu, "Handle_Schedule_Out", rng)
+        slot = vcpu.place("VCPU_slot").value
+        assert slot["status"] == VCPUStatus.INACTIVE
+        assert vcpu.place("Num_VCPUs_ready").tokens == 0
+
+    def test_busy_vcpu_keeps_load_and_sync_point(self, vcpu, rng):
+        # The paper's note: a descheduled VCPU may be mid-workload or even
+        # holding a lock; both fields must survive.
+        slot = vcpu.place("VCPU_slot").value
+        slot["remaining_load"] = 7
+        slot["sync_point"] = 1
+        vcpu.place("Schedule_In").add()
+        fire(vcpu, "Handle_Schedule_In", rng)
+        vcpu.place("Schedule_Out").add()
+        fire(vcpu, "Handle_Schedule_Out", rng)
+        assert slot["status"] == VCPUStatus.INACTIVE
+        assert slot["remaining_load"] == 7
+        assert slot["sync_point"] == 1
+
+
+class TestProcessing:
+    def arm_busy(self, vcpu, rng, load):
+        slot = vcpu.place("VCPU_slot").value
+        slot["remaining_load"] = load
+        vcpu.place("Schedule_In").add()
+        fire(vcpu, "Handle_Schedule_In", rng)
+
+    def test_busy_vcpu_processes_one_unit_per_tick(self, vcpu, rng):
+        self.arm_busy(vcpu, rng, load=3)
+        vcpu.place("Tick").add()
+        fire(vcpu, "Processing_load", rng)
+        assert vcpu.place("VCPU_slot").value["remaining_load"] == 2
+        assert vcpu.place("Tick").tokens == 0
+
+    def test_completion_flips_to_ready(self, vcpu, rng):
+        self.arm_busy(vcpu, rng, load=1)
+        vcpu.place("Tick").add()
+        fire(vcpu, "Processing_load", rng)
+        slot = vcpu.place("VCPU_slot").value
+        assert slot["status"] == VCPUStatus.READY
+        assert vcpu.place("Num_VCPUs_ready").tokens == 1
+
+    def test_completion_clears_sync_point(self, vcpu, rng):
+        slot = vcpu.place("VCPU_slot").value
+        slot["sync_point"] = 1
+        self.arm_busy(vcpu, rng, load=1)
+        vcpu.place("Tick").add()
+        fire(vcpu, "Processing_load", rng)
+        assert slot["sync_point"] == 0
+
+    def test_processing_requires_busy(self, vcpu):
+        vcpu.place("Tick").add()
+        assert not activity(vcpu, "Processing_load").enabled()
+        assert activity(vcpu, "Discard_tick").enabled()
+
+    def test_discard_tick_consumes_token_when_idle(self, vcpu, rng):
+        vcpu.place("Tick").add()
+        fire(vcpu, "Discard_tick", rng)
+        assert vcpu.place("Tick").tokens == 0
+
+    def test_inactive_vcpu_never_processes(self, vcpu, rng):
+        # INACTIVE with pending load: the synchronization-latency channel.
+        slot = vcpu.place("VCPU_slot").value
+        slot["remaining_load"] = 5
+        vcpu.place("Tick").add()
+        assert not activity(vcpu, "Processing_load").enabled()
+        fire(vcpu, "Discard_tick", rng)
+        assert slot["remaining_load"] == 5

@@ -1,0 +1,108 @@
+"""Unit tests for the Virtual Machine composed model (Figure 2 / Table 1)."""
+
+import random
+
+import pytest
+
+from repro.errors import ModelError
+from repro.vmm import build_vm_model
+from repro.workloads import WorkloadModel
+
+
+@pytest.fixture
+def vm():
+    return build_vm_model("VM_2VCPU_1", 2, WorkloadModel(), random.Random(0))
+
+
+class TestTable1JoinPlaces:
+    """The join places must match the paper's Table 1 exactly."""
+
+    def test_blocked_spans_all_submodels(self, vm):
+        members = {
+            tuple(row["submodel_variables"])
+            for row in vm.join_place_table()
+            if row["state_variable"] == "Blocked"
+        }
+        assert members == {
+            (
+                "Workload_Generator->Blocked",
+                "VM_Job_Scheduler->Blocked",
+                "VCPU1->Blocked",
+                "VCPU2->Blocked",
+            )
+        }
+
+    def test_num_vcpus_ready_spans_all_submodels(self, vm):
+        row = next(
+            r for r in vm.join_place_table() if r["state_variable"] == "Num_VCPUs_ready"
+        )
+        assert row["submodel_variables"] == [
+            "Workload_Generator->Num_VCPUs_ready",
+            "VM_Job_Scheduler->Num_VCPUs_ready",
+            "VCPU1->Num_VCPUs_ready",
+            "VCPU2->Num_VCPUs_ready",
+        ]
+
+    def test_workload_joins_generator_and_job_scheduler(self, vm):
+        row = next(r for r in vm.join_place_table() if r["state_variable"] == "Workload")
+        assert row["submodel_variables"] == [
+            "Workload_Generator->Workload",
+            "VM_Job_Scheduler->Workload",
+        ]
+
+    def test_slots_join_job_scheduler_with_each_vcpu(self, vm):
+        rows = {
+            r["state_variable"]: r["submodel_variables"]
+            for r in vm.join_place_table()
+        }
+        assert rows["VCPU1_slot"] == [
+            "VM_Job_Scheduler->VCPU1_slot",
+            "VCPU1->VCPU_slot",
+        ]
+        assert rows["VCPU2_slot"] == [
+            "VM_Job_Scheduler->VCPU2_slot",
+            "VCPU2->VCPU_slot",
+        ]
+
+
+class TestSharing:
+    def test_blocked_is_physically_shared(self, vm):
+        vm.place("Workload_Generator.Blocked").add()
+        assert vm.place("VCPU2.Blocked").tokens == 1
+        assert vm.place("Blocked").tokens == 1
+
+    def test_slot_is_physically_shared(self, vm):
+        vm.place("VCPU1.VCPU_slot").value["remaining_load"] = 9
+        assert vm.place("VM_Job_Scheduler.VCPU1_slot").value["remaining_load"] == 9
+        assert vm.place("VCPU1_slot").value["remaining_load"] == 9
+
+    def test_hypervisor_channels_exposed(self, vm):
+        for k in (1, 2):
+            assert f"VCPU{k}.Schedule_In" in vm.places()
+            assert f"VCPU{k}.Schedule_Out" in vm.places()
+            assert f"VCPU{k}.Tick" in vm.places()
+
+
+class TestConstruction:
+    def test_metadata(self, vm):
+        assert vm.num_vcpus == 2
+
+    def test_single_vcpu_vm(self):
+        vm = build_vm_model("VM_1VCPU_1", 1, WorkloadModel(), random.Random(0))
+        assert vm.num_vcpus == 1
+        assert "VCPU1.VCPU_slot" in vm.places()
+        assert "VCPU2.VCPU_slot" not in vm.places()
+
+    def test_zero_vcpus_rejected(self):
+        with pytest.raises(ModelError):
+            build_vm_model("bad", 0, WorkloadModel(), random.Random(0))
+
+    def test_more_vcpus_than_slots_rejected(self):
+        with pytest.raises(ModelError):
+            build_vm_model("bad", 9, WorkloadModel(), random.Random(0))
+
+    def test_big_vm_with_extra_slots(self):
+        vm = build_vm_model(
+            "VM_10VCPU_1", 10, WorkloadModel(), random.Random(0), num_slots=12
+        )
+        assert vm.num_vcpus == 10

@@ -1,0 +1,84 @@
+"""Unit tests for the Workload Generator sub-model (paper Figure 5)."""
+
+import random
+
+import pytest
+
+from repro.des import Deterministic
+from repro.vmm import build_workload_generator
+from repro.workloads import DeterministicRatio, NoSync, WorkloadModel
+
+
+@pytest.fixture
+def rng():
+    return random.Random(3)
+
+
+def make_generator(rng, load=4, ratio=None):
+    policy = NoSync() if ratio is None else DeterministicRatio(ratio)
+    model = WorkloadModel(Deterministic(load), policy)
+    return build_workload_generator("Workload_Generator", model, rng)
+
+
+def gen_activity(model):
+    return next(a for a in model.activities() if a.name == "WL_gen")
+
+
+class TestGenerationConditions:
+    def test_requires_ready_vcpu(self, rng):
+        gen = make_generator(rng)
+        assert not gen_activity(gen).enabled()
+        gen.place("Num_VCPUs_ready").add()
+        assert gen_activity(gen).enabled()
+
+    def test_requires_unblocked(self, rng):
+        gen = make_generator(rng)
+        gen.place("Num_VCPUs_ready").add()
+        gen.place("Blocked").add()
+        assert not gen_activity(gen).enabled()
+
+    def test_requires_empty_workload_place(self, rng):
+        gen = make_generator(rng)
+        gen.place("Num_VCPUs_ready").add()
+        gen_activity(gen).complete(rng)
+        # One workload pending: generation pauses until it is dispatched.
+        assert not gen_activity(gen).enabled()
+
+
+class TestGenerationOutput:
+    def test_workload_fields(self, rng):
+        gen = make_generator(rng, load=4)
+        gen.place("Num_VCPUs_ready").add()
+        gen_activity(gen).complete(rng)
+        assert gen.place("Workload").value == {"load": 4, "sync_point": 0, "critical": 0}
+
+    def test_counter_increments(self, rng):
+        gen = make_generator(rng)
+        gen.place("Num_VCPUs_ready").add()
+        gen_activity(gen).complete(rng)
+        assert gen.place("Num_Generated").tokens == 1
+
+    def test_sync_ratio_every_kth_job(self, rng):
+        gen = make_generator(rng, ratio=3)
+        gen.place("Num_VCPUs_ready").add()
+        syncs = []
+        for _ in range(9):
+            gen_activity(gen).complete(rng)
+            workload = gen.place("Workload").value
+            syncs.append(workload["sync_point"])
+            gen.place("Workload").value = None  # emulate dispatch
+            gen.place("Blocked").tokens = 0  # emulate barrier completion
+        assert syncs == [0, 0, 1, 0, 0, 1, 0, 0, 1]
+
+    def test_sync_job_raises_blocked(self, rng):
+        gen = make_generator(rng, ratio=1)  # every job is a barrier
+        gen.place("Num_VCPUs_ready").add()
+        gen_activity(gen).complete(rng)
+        assert gen.place("Blocked").tokens == 1
+        assert gen.place("Workload").value["sync_point"] == 1
+
+    def test_non_sync_job_does_not_block(self, rng):
+        gen = make_generator(rng, ratio=5)
+        gen.place("Num_VCPUs_ready").add()
+        gen_activity(gen).complete(rng)
+        assert gen.place("Blocked").tokens == 0

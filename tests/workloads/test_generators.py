@@ -1,0 +1,86 @@
+"""Unit tests for workload characterization (loads + sync policies)."""
+
+import random
+
+import pytest
+
+from repro.des import Deterministic, UniformInt
+from repro.errors import ConfigurationError
+from repro.workloads import (
+    BernoulliRatio,
+    DeterministicRatio,
+    NoSync,
+    WorkloadModel,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(10)
+
+
+class TestSyncPolicies:
+    def test_no_sync_never_fires(self, rng):
+        policy = NoSync()
+        assert not any(policy.is_sync(i, rng) for i in range(100))
+
+    def test_deterministic_ratio_every_kth(self, rng):
+        policy = DeterministicRatio(5)
+        flags = [policy.is_sync(i, rng) for i in range(10)]
+        assert flags == [False] * 4 + [True] + [False] * 4 + [True]
+
+    def test_deterministic_ratio_one(self, rng):
+        policy = DeterministicRatio(1)
+        assert all(policy.is_sync(i, rng) for i in range(5))
+
+    def test_deterministic_long_run_rate(self, rng):
+        policy = DeterministicRatio(4)
+        count = sum(policy.is_sync(i, rng) for i in range(1000))
+        assert count == 250
+
+    def test_bernoulli_long_run_rate(self, rng):
+        policy = BernoulliRatio(4)
+        count = sum(policy.is_sync(i, rng) for i in range(8000))
+        assert abs(count / 8000 - 0.25) < 0.02
+
+    def test_bad_ratios_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DeterministicRatio(0)
+        with pytest.raises(ConfigurationError):
+            BernoulliRatio(0.5)
+
+
+class TestWorkloadModel:
+    def test_defaults(self, rng):
+        model = WorkloadModel()
+        load, sync = model.next_workload(0, rng)
+        assert 5 <= load <= 15
+        assert sync == 0
+        assert model.mean_load() == 10.0
+
+    def test_loads_coerced_to_positive_integers(self, rng):
+        model = WorkloadModel(Deterministic(0.0), NoSync())
+        load, _ = model.next_workload(0, rng)
+        assert load == 1
+
+    def test_fractional_loads_rounded(self, rng):
+        model = WorkloadModel(Deterministic(4.6), NoSync())
+        assert model.next_workload(0, rng)[0] == 5
+
+    def test_sync_flag_follows_policy(self, rng):
+        model = WorkloadModel(UniformInt(1, 3), DeterministicRatio(2))
+        flags = [model.next_workload(i, rng)[1] for i in range(6)]
+        assert flags == [0, 1, 0, 1, 0, 1]
+
+    def test_bad_distribution_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadModel(load_distribution="uniform")
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadModel(sync_policy="1:5")
+
+    def test_repr_is_descriptive(self):
+        text = repr(WorkloadModel())
+        assert "UniformInt" in text
+        assert "1:5" in text

@@ -1,0 +1,154 @@
+"""Unit tests for workload traces (record / replay)."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads import (
+    RecordingWorkloadModel,
+    TraceWorkloadModel,
+    WorkloadModel,
+    WorkloadTrace,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(5)
+
+
+class TestWorkloadTrace:
+    def test_append_and_index(self):
+        trace = WorkloadTrace()
+        trace.append(5, 0)
+        trace.append(3, 1)
+        assert len(trace) == 2
+        assert trace[1] == (3, 1)
+
+    def test_statistics(self):
+        trace = WorkloadTrace([(5, 0), (3, 1), (2, 1), (10, 0)])
+        assert trace.sync_ratio() == 0.5
+        assert trace.total_load() == 20
+
+    def test_empty_trace_statistics(self):
+        assert WorkloadTrace().sync_ratio() == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadTrace([(0, 0)])
+        with pytest.raises(ConfigurationError):
+            WorkloadTrace([(5, 2)])
+        trace = WorkloadTrace()
+        with pytest.raises(ConfigurationError):
+            trace.append(-1, 0)
+
+    def test_json_round_trip(self):
+        trace = WorkloadTrace([(5, 0), (7, 1)])
+        restored = WorkloadTrace.from_json(trace.to_json())
+        assert restored.jobs == trace.jobs
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadTrace.from_json("{}")
+        with pytest.raises(ConfigurationError):
+            WorkloadTrace.from_json("not json")
+
+    def test_file_round_trip(self, tmp_path):
+        trace = WorkloadTrace([(4, 0), (6, 1)])
+        path = str(tmp_path / "trace.json")
+        trace.save(path)
+        assert WorkloadTrace.load(path).jobs == trace.jobs
+
+
+class TestTraceWorkloadModel:
+    def test_replays_in_order(self, rng):
+        model = TraceWorkloadModel(WorkloadTrace([(5, 0), (7, 1)]))
+        assert model.next_workload(0, rng) == (5, 0)
+        assert model.next_workload(1, rng) == (7, 1)
+
+    def test_wraps_by_default(self, rng):
+        model = TraceWorkloadModel(WorkloadTrace([(5, 0), (7, 1)]))
+        assert model.next_workload(2, rng) == (5, 0)
+
+    def test_no_wrap_raises_on_exhaustion(self, rng):
+        model = TraceWorkloadModel(WorkloadTrace([(5, 0)]), wrap=False)
+        with pytest.raises(ConfigurationError):
+            model.next_workload(1, rng)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TraceWorkloadModel(WorkloadTrace())
+
+    def test_mean_load(self, rng):
+        model = TraceWorkloadModel(WorkloadTrace([(4, 0), (8, 0)]))
+        assert model.mean_load() == 6.0
+
+
+class TestRecordingWorkloadModel:
+    def test_records_everything_emitted(self, rng):
+        recorder = RecordingWorkloadModel(WorkloadModel())
+        for index in range(20):
+            recorder.next_workload(index, rng)
+        assert len(recorder.recorded) == 20
+
+    def test_record_then_replay_is_identical(self, rng):
+        recorder = RecordingWorkloadModel(WorkloadModel())
+        emitted = [recorder.next_workload(i, rng) for i in range(10)]
+        replay = TraceWorkloadModel(recorder.recorded)
+        replayed = [replay.next_workload(i, random.Random(99)) for i in range(10)]
+        assert replayed == emitted
+
+    def test_mean_load_delegates(self):
+        recorder = RecordingWorkloadModel(WorkloadModel())
+        assert recorder.mean_load() == 10.0
+
+
+class TestJobKindTraces:
+    """Version-2 traces carry the critical-section extension."""
+
+    def test_records_full_job_kinds(self, rng):
+        from repro.workloads import JobKind, LockingWorkloadModel
+
+        recorder = RecordingWorkloadModel(LockingWorkloadModel(critical_ratio=2))
+        for index in range(10):
+            recorder.next_job(index, rng)
+        kinds = [job.kind for job in recorder.recorded.job_records()]
+        assert kinds.count(JobKind.CRITICAL) == 5
+
+    def test_critical_ratio_statistic(self, rng):
+        from repro.workloads import LockingWorkloadModel
+
+        recorder = RecordingWorkloadModel(LockingWorkloadModel(critical_ratio=5))
+        for index in range(20):
+            recorder.next_job(index, rng)
+        assert recorder.recorded.critical_ratio() == pytest.approx(0.2)
+
+    def test_v2_json_round_trip_preserves_kinds(self, rng):
+        from repro.workloads import Job, JobKind
+
+        trace = WorkloadTrace()
+        trace.append_job(Job(5, JobKind.CRITICAL))
+        trace.append_job(Job(7, JobKind.BARRIER))
+        trace.append_job(Job(3, JobKind.NONE))
+        restored = WorkloadTrace.from_json(trace.to_json())
+        assert [j.kind for j in restored.job_records()] == [
+            JobKind.CRITICAL,
+            JobKind.BARRIER,
+            JobKind.NONE,
+        ]
+
+    def test_v1_json_still_parses(self):
+        legacy = '{"jobs": [[5, 0], [7, 1]]}'
+        trace = WorkloadTrace.from_json(legacy)
+        assert trace.jobs == [(5, 0), (7, 1)]
+        assert trace.job_records()[1].sync_point == 1
+
+    def test_replay_preserves_kinds(self, rng):
+        from repro.workloads import Job, JobKind, TraceWorkloadModel
+
+        trace = WorkloadTrace([Job(4, JobKind.CRITICAL), Job(6, JobKind.NONE)])
+        model = TraceWorkloadModel(trace)
+        assert model.next_job(0, rng).kind == JobKind.CRITICAL
+        assert model.next_job(1, rng).kind == JobKind.NONE
+        assert model.next_job(2, rng).kind == JobKind.CRITICAL  # wrap
