@@ -17,10 +17,13 @@ Layers (bottom-up):
   RRS / SCS / RCS and extensions;
 * :mod:`repro.workloads`, :mod:`repro.metrics`, :mod:`repro.analysis`
   — workload characterization, reward definitions, statistics;
+* :mod:`repro.resilience` — parallel/fault-tolerant experiment
+  execution: timeouts, retry/reseed, checkpoint/resume, the scheduler
+  decision guard, and chaos injection;
 * :mod:`repro.core` — the public facade: specs, experiments, results.
 """
 
-from . import analysis, core, des, metrics, paper, san, schedulers, vmm, workloads
+from . import analysis, core, des, metrics, paper, resilience, san, schedulers, vmm, workloads
 from .core import (
     SystemSpec,
     VMSpec,
@@ -29,6 +32,7 @@ from .core import (
     run_sweep,
     simulate_once,
 )
+from .resilience import ChaosSpec, GuardPolicy, ReplicationFailure, ResilienceConfig
 
 __version__ = "1.0.0"
 
@@ -42,11 +46,16 @@ __all__ = [
     "schedulers",
     "workloads",
     "metrics",
+    "resilience",
     "SystemSpec",
     "VMSpec",
     "WorkloadSpec",
     "simulate_once",
     "run_experiment",
     "run_sweep",
+    "ResilienceConfig",
+    "GuardPolicy",
+    "ChaosSpec",
+    "ReplicationFailure",
     "__version__",
 ]

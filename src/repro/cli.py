@@ -6,7 +6,10 @@ Commands:
 * ``run --spec spec.json`` — run one experiment from a JSON system
   spec (the dict form of :class:`~repro.core.config.SystemSpec`),
   printing every metric with its confidence interval; ``--csv`` emits
-  machine-readable output instead.
+  machine-readable output instead.  Resilience flags: ``--jobs N``
+  (parallel replications), ``--timeout S`` (per-attempt wall clock),
+  ``--retries K`` (reseeded retries), ``--checkpoint F`` / ``--resume``
+  (stream/reuse finished replications).
 * ``tables`` — print the paper's Tables 1 and 2.
 * ``figures [--figure 8|9|10|all] [--full]`` — regenerate the paper's
   figures (quick fidelity by default).
@@ -34,12 +37,34 @@ from .core.experiment import run_experiment
 from .core.registry import list_schedulers
 from .core.results import render_table, results_to_csv
 from .errors import ReproError
+from .resilience import ResilienceConfig, failure_summary
 
 
 def _cmd_list_schedulers(args: argparse.Namespace) -> int:
     for name in list_schedulers():
         print(name)
     return 0
+
+
+def _resilience_from_args(args: argparse.Namespace) -> Optional[ResilienceConfig]:
+    """Build the executor config from CLI flags; None when all defaults."""
+    if (
+        args.jobs == 1
+        and args.timeout is None
+        and args.retries == 0
+        and args.checkpoint is None
+        and not args.resume
+    ):
+        return None
+    config = ResilienceConfig(
+        jobs=args.jobs,
+        timeout=args.timeout,
+        retries=args.retries,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+    )
+    config.validate()
+    return config
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -53,6 +78,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         target_half_width=args.target_half_width,
         root_seed=args.seed,
         extra_probes=args.probes,
+        resilience=_resilience_from_args(args),
     )
     if args.csv:
         print(results_to_csv([result], metrics=result.metrics()), end="")
@@ -63,6 +89,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         for name in result.metrics()
     ]
     print(render_table(["metric", "mean", "ci_half_width"], rows))
+    if result.failures:
+        print(f"absorbed faults: {failure_summary(result.failures)}", file=sys.stderr)
+    if result.degraded:
+        print(
+            "warning: results are degraded (quarantine fallback was used)",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -132,6 +165,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="also collect blocked-fraction and throughput probes",
     )
     run_parser.add_argument("--csv", action="store_true", help="emit CSV")
+    run_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for parallel replications (default: 1, in-process)",
+    )
+    run_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="wall-clock seconds allowed per replication attempt",
+    )
+    run_parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="retry budget per replication (failed attempts are reseeded)",
+    )
+    run_parser.add_argument(
+        "--checkpoint",
+        default=None,
+        help="JSONL file streaming every finished replication",
+    )
+    run_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse replications already in --checkpoint instead of recomputing",
+    )
     run_parser.set_defaults(handler=_cmd_run)
 
     sub.add_parser("tables", help="print the paper's Tables 1 and 2").set_defaults(
@@ -149,20 +210,29 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _one_line(message: str) -> str:
+    """Collapse a (possibly multi-line) exception message to one line."""
+    return " ".join(str(message).split())
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Framework errors exit non-zero with a single structured line on
+    stderr (``error: <ErrorType>: <message>``) — never a traceback.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
     except FileNotFoundError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        print(f"error: {_one_line(str(exc))}", file=sys.stderr)
         return 2
     except json.JSONDecodeError as exc:
-        print(f"error: malformed JSON spec: {exc}", file=sys.stderr)
+        print(f"error: malformed JSON spec: {_one_line(str(exc))}", file=sys.stderr)
         return 2
     except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        print(f"error: {type(exc).__name__}: {_one_line(str(exc))}", file=sys.stderr)
         return 1
 
 

@@ -6,17 +6,27 @@ independent replications (distinct random streams per replication, same
 root seed for reproducibility) continue until every watched metric's
 CI half-width is below the target or the replication budget runs out.
 
+Replications execute through the resilient executor
+(:mod:`repro.resilience.executor`): pass a
+:class:`~repro.resilience.ResilienceConfig` to fan replications out
+over worker processes, bound each attempt with a wall-clock timeout,
+retry crashed replications under deterministically reseeded streams,
+stream every resolved replication to a JSONL checkpoint, and isolate
+faults in user-plugged schedulers.  With no config the behavior (and
+the sample path) is exactly the legacy serial loop.
+
 :func:`run_sweep` layers parameter sweeps on top, which is how the
 figure benches express "PCPUs from 1 to 4" or "sync ratio 1:5 to 1:2".
 """
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
 from ..errors import ConfigurationError
+from ..resilience.executor import ResilienceConfig, run_replications
 from .config import SystemSpec
-from .framework import simulate_once
 from .results import ExperimentResult, MetricEstimate
 
 # The paper's reporting protocol.
@@ -34,6 +44,7 @@ def run_experiment(
     target_half_width: float = DEFAULT_TARGET_HALF_WIDTH,
     root_seed: int = 0,
     extra_probes: bool = False,
+    resilience: Optional[ResilienceConfig] = None,
 ) -> ExperimentResult:
     """Estimate every metric of one configuration to target confidence.
 
@@ -50,9 +61,21 @@ def run_experiment(
             is below this (paper: 0.1).
         root_seed: root of the replication seed family.
         extra_probes: also collect blocked-fraction and throughput probes.
+        resilience: executor configuration — parallel jobs, per-attempt
+            timeout, retry/reseed, checkpoint/resume, decision guard,
+            chaos injection.  ``None`` runs the legacy serial protocol
+            (in-process, no retries) with identical results.
 
     Returns:
-        An :class:`ExperimentResult` with one estimate per metric.
+        An :class:`ExperimentResult` with one estimate per metric, the
+        failure records the resilience layer absorbed, and a
+        ``degraded`` flag when a quarantine fallback produced any
+        included replication.
+
+    Raises:
+        ReplicationError: a replication kept failing and the config
+            does not allow partial results.
+        CheckpointError: resuming against a mismatched checkpoint.
     """
     if min_replications < 2:
         raise ConfigurationError(
@@ -66,21 +89,31 @@ def run_experiment(
     spec.validate()
     if watch_metrics is None:
         watch_metrics = ["vcpu_availability", "pcpu_utilization", "vcpu_utilization"]
+    if resilience is None:
+        # Legacy protocol: in-process, one attempt, fail on first error.
+        resilience = ResilienceConfig(jobs=1, timeout=None, retries=0)
+
+    def _prefix_converged(ordered_samples: List[Dict[str, float]]) -> bool:
+        samples: Dict[str, List[float]] = {}
+        for metrics in ordered_samples:
+            for name, value in metrics.items():
+                samples.setdefault(name, []).append(value)
+        return _converged(samples, watch_metrics, confidence, target_half_width)
+
+    execution = run_replications(
+        spec,
+        root_seed=root_seed,
+        extra_probes=extra_probes,
+        min_replications=min_replications,
+        max_replications=max_replications,
+        converged=_prefix_converged,
+        config=resilience,
+    )
 
     samples: Dict[str, List[float]] = {}
-    replication = 0
-    while replication < max_replications:
-        result = simulate_once(
-            spec, replication=replication, root_seed=root_seed, extra_probes=extra_probes
-        )
-        for name, value in result.metrics.items():
+    for metrics in execution.samples:
+        for name, value in metrics.items():
             samples.setdefault(name, []).append(value)
-        replication += 1
-        if replication >= min_replications and _converged(
-            samples, watch_metrics, confidence, target_half_width
-        ):
-            break
-
     estimates = {
         name: MetricEstimate(name=name, values=values, confidence=confidence)
         for name, values in samples.items()
@@ -88,12 +121,14 @@ def run_experiment(
     return ExperimentResult(
         label=label if label is not None else _default_label(spec),
         estimates=estimates,
-        replications=replication,
+        replications=execution.replications,
         parameters={
             "scheduler": spec.scheduler,
             "pcpus": spec.pcpus,
             "topology": "+".join(str(n) for n in spec.topology()),
         },
+        failures=execution.failures,
+        degraded=execution.degraded,
     )
 
 
@@ -121,6 +156,13 @@ def _default_label(spec: SystemSpec) -> str:
     return f"{spec.scheduler}/vms={topology}/pcpus={spec.pcpus}"
 
 
+# SystemSpec's *field* names — the only keys ``run_sweep`` may apply
+# with ``with_overrides``.  ``hasattr`` is wrong here: it also matches
+# methods (``topology``, ``validate``, ...), and assigning a sweep value
+# over a method silently shadows it on the instance.
+_SPEC_FIELD_NAMES = frozenset(f.name for f in dataclasses.fields(SystemSpec))
+
+
 def run_sweep(
     base_spec: SystemSpec,
     sweep: Iterable[Dict[str, Any]],
@@ -132,21 +174,25 @@ def run_sweep(
     Args:
         base_spec: the spec every point starts from.
         sweep: an iterable of override dicts.  Keys that are
-            :class:`SystemSpec` fields are applied with
-            ``with_overrides``; anything else must be handled by
-            ``mutate``.
+            :class:`SystemSpec` dataclass fields are applied with
+            ``with_overrides``; anything else (including spec *method*
+            names such as ``topology``) must be handled by ``mutate``.
         mutate: optional ``(spec, point) -> spec`` hook for overrides
             beyond plain fields (e.g. changing every VM's sync ratio).
-        **experiment_kwargs: forwarded to :func:`run_experiment`.
+        **experiment_kwargs: forwarded to :func:`run_experiment`.  A
+            ``resilience`` config with a checkpoint is automatically
+            re-scoped per sweep point, so one checkpoint file resumes
+            the whole sweep.
 
     Returns:
         One :class:`ExperimentResult` per sweep point, in order; each
         result's ``parameters`` records the point's overrides.
     """
+    base_resilience = experiment_kwargs.pop("resilience", None)
     results = []
-    for point in sweep:
+    for index, point in enumerate(sweep):
         field_overrides = {
-            key: value for key, value in point.items() if hasattr(base_spec, key)
+            key: value for key, value in point.items() if key in _SPEC_FIELD_NAMES
         }
         other = {key: value for key, value in point.items() if key not in field_overrides}
         spec = base_spec.with_overrides(**field_overrides)
@@ -157,7 +203,16 @@ def run_sweep(
                     "mutate hook was given"
                 )
             spec = mutate(spec, other)
-        result = run_experiment(spec, **experiment_kwargs)
+        resilience = base_resilience
+        if resilience is not None and resilience.checkpoint:
+            # Later points must append to the file the first point opened
+            # (resume=False truncates), whatever the caller's resume flag.
+            resilience = dataclasses.replace(
+                resilience,
+                checkpoint_scope=f"point{index}",
+                resume=resilience.resume or index > 0,
+            )
+        result = run_experiment(spec, resilience=resilience, **experiment_kwargs)
         result.parameters.update(point)
         results.append(result)
     return results

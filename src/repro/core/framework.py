@@ -17,11 +17,14 @@ Example — the whole paper workflow in four lines:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from ..des.random_streams import StreamFactory
 from ..metrics.collectors import per_vm_blocked_fraction, workloads_generated
 from ..metrics.rewards import standard_rewards
+from ..resilience.chaos import ChaosScheduler, ChaosSpec
+from ..resilience.failures import ReplicationFailure
+from ..resilience.guard import GuardedScheduler, GuardPolicy
 from ..san import ComposedModel, SANSimulator
 from .config import SystemSpec
 from .registry import create_scheduler
@@ -38,13 +41,21 @@ def _failure_model(spec: "SystemSpec"):
 
 @dataclass
 class RunResult:
-    """Everything measured in one replication."""
+    """Everything measured in one replication.
+
+    ``failures`` carries the tick-level scheduler faults the decision
+    guard absorbed (empty when unguarded or fault-free); ``degraded``
+    is True when the guard quarantined the algorithm mid-run and the
+    round-robin fallback finished the replication.
+    """
 
     spec: SystemSpec
     replication: int
     root_seed: int
     metrics: Dict[str, float] = field(default_factory=dict)
     completions: int = 0  # activity completions (simulator effort)
+    failures: List[ReplicationFailure] = field(default_factory=list)
+    degraded: bool = False
 
     def metric(self, name: str) -> float:
         """Look up one metric, with a helpful error on typos."""
@@ -70,6 +81,9 @@ class Simulation:
         replication: int = 0,
         root_seed: int = 0,
         extra_probes: bool = False,
+        guard: Optional[GuardPolicy] = None,
+        chaos: Optional[ChaosSpec] = None,
+        attempt: int = 0,
     ) -> None:
         spec.validate()
         self.spec = spec
@@ -78,6 +92,16 @@ class Simulation:
         self.streams = StreamFactory(root_seed=root_seed, replication=replication)
 
         algorithm = create_scheduler(spec.scheduler, **spec.scheduler_params)
+        # Wrap order matters: chaos sabotages the (possibly buggy) user
+        # algorithm; the guard then isolates whatever comes out of it.
+        if chaos is not None:
+            algorithm = ChaosScheduler(
+                algorithm, chaos, replication=replication, attempt=attempt
+            )
+        self._guard: Optional[GuardedScheduler] = None
+        if guard is not None:
+            algorithm = GuardedScheduler(algorithm, guard)
+            self._guard = algorithm
         vm_configs = [(vm.vcpus, vm.workload.build(), vm.dispatch) for vm in spec.vms]
         self.system: ComposedModel = build_virtual_system(
             vm_configs,
@@ -107,12 +131,21 @@ class Simulation:
         self.simulator.run(until=self.spec.sim_time)
         self._ran = True
         metrics = {name: reward.result() for name, reward in self.rewards.items()}
+        failures: List[ReplicationFailure] = []
+        degraded = False
+        if self._guard is not None:
+            failures = list(self._guard.failures)
+            for failure in failures:
+                failure.replication = self.replication
+            degraded = self._guard.quarantined
         return RunResult(
             spec=self.spec,
             replication=self.replication,
             root_seed=self.root_seed,
             metrics=metrics,
             completions=self.simulator.completions,
+            failures=failures,
+            degraded=degraded,
         )
 
 
@@ -121,10 +154,26 @@ def simulate_once(
     replication: int = 0,
     root_seed: int = 0,
     extra_probes: bool = False,
+    guard: Optional[GuardPolicy] = None,
+    chaos: Optional[ChaosSpec] = None,
+    attempt: int = 0,
 ) -> RunResult:
-    """Build and run one replication of ``spec`` (the quickstart entry)."""
+    """Build and run one replication of ``spec`` (the quickstart entry).
+
+    Args:
+        guard: optional decision-guard policy isolating scheduler
+            faults (see :mod:`repro.resilience.guard`).
+        chaos: optional deterministic fault-injection plan (testing).
+        attempt: retry attempt index; only chaos targeting uses it.
+    """
     return Simulation(
-        spec, replication=replication, root_seed=root_seed, extra_probes=extra_probes
+        spec,
+        replication=replication,
+        root_seed=root_seed,
+        extra_probes=extra_probes,
+        guard=guard,
+        chaos=chaos,
+        attempt=attempt,
     ).run()
 
 

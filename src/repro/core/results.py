@@ -15,6 +15,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from ..errors import StatisticsError
 from ..metrics.stats import confidence_interval
+from ..resilience.failures import ReplicationFailure
 
 
 @dataclass
@@ -49,12 +50,22 @@ class MetricEstimate:
 
 @dataclass
 class ExperimentResult:
-    """All metric estimates from one experiment configuration."""
+    """All metric estimates from one experiment configuration.
+
+    ``failures`` lists every fault the resilience layer absorbed while
+    producing these estimates (crashed/retried replications, guarded
+    scheduler faults, timeouts); ``degraded`` is True when any included
+    replication finished on the quarantine fallback scheduler.  Both
+    are empty/False for a clean run — partial results are reported
+    honestly instead of silently.
+    """
 
     label: str
     estimates: Dict[str, MetricEstimate] = field(default_factory=dict)
     replications: int = 0
     parameters: Dict[str, Any] = field(default_factory=dict)
+    failures: List[ReplicationFailure] = field(default_factory=list)
+    degraded: bool = False
 
     def mean(self, metric: str) -> float:
         return self._get(metric).mean

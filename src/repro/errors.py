@@ -54,3 +54,21 @@ class StatisticsError(ReproError):
 
     Example: a confidence interval over fewer than two replications.
     """
+
+
+class ReplicationError(ReproError):
+    """A replication failed after exhausting its retry budget.
+
+    Raised by the resilient experiment executor when one replication
+    keeps crashing or timing out and the configuration does not allow
+    continuing with partial results.
+    """
+
+
+class CheckpointError(ReproError):
+    """A checkpoint file is unusable.
+
+    Examples: corrupt JSONL in the middle of the file, or resuming
+    against a checkpoint written by a different experiment (spec,
+    seed, or protocol fingerprint mismatch).
+    """

@@ -1,0 +1,50 @@
+"""The resilience layer: production-grade experiment infrastructure.
+
+The paper's experiment protocol ("replicate until 95% confidence")
+assumed every replication finishes; a user-plugged scheduler that
+crashes, stalls, or emits corrupt decisions used to take the whole
+sweep down with it.  This package makes the runner survive all three:
+
+* :mod:`~repro.resilience.executor` — parallel replications with
+  per-attempt wall-clock timeouts and deterministic retry/reseed;
+* :mod:`~repro.resilience.checkpoint` — streaming JSONL checkpoints so
+  interrupted runs resume without recomputation;
+* :mod:`~repro.resilience.guard` — the scheduler decision guard:
+  fault records, optional quarantine, round-robin fallback;
+* :mod:`~repro.resilience.chaos` — deterministic, seeded fault
+  injection so the machinery above is itself tested end-to-end;
+* :mod:`~repro.resilience.failures` — the structured
+  :class:`ReplicationFailure` records everything else emits.
+"""
+
+from .chaos import CORRUPT_KINDS, ChaosScheduler, ChaosSpec, InjectedFault
+from .checkpoint import CheckpointStore, fingerprint
+from .executor import (
+    ExecutionOutcome,
+    ReplicationOutcome,
+    ResilienceConfig,
+    retry_seed,
+    run_replications,
+)
+from .failures import FailureKind, ReplicationFailure, failure_summary
+from .guard import GUARD_MODES, GuardedScheduler, GuardPolicy
+
+__all__ = [
+    "ChaosScheduler",
+    "ChaosSpec",
+    "CheckpointStore",
+    "CORRUPT_KINDS",
+    "ExecutionOutcome",
+    "FailureKind",
+    "GUARD_MODES",
+    "GuardedScheduler",
+    "GuardPolicy",
+    "InjectedFault",
+    "ReplicationFailure",
+    "ReplicationOutcome",
+    "ResilienceConfig",
+    "failure_summary",
+    "fingerprint",
+    "retry_seed",
+    "run_replications",
+]

@@ -1,0 +1,216 @@
+"""Deterministic, seeded fault injection for scheduler calls.
+
+The resilience machinery (timeouts, retry/reseed, guard/quarantine)
+must itself be tested end-to-end; this module is the test double that
+makes faults reproducible.  A :class:`ChaosScheduler` wraps any
+algorithm and, driven entirely by a :class:`ChaosSpec` and a seeded
+stream, injects
+
+* **exceptions** — the scheduler "crashes" mid-replication;
+* **stalls** — a wall-clock sleep, to exercise the executor timeout;
+* **corrupt decisions** — double PCPU assignments, out-of-range ids,
+  or schedule_in/schedule_out conflicts, to exercise the guard.
+
+Injection is keyed on ``(replication, sim-time)`` so the same spec and
+seed always fault at the same point, and by default only the *first*
+attempt of a replication is sabotaged — which is exactly the shape the
+acceptance test needs: crash once, retry under a fresh seed, succeed.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+from ..des.random_streams import derive_seed
+from ..errors import ConfigurationError
+from ..schedulers.interface import PCPUView, SchedulingAlgorithm, VCPUHostView
+
+CORRUPT_KINDS = ("double_assign", "out_of_range", "conflict")
+
+
+class InjectedFault(RuntimeError):
+    """The exception the chaos harness raises inside scheduler calls.
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: a buggy
+    user scheduler raises arbitrary exceptions, and the guard and
+    executor must cope with exactly that.
+    """
+
+
+@dataclass
+class ChaosSpec:
+    """Declarative fault plan, plain data so it crosses process borders.
+
+    Attributes:
+        seed: root seed of the chaos stream (independent of the
+            simulation's streams, so injection never perturbs them).
+        crash_replications: replication indices whose scheduler raises.
+        stall_replications: replication indices whose scheduler sleeps
+            ``stall_seconds`` of wall-clock time once.
+        corrupt_replications: replication indices whose scheduler emits
+            one corrupt decision of ``corrupt_kind``.
+        inject_after: simulated time before which no fault fires (lets
+            the replication do real work first).
+        stall_seconds: duration of an injected stall.
+        corrupt_kind: one of ``double_assign``, ``out_of_range``,
+            ``conflict``.
+        fault_rate: additionally, per-tick crash probability on targeted
+            replications' chaos stream (0 disables).
+        first_attempt_only: sabotage only attempt 0 of a replication, so
+            a retry under a fresh seed succeeds (default True).
+    """
+
+    seed: int = 0
+    crash_replications: Tuple[int, ...] = ()
+    stall_replications: Tuple[int, ...] = ()
+    corrupt_replications: Tuple[int, ...] = ()
+    inject_after: float = 0.0
+    stall_seconds: float = 1.0
+    corrupt_kind: str = "double_assign"
+    fault_rate: float = 0.0
+    first_attempt_only: bool = True
+
+    def validate(self) -> None:
+        if self.corrupt_kind not in CORRUPT_KINDS:
+            raise ConfigurationError(
+                f"corrupt_kind must be one of {CORRUPT_KINDS}, got {self.corrupt_kind!r}"
+            )
+        if self.stall_seconds < 0:
+            raise ConfigurationError(
+                f"stall_seconds must be >= 0, got {self.stall_seconds}"
+            )
+        if not 0.0 <= self.fault_rate <= 1.0:
+            raise ConfigurationError(
+                f"fault_rate must be in [0, 1], got {self.fault_rate}"
+            )
+        if self.inject_after < 0:
+            raise ConfigurationError(
+                f"inject_after must be >= 0, got {self.inject_after}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "crash_replications": list(self.crash_replications),
+            "stall_replications": list(self.stall_replications),
+            "corrupt_replications": list(self.corrupt_replications),
+            "inject_after": self.inject_after,
+            "stall_seconds": self.stall_seconds,
+            "corrupt_kind": self.corrupt_kind,
+            "fault_rate": self.fault_rate,
+            "first_attempt_only": self.first_attempt_only,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ChaosSpec":
+        return cls(
+            seed=int(payload.get("seed", 0)),
+            crash_replications=tuple(payload.get("crash_replications", ())),
+            stall_replications=tuple(payload.get("stall_replications", ())),
+            corrupt_replications=tuple(payload.get("corrupt_replications", ())),
+            inject_after=float(payload.get("inject_after", 0.0)),
+            stall_seconds=float(payload.get("stall_seconds", 1.0)),
+            corrupt_kind=payload.get("corrupt_kind", "double_assign"),
+            fault_rate=float(payload.get("fault_rate", 0.0)),
+            first_attempt_only=bool(payload.get("first_attempt_only", True)),
+        )
+
+
+class ChaosScheduler(SchedulingAlgorithm):
+    """Wraps an algorithm and injects the faults its spec plans.
+
+    One-shot faults (crash, stall, corruption) fire at the first tick
+    with ``timestamp >= inject_after`` and never again on the same
+    instance; a retried attempt gets a fresh instance and — with
+    ``first_attempt_only`` — a clean run.
+    """
+
+    def __init__(
+        self,
+        inner: SchedulingAlgorithm,
+        spec: ChaosSpec,
+        replication: int,
+        attempt: int = 0,
+    ) -> None:
+        spec.validate()
+        super().__init__(timeslice=inner.timeslice)
+        self.name = f"chaos({inner.name})"
+        self.inner = inner
+        self.spec = spec
+        self.replication = int(replication)
+        self.attempt = int(attempt)
+        self.armed = attempt == 0 or not spec.first_attempt_only
+        self._rng = random.Random(derive_seed(spec.seed, "chaos", replication))
+        self._crashed = False
+        self._stalled = False
+        self._corrupted = False
+
+    def reset(self) -> None:
+        super().reset()
+        self.inner.reset()
+
+    def schedule(
+        self,
+        vcpus: List[VCPUHostView],
+        num_vcpu: int,
+        pcpus: List[PCPUView],
+        num_pcpu: int,
+        timestamp: float,
+    ) -> bool:
+        if self.armed and timestamp >= self.spec.inject_after:
+            if not self._crashed and self.replication in self.spec.crash_replications:
+                self._crashed = True
+                raise InjectedFault(
+                    f"chaos: injected crash in replication {self.replication} "
+                    f"at t={timestamp:g}"
+                )
+            if (
+                self.spec.fault_rate
+                and self.replication in self.spec.crash_replications
+                and self._rng.random() < self.spec.fault_rate
+            ):
+                raise InjectedFault(
+                    f"chaos: random fault in replication {self.replication} "
+                    f"at t={timestamp:g}"
+                )
+            if not self._stalled and self.replication in self.spec.stall_replications:
+                self._stalled = True
+                time.sleep(self.spec.stall_seconds)
+        decided = self.inner.schedule(vcpus, num_vcpu, pcpus, num_pcpu, timestamp)
+        if (
+            self.armed
+            and timestamp >= self.spec.inject_after
+            and not self._corrupted
+            and self.replication in self.spec.corrupt_replications
+        ):
+            self._corrupted = True
+            self._corrupt(vcpus, num_pcpu)
+        return decided
+
+    def _corrupt(self, vcpus: List[VCPUHostView], num_pcpu: int) -> None:
+        """Overwrite this tick's decisions with an invalid set."""
+        if not vcpus:
+            return
+        if self.spec.corrupt_kind == "conflict":
+            view = next((v for v in vcpus if v.pcpu is not None), vcpus[0])
+            view.schedule_in = True
+            view.schedule_out = True
+            return
+        if self.spec.corrupt_kind == "out_of_range":
+            view = next((v for v in vcpus if v.pcpu is None), vcpus[0])
+            view.schedule_in = True
+            view.schedule_out = False
+            view.next_pcpu = num_pcpu + 7
+            view.next_timeslice = self.timeslice
+            return
+        # double_assign: two VCPUs claim PCPU 0 in the same tick.
+        idle = [v for v in vcpus if v.pcpu is None][:2]
+        targets = idle if len(idle) == 2 else vcpus[:2]
+        for view in targets:
+            view.schedule_in = True
+            view.schedule_out = False
+            view.next_pcpu = 0
+            view.next_timeslice = self.timeslice

@@ -1,0 +1,586 @@
+"""The resilient replication executor.
+
+``run_experiment`` used to be a bare serial loop: one hung or crashing
+replication killed the whole sweep and lost every completed sample.
+This module is the production-infrastructure replacement:
+
+* **parallelism** — replications fan out over a
+  :class:`~concurrent.futures.ProcessPoolExecutor` (``jobs=N``);
+* **timeouts** — each replication attempt gets a wall-clock budget; a
+  stalled worker is abandoned (its slot recycles when the stall ends)
+  and the attempt is treated as failed;
+* **retry with reseed** — a failed attempt re-runs under a fresh seed
+  drawn deterministically from the same seed family
+  (:func:`retry_seed`), so results are reproducible and independent of
+  which other replications ran or failed;
+* **checkpointing** — every resolved replication streams to a JSONL
+  :class:`~repro.resilience.checkpoint.CheckpointStore`, so an
+  interrupted run resumes without recomputation.
+
+Determinism contract: replication *r*, attempt 0 uses exactly the
+streams the legacy serial loop used, and the convergence decision is
+taken over samples in replication order — so ``jobs=8`` produces the
+same :class:`~repro.core.results.ExperimentResult` as ``jobs=1``, and a
+killed-then-resumed run the same tables as an uninterrupted one.
+Replications computed beyond the convergence cut (parallel over-run)
+are discarded, never mixed in.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from ..des.random_streams import derive_seed
+from ..errors import ConfigurationError, ReplicationError
+from .chaos import ChaosSpec
+from .checkpoint import CheckpointStore, fingerprint
+from .failures import FailureKind, ReplicationFailure, failure_summary
+from .guard import GuardPolicy
+
+ConvergenceCheck = Callable[[List[Dict[str, float]]], bool]
+
+
+@dataclass
+class ResilienceConfig:
+    """Knobs of the resilient executor (all opt-in; defaults are safe).
+
+    Attributes:
+        jobs: worker processes (1 = run in-process; >1 or a timeout
+            switches to a :class:`ProcessPoolExecutor`).
+        timeout: wall-clock seconds per replication attempt (``None``
+            disables; setting it forces process isolation even at
+            ``jobs=1`` so a stall can actually be abandoned).
+        retries: extra attempts per replication after the first.
+        backoff: base of the exponential retry backoff in seconds
+            (attempt *a* sleeps ``backoff * 2**a``).
+        checkpoint: JSONL checkpoint path (``None`` disables).
+        resume: load the checkpoint instead of starting fresh.
+        checkpoint_scope: namespace inside the checkpoint file
+            (``run_sweep`` gives every point its own scope).
+        guard: decision-guard policy applied around the scheduler
+            (``None`` = unguarded, exactly the legacy behavior).
+        chaos: deterministic fault-injection plan (testing only).
+        keep_partial: when a replication exhausts its retries, record
+            the failure and continue with the surviving replications
+            instead of raising :class:`~repro.errors.ReplicationError`.
+    """
+
+    jobs: int = 1
+    timeout: Optional[float] = None
+    retries: int = 2
+    backoff: float = 0.05
+    checkpoint: Optional[str] = None
+    resume: bool = False
+    checkpoint_scope: str = "experiment"
+    guard: Optional[GuardPolicy] = None
+    chaos: Optional[ChaosSpec] = None
+    keep_partial: bool = False
+
+    def validate(self) -> None:
+        if self.jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {self.jobs}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ConfigurationError(f"timeout must be > 0, got {self.timeout}")
+        if self.retries < 0:
+            raise ConfigurationError(f"retries must be >= 0, got {self.retries}")
+        if self.backoff < 0:
+            raise ConfigurationError(f"backoff must be >= 0, got {self.backoff}")
+        if self.resume and not self.checkpoint:
+            raise ConfigurationError("resume=True requires a checkpoint path")
+        if self.guard is not None:
+            self.guard.validate()
+        if self.chaos is not None:
+            self.chaos.validate()
+
+
+def retry_seed(root_seed: int, replication: int, attempt: int) -> int:
+    """The seed-family member for one replication attempt.
+
+    Attempt 0 keeps the experiment's root seed (bit-identical to the
+    legacy serial runner); retries derive a fresh root from
+    ``(root_seed, replication, attempt)`` alone, so the reseed is
+    deterministic and independent of execution order or of which other
+    replications failed.
+    """
+    if attempt == 0:
+        return root_seed
+    return derive_seed(root_seed, f"retry:{replication}", attempt)
+
+
+@dataclass
+class ReplicationOutcome:
+    """One resolved replication: its sample, or its permanent failure."""
+
+    replication: int
+    metrics: Optional[Dict[str, float]]
+    attempt: int = 0
+    completions: int = 0
+    degraded: bool = False
+    failures: List[ReplicationFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.metrics is not None
+
+    def to_payload(self) -> Dict[str, Any]:
+        """Checkpoint-record body (JSON-safe)."""
+        return {
+            "ok": self.ok,
+            "metrics": self.metrics,
+            "attempt": self.attempt,
+            "completions": self.completions,
+            "degraded": self.degraded,
+            "failures": [f.to_dict() for f in self.failures],
+        }
+
+    @classmethod
+    def from_record(cls, record: Dict[str, Any]) -> "ReplicationOutcome":
+        return cls(
+            replication=int(record["replication"]),
+            metrics=record.get("metrics") if record.get("ok") else None,
+            attempt=int(record.get("attempt", 0)),
+            completions=int(record.get("completions", 0)),
+            degraded=bool(record.get("degraded", False)),
+            failures=[
+                ReplicationFailure.from_dict(f) for f in record.get("failures", [])
+            ],
+        )
+
+
+@dataclass
+class ExecutionOutcome:
+    """What the executor hands back to ``run_experiment``."""
+
+    samples: List[Dict[str, float]]  # included samples, replication order
+    replications: int  # number of included samples
+    failures: List[ReplicationFailure]
+    degraded: bool
+
+
+@dataclass
+class _Task:
+    """One replication attempt, picklable for the process pool."""
+
+    spec: Any  # SystemSpec (kept loose: no core import at module level)
+    replication: int
+    attempt: int
+    root_seed: int
+    extra_probes: bool
+    guard: Optional[GuardPolicy]
+    chaos: Optional[ChaosSpec]
+
+
+def _execute_task(task: _Task) -> Dict[str, Any]:
+    """Worker entry: run one attempt, never raise across the boundary."""
+    from ..core.framework import simulate_once  # local: breaks an import cycle
+
+    try:
+        run = simulate_once(
+            task.spec,
+            replication=task.replication,
+            root_seed=retry_seed(task.root_seed, task.replication, task.attempt),
+            extra_probes=task.extra_probes,
+            guard=task.guard,
+            chaos=task.chaos,
+            attempt=task.attempt,
+        )
+    except Exception as exc:  # noqa: BLE001 — every fault becomes a record
+        return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+    return {
+        "ok": True,
+        "metrics": run.metrics,
+        "completions": run.completions,
+        "degraded": run.degraded,
+        "failures": [f.to_dict() for f in run.failures],
+    }
+
+
+def spec_payload(spec: Any) -> Any:
+    """A spec's JSON-able identity for checkpoint fingerprinting."""
+    try:
+        return spec.to_dict()
+    except Exception:  # live Distribution instances do not round-trip
+        return repr(spec)
+
+
+class _Run:
+    """State of one run_replications call (serial or pooled)."""
+
+    def __init__(
+        self,
+        spec: Any,
+        root_seed: int,
+        extra_probes: bool,
+        min_replications: int,
+        max_replications: int,
+        converged: ConvergenceCheck,
+        config: ResilienceConfig,
+        checkpoint: Optional[CheckpointStore],
+    ) -> None:
+        self.spec = spec
+        self.root_seed = root_seed
+        self.extra_probes = extra_probes
+        self.min_replications = min_replications
+        self.max_replications = max_replications
+        self.converged = converged
+        self.config = config
+        self.checkpoint = checkpoint
+        self.resolved: Dict[int, ReplicationOutcome] = {}
+        self._attempt_failures: Dict[int, List[ReplicationFailure]] = {}
+
+    # -- shared bookkeeping -------------------------------------------------
+
+    def task(self, replication: int, attempt: int = 0) -> _Task:
+        return _Task(
+            spec=self.spec,
+            replication=replication,
+            attempt=attempt,
+            root_seed=self.root_seed,
+            extra_probes=self.extra_probes,
+            guard=self.config.guard,
+            chaos=self.config.chaos,
+        )
+
+    def _stamp(self, failures: List[ReplicationFailure], task: _Task) -> None:
+        for failure in failures:
+            if failure.replication < 0:
+                failure.replication = task.replication
+                failure.attempt = task.attempt
+
+    def resolve_success(self, task: _Task, payload: Dict[str, Any]) -> None:
+        tick_failures = [
+            ReplicationFailure.from_dict(f) for f in payload.get("failures", [])
+        ]
+        self._stamp(tick_failures, task)
+        earlier = self._attempt_failures.pop(task.replication, [])
+        self.resolved[task.replication] = ReplicationOutcome(
+            replication=task.replication,
+            metrics=dict(payload["metrics"]),
+            attempt=task.attempt,
+            completions=int(payload.get("completions", 0)),
+            degraded=bool(payload.get("degraded", False)),
+            failures=earlier + tick_failures,
+        )
+        self._record(task.replication)
+
+    def fail_attempt(self, task: _Task, failure: ReplicationFailure) -> Optional[_Task]:
+        """Register a failed attempt; return the retry task, if any."""
+        self._stamp([failure], task)
+        bucket = self._attempt_failures.setdefault(task.replication, [])
+        bucket.append(failure)
+        if task.attempt < self.config.retries:
+            if self.config.backoff:
+                time.sleep(self.config.backoff * (2 ** task.attempt))
+            return replace(task, attempt=task.attempt + 1)
+        # Retries exhausted: the replication is permanently failed.
+        bucket.append(
+            ReplicationFailure(
+                kind=FailureKind.RETRIES_EXHAUSTED,
+                message=(
+                    f"replication {task.replication} failed "
+                    f"{task.attempt + 1} attempt(s): {failure_summary(bucket)}"
+                ),
+                replication=task.replication,
+                attempt=task.attempt,
+                scheduler=failure.scheduler,
+            )
+        )
+        if not self.config.keep_partial:
+            raise ReplicationError(
+                f"replication {task.replication} failed after "
+                f"{task.attempt + 1} attempt(s) "
+                f"({failure_summary(bucket[:-1])}); last error: {failure.message}. "
+                "Pass keep_partial=True to continue with surviving replications."
+            )
+        self.resolved[task.replication] = ReplicationOutcome(
+            replication=task.replication,
+            metrics=None,
+            attempt=task.attempt,
+            failures=self._attempt_failures.pop(task.replication),
+        )
+        self._record(task.replication)
+        return None
+
+    def _record(self, replication: int) -> None:
+        if self.checkpoint is not None:
+            self.checkpoint.record(
+                self.config.checkpoint_scope,
+                replication,
+                self.resolved[replication].to_payload(),
+            )
+
+    # -- convergence over the contiguous resolved prefix --------------------
+
+    def _contiguous_prefix(self) -> int:
+        prefix = 0
+        while prefix < self.max_replications and prefix in self.resolved:
+            prefix += 1
+        return prefix
+
+    def _surviving(self, prefix: int) -> List[ReplicationOutcome]:
+        return [self.resolved[i] for i in range(prefix) if self.resolved[i].ok]
+
+    def converged_cut(self) -> Optional[int]:
+        """Smallest sample count >= min that converges, scanning the
+        resolved prefix in replication order; None if not converged yet."""
+        surviving = self._surviving(self._contiguous_prefix())
+        for count in range(self.min_replications, len(surviving) + 1):
+            if self.converged([o.metrics for o in surviving[:count]]):
+                return count
+        return None
+
+    def assemble(self) -> ExecutionOutcome:
+        prefix = self._contiguous_prefix()
+        surviving = self._surviving(prefix)
+        cut = self.converged_cut()
+        included = surviving[: cut if cut is not None else len(surviving)]
+        if cut is not None and included:
+            boundary = included[-1].replication
+        else:
+            boundary = prefix - 1  # budget exhausted: report the whole prefix
+        failures: List[ReplicationFailure] = []
+        for index in range(boundary + 1):
+            outcome = self.resolved.get(index)
+            if outcome is not None:
+                failures.extend(outcome.failures)
+        failures.sort(key=lambda f: (f.replication, f.attempt, f.sim_time or 0.0))
+        return ExecutionOutcome(
+            samples=[o.metrics for o in included],
+            replications=len(included),
+            failures=failures,
+            degraded=any(o.degraded for o in included),
+        )
+
+    # -- serial driver -------------------------------------------------------
+
+    def run_serial(self) -> None:
+        for replication in range(self.max_replications):
+            if replication not in self.resolved:
+                task = self.task(replication)
+                while task is not None:
+                    payload = _execute_task(task)
+                    if payload["ok"]:
+                        self.resolve_success(task, payload)
+                        task = None
+                    else:
+                        task = self.fail_attempt(
+                            task,
+                            ReplicationFailure(
+                                kind=FailureKind.EXCEPTION,
+                                message=payload["error"],
+                                scheduler=getattr(self.spec, "scheduler", ""),
+                            ),
+                        )
+                if replication not in self.resolved:
+                    continue  # permanently failed, keep_partial
+            if (
+                replication + 1 >= self.min_replications
+                and self.converged_cut() is not None
+            ):
+                return
+
+    # -- pooled driver --------------------------------------------------------
+
+    def run_pool(self) -> None:
+        from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+        from concurrent.futures.process import BrokenProcessPool
+
+        jobs = max(1, self.config.jobs)
+        pool = ProcessPoolExecutor(max_workers=jobs)
+        pending: Dict[Any, Tuple[_Task, Optional[float]]] = {}
+        ready: Deque[_Task] = deque()
+        next_index = 0
+        try:
+            while True:
+                if self.converged_cut() is not None:
+                    return
+                # Top up: retries first, then fresh replications in order.
+                while len(pending) < jobs:
+                    if ready:
+                        task = ready.popleft()
+                    else:
+                        while (
+                            next_index < self.max_replications
+                            and next_index in self.resolved
+                        ):
+                            next_index += 1
+                        if next_index >= self.max_replications:
+                            break
+                        task = self.task(next_index)
+                        next_index += 1
+                    deadline = (
+                        time.monotonic() + self.config.timeout
+                        if self.config.timeout is not None
+                        else None
+                    )
+                    try:
+                        future = pool.submit(_execute_task, task)
+                    except (BrokenProcessPool, RuntimeError):
+                        # Pool died between batches: rebuild, requeue.
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        pool = ProcessPoolExecutor(max_workers=jobs)
+                        future = pool.submit(_execute_task, task)
+                    pending[future] = (task, deadline)
+                if not pending:
+                    return
+                deadlines = [d for (_t, d) in pending.values() if d is not None]
+                budget = (
+                    max(0.0, min(deadlines) - time.monotonic()) if deadlines else None
+                )
+                done, _ = wait(
+                    set(pending), timeout=budget, return_when=FIRST_COMPLETED
+                )
+                pool_broken = False
+                for future in done:
+                    task, _deadline = pending.pop(future)
+                    try:
+                        payload = future.result()
+                    except BrokenProcessPool:
+                        pool_broken = True
+                        payload = {
+                            "ok": False,
+                            "kind": FailureKind.WORKER_CRASH,
+                            "error": "worker process died (pool broken)",
+                        }
+                    except Exception as exc:  # noqa: BLE001
+                        payload = {
+                            "ok": False,
+                            "kind": FailureKind.WORKER_CRASH,
+                            "error": f"{type(exc).__name__}: {exc}",
+                        }
+                    if payload["ok"]:
+                        self.resolve_success(task, payload)
+                    else:
+                        retry = self.fail_attempt(
+                            task,
+                            ReplicationFailure(
+                                kind=payload.get("kind", FailureKind.EXCEPTION),
+                                message=payload["error"],
+                                scheduler=getattr(self.spec, "scheduler", ""),
+                            ),
+                        )
+                        if retry is not None:
+                            ready.append(retry)
+                # Abandon attempts that blew their wall-clock budget.  The
+                # worker itself cannot be interrupted, but its slot recycles
+                # once the stall ends, and the attempt is failed *now*.
+                now = time.monotonic()
+                for future in [
+                    f
+                    for f, (_t, deadline) in pending.items()
+                    if deadline is not None and now >= deadline
+                ]:
+                    task, _deadline = pending.pop(future)
+                    future.cancel()
+                    retry = self.fail_attempt(
+                        task,
+                        ReplicationFailure(
+                            kind=FailureKind.TIMEOUT,
+                            message=(
+                                f"replication attempt exceeded the "
+                                f"{self.config.timeout:g}s wall-clock timeout"
+                            ),
+                            scheduler=getattr(self.spec, "scheduler", ""),
+                        ),
+                    )
+                    if retry is not None:
+                        ready.append(retry)
+                if pool_broken:
+                    # Every in-flight future is poisoned; fail them as
+                    # worker crashes, rebuild the pool, requeue retries.
+                    for future in list(pending):
+                        task, _deadline = pending.pop(future)
+                        retry = self.fail_attempt(
+                            task,
+                            ReplicationFailure(
+                                kind=FailureKind.WORKER_CRASH,
+                                message="worker process died (pool broken)",
+                                scheduler=getattr(self.spec, "scheduler", ""),
+                            ),
+                        )
+                        if retry is not None:
+                            ready.append(retry)
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = ProcessPoolExecutor(max_workers=jobs)
+        finally:
+            # wait=False: a stalled worker must not hold the experiment
+            # hostage past its timeout; the processes reap at interpreter exit.
+            pool.shutdown(wait=False, cancel_futures=True)
+
+
+def run_replications(
+    spec: Any,
+    *,
+    root_seed: int,
+    extra_probes: bool,
+    min_replications: int,
+    max_replications: int,
+    converged: ConvergenceCheck,
+    config: ResilienceConfig,
+) -> ExecutionOutcome:
+    """Resolve replications until convergence or budget, resiliently.
+
+    Args:
+        spec: the (validated) system spec.
+        root_seed: seed-family root; attempt 0 of replication *r* is
+            bit-identical to the legacy serial runner.
+        extra_probes: forwarded to ``simulate_once``.
+        min_replications / max_replications: the replication protocol.
+        converged: callback receiving the ordered list of per-replication
+            metric dicts collected so far; True stops the run.
+        config: executor knobs (parallelism, timeout, retries,
+            checkpointing, guard, chaos).
+
+    Returns:
+        An :class:`ExecutionOutcome` with the included samples (in
+        replication order), the failure records up to the convergence
+        boundary, and the degraded flag.
+
+    Raises:
+        ReplicationError: a replication exhausted its retries and
+            ``config.keep_partial`` is False.
+        CheckpointError: resuming against a mismatched checkpoint.
+    """
+    config.validate()
+    checkpoint: Optional[CheckpointStore] = None
+    if config.checkpoint:
+        checkpoint = CheckpointStore(config.checkpoint, resume=config.resume)
+    run = _Run(
+        spec=spec,
+        root_seed=root_seed,
+        extra_probes=extra_probes,
+        min_replications=min_replications,
+        max_replications=max_replications,
+        converged=converged,
+        config=config,
+        checkpoint=checkpoint,
+    )
+    try:
+        if checkpoint is not None:
+            scope_fp = fingerprint(
+                {
+                    "spec": spec_payload(spec),
+                    "root_seed": root_seed,
+                    "extra_probes": extra_probes,
+                    "guard": config.guard.to_dict() if config.guard else None,
+                    "chaos": config.chaos.to_dict() if config.chaos else None,
+                    "version": 1,
+                }
+            )
+            checkpoint.begin_scope(config.checkpoint_scope, scope_fp)
+            for rep, record in checkpoint.replications(
+                config.checkpoint_scope
+            ).items():
+                if rep < max_replications:
+                    run.resolved[rep] = ReplicationOutcome.from_record(record)
+        if config.jobs > 1 or config.timeout is not None:
+            run.run_pool()
+        else:
+            run.run_serial()
+    finally:
+        if checkpoint is not None:
+            checkpoint.close()
+    return run.assemble()

@@ -1,0 +1,92 @@
+"""Structured failure records for the resilient experiment engine.
+
+Every fault the resilience layer observes — a scheduler raising, an
+invalid decision, a replication timing out, a worker process dying —
+becomes one :class:`ReplicationFailure` instead of a lost traceback.
+Records ride on :class:`~repro.core.framework.RunResult` (tick-level
+faults caught by the decision guard) and are aggregated onto
+:class:`~repro.core.results.ExperimentResult` so partial results are
+reported honestly.
+
+Records are plain data and round-trip through dicts, so they stream to
+JSONL checkpoints and survive process boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+
+class FailureKind:
+    """The closed set of failure categories the resilience layer emits."""
+
+    EXCEPTION = "exception"  # the scheduler (or model) raised
+    INVALID_DECISION = "invalid-decision"  # decisions failed validation
+    TIMEOUT = "timeout"  # replication exceeded its wall-clock budget
+    WORKER_CRASH = "worker-crash"  # the worker process died
+    RETRIES_EXHAUSTED = "retries-exhausted"  # every attempt failed
+
+    ALL = (EXCEPTION, INVALID_DECISION, TIMEOUT, WORKER_CRASH, RETRIES_EXHAUSTED)
+
+
+@dataclass
+class ReplicationFailure:
+    """One observed fault, localized to a replication attempt.
+
+    Attributes:
+        kind: one of :class:`FailureKind`.
+        message: human-readable one-liner (``TypeName: text``).
+        replication: replication index the fault belongs to (-1 until
+            the executor stamps it — the decision guard does not know
+            which replication it is running in).
+        attempt: retry attempt the fault occurred on (0 = first run).
+        scheduler: name of the algorithm that faulted, if known.
+        sim_time: simulated clock when a tick-level fault hit (``None``
+            for replication-level faults such as timeouts).
+    """
+
+    kind: str
+    message: str
+    replication: int = -1
+    attempt: int = 0
+    scheduler: str = ""
+    sim_time: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form; inverse of :meth:`from_dict`."""
+        return {
+            "kind": self.kind,
+            "message": self.message,
+            "replication": self.replication,
+            "attempt": self.attempt,
+            "scheduler": self.scheduler,
+            "sim_time": self.sim_time,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ReplicationFailure":
+        return cls(
+            kind=str(payload["kind"]),
+            message=str(payload["message"]),
+            replication=int(payload.get("replication", -1)),
+            attempt=int(payload.get("attempt", 0)),
+            scheduler=str(payload.get("scheduler", "")),
+            sim_time=payload.get("sim_time"),
+        )
+
+    def __str__(self) -> str:
+        where = f"replication {self.replication}" if self.replication >= 0 else "replication ?"
+        if self.attempt:
+            where += f" (attempt {self.attempt})"
+        if self.sim_time is not None:
+            where += f" at t={self.sim_time:g}"
+        return f"[{self.kind}] {where}: {self.message}"
+
+
+def failure_summary(failures) -> str:
+    """Compact ``kind xN`` summary of a failure list (for CLI output)."""
+    counts: Dict[str, int] = {}
+    for failure in failures:
+        counts[failure.kind] = counts.get(failure.kind, 0) + 1
+    return ", ".join(f"{kind} x{n}" for kind, n in sorted(counts.items()))

@@ -34,6 +34,7 @@ from .interface import (
     SchedulingAlgorithm,
     VCPUHostView,
     VCPUStatus,
+    validate_decisions,
 )
 from .relaxed_co import RelaxedCoScheduler
 from .round_robin import RoundRobinScheduler
@@ -67,4 +68,5 @@ __all__ = [
     "FifoScheduler",
     "SchedulerHarness",
     "BUILTIN_ALGORITHMS",
+    "validate_decisions",
 ]

@@ -217,6 +217,94 @@ class SchedulingAlgorithm:
         return f"{type(self).__name__}(timeslice={self.timeslice})"
 
 
+def validate_decisions(
+    vcpus: List[VCPUHostView],
+    pcpus: List[PCPUView],
+    num_pcpu: int,
+    default_timeslice: int = 1,
+    algorithm_name: str = "algorithm",
+) -> None:
+    """Check one tick's decisions without applying them.
+
+    Mirrors the ``Scheduling_Func`` gate's apply-time semantics exactly
+    (outs applied first, then ins in array order against the evolving
+    PCPU states), so a decision set that passes here is guaranteed to
+    apply cleanly.  The resilience layer's decision guard runs this
+    *before* the framework mutates any model state, which is what lets
+    it discard a faulty tick instead of corrupting the replication.
+
+    Raises:
+        SchedulingError: naming the first inconsistent decision —
+            schedule_in+schedule_out conflicts, schedule_out without a
+            PCPU, schedule_in while already holding one, out-of-range
+            or non-idle (including FAILED) PCPU requests, double
+            assignment of one PCPU, over-commitment, or a timeslice
+            below 1.
+    """
+    states = [p.state for p in pcpus]
+    for view in vcpus:
+        if view.schedule_in and view.schedule_out:
+            raise SchedulingError(
+                f"{algorithm_name}: VCPU {view.vcpu_id} marked for both "
+                "schedule_in and schedule_out in one tick"
+            )
+    for view in vcpus:
+        if not view.schedule_out:
+            continue
+        if view.pcpu is None:
+            raise SchedulingError(
+                f"{algorithm_name}: schedule_out for VCPU {view.vcpu_id}, "
+                "which holds no PCPU"
+            )
+        states[view.pcpu] = PCPUState.IDLE
+    for view in vcpus:
+        if not view.schedule_in:
+            continue
+        if view.pcpu is not None:
+            raise SchedulingError(
+                f"{algorithm_name}: schedule_in for VCPU {view.vcpu_id}, "
+                "which already holds a PCPU"
+            )
+        target = view.next_pcpu
+        if target is None:
+            target = next(
+                (i for i, state in enumerate(states) if state == PCPUState.IDLE),
+                None,
+            )
+            if target is None:
+                raise SchedulingError(
+                    f"{algorithm_name}: schedule_in for VCPU {view.vcpu_id} "
+                    "but no PCPU is free (over-commitment in one tick)"
+                )
+        else:
+            if not 0 <= target < num_pcpu:
+                raise SchedulingError(
+                    f"{algorithm_name}: VCPU {view.vcpu_id} requested PCPU "
+                    f"{target}, outside 0..{num_pcpu - 1}"
+                )
+            if states[target] == PCPUState.FAILED:
+                raise SchedulingError(
+                    f"{algorithm_name}: VCPU {view.vcpu_id} requested PCPU "
+                    f"{target}, which is FAILED"
+                )
+            if states[target] != PCPUState.IDLE:
+                raise SchedulingError(
+                    f"{algorithm_name}: VCPU {view.vcpu_id} requested PCPU "
+                    f"{target}, which is not idle"
+                )
+        timeslice = (
+            view.next_timeslice
+            if view.next_timeslice is not None
+            else default_timeslice
+        )
+        if timeslice < 1:
+            raise SchedulingError(
+                f"{algorithm_name}: VCPU {view.vcpu_id} granted a timeslice "
+                f"of {timeslice}; must be >= 1"
+            )
+        states[target] = PCPUState.ASSIGNED
+
+
 ScheduleFunction = Callable[
     [List[VCPUHostView], int, List[PCPUView], int, float], bool
 ]

@@ -75,6 +75,41 @@ class TestRun:
         assert main(["run", "--spec", str(path)]) == 1
         assert "error" in capsys.readouterr().err
 
+    def test_framework_error_is_one_structured_line(self, spec_file, capsys):
+        # --resume without --checkpoint is a ConfigurationError; it must
+        # exit 1 with a single "error: Type: message" line, no traceback.
+        assert main(["run", "--spec", spec_file, "--resume"]) == 1
+        err = capsys.readouterr().err
+        lines = [line for line in err.splitlines() if line]
+        assert len(lines) == 1
+        assert lines[0].startswith("error: ConfigurationError:")
+        assert "Traceback" not in err
+
+    def test_parallel_jobs_flag_matches_serial(self, spec_file, capsys):
+        base = ["run", "--spec", spec_file, "--csv",
+                "--min-replications", "2", "--max-replications", "2"]
+        assert main(base) == 0
+        serial = capsys.readouterr().out
+        assert main(base + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_checkpoint_and_resume_flags(self, spec_file, tmp_path, capsys):
+        ckpt = str(tmp_path / "ckpt.jsonl")
+        base = ["run", "--spec", spec_file, "--csv",
+                "--min-replications", "2", "--max-replications", "2"]
+        assert main(base + ["--checkpoint", ckpt]) == 0
+        first = capsys.readouterr().out
+        assert main(base + ["--checkpoint", ckpt, "--resume"]) == 0
+        resumed = capsys.readouterr().out
+        assert resumed == first
+
+    def test_retries_and_timeout_flags_accepted(self, spec_file, capsys):
+        assert main(["run", "--spec", spec_file, "--csv",
+                     "--min-replications", "2", "--max-replications", "2",
+                     "--retries", "1", "--timeout", "60"]) == 0
+        assert capsys.readouterr().out
+
     def test_seed_changes_results(self, tmp_path, capsys):
         # A 2-VCPU VM makes barrier stalls (and thus utilization) depend
         # on the sampled workloads, so the seed must matter.

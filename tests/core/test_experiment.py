@@ -120,6 +120,39 @@ class TestRunSweep:
         with pytest.raises(ConfigurationError, match="mutate"):
             run_sweep(spec, [{"sync_ratio": 2}], min_replications=2, max_replications=2)
 
+    def test_method_name_key_is_not_a_field(self, spec):
+        # ``topology`` is a SystemSpec *method*; a hasattr() check would
+        # accept it and silently shadow the method on the instance.
+        with pytest.raises(ConfigurationError, match="topology"):
+            run_sweep(spec, [{"topology": [2, 2]}], min_replications=2, max_replications=2)
+
+    def test_method_name_key_routed_to_mutate(self, spec):
+        from repro.core import VMSpec as VM
+
+        seen = []
+
+        def mutate(s, point):
+            seen.append(point)
+            return SystemSpec(
+                vms=[VM(n) for n in point["topology"]],
+                pcpus=s.pcpus,
+                scheduler=s.scheduler,
+                sim_time=s.sim_time,
+                warmup=s.warmup,
+            )
+
+        results = run_sweep(
+            spec,
+            [{"topology": [1, 1, 1]}],
+            mutate=mutate,
+            min_replications=2,
+            max_replications=2,
+        )
+        assert seen == [{"topology": [1, 1, 1]}]
+        assert results[0].parameters["topology"] == [1, 1, 1]
+        # And the spec's method was never shadowed by assignment.
+        assert callable(type(spec).topology)
+
     def test_scheduler_sweep(self, spec):
         results = run_sweep(
             spec,

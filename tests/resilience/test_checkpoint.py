@@ -1,0 +1,135 @@
+"""Unit tests for the JSONL checkpoint store."""
+
+import json
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.resilience import CheckpointStore, fingerprint
+
+
+@pytest.fixture
+def path(tmp_path):
+    return str(tmp_path / "ckpt.jsonl")
+
+
+def test_fingerprint_stable_and_sensitive():
+    a = fingerprint({"spec": {"pcpus": 2}, "seed": 0})
+    assert a == fingerprint({"seed": 0, "spec": {"pcpus": 2}})  # order-free
+    assert a != fingerprint({"spec": {"pcpus": 3}, "seed": 0})
+
+
+def test_fingerprint_handles_unserializable():
+    assert fingerprint(object) == fingerprint(object)
+
+
+def test_records_round_trip(path):
+    with CheckpointStore(path) as store:
+        store.begin_scope("experiment", "fp")
+        store.record("experiment", 0, {"ok": True, "metrics": {"m": 0.5}})
+        store.record("experiment", 1, {"ok": True, "metrics": {"m": 0.7}})
+    with CheckpointStore(path, resume=True) as store:
+        store.begin_scope("experiment", "fp")
+        reps = store.replications("experiment")
+        assert sorted(reps) == [0, 1]
+        assert reps[1]["metrics"] == {"m": 0.7}
+        assert store.get("experiment", 0)["metrics"] == {"m": 0.5}
+        assert store.get("experiment", 9) is None
+
+
+def test_record_is_idempotent(path):
+    with CheckpointStore(path) as store:
+        store.begin_scope("s", "fp")
+        store.record("s", 0, {"metrics": {"m": 1.0}})
+        store.record("s", 0, {"metrics": {"m": 999.0}})  # ignored
+    with CheckpointStore(path, resume=True) as store:
+        assert store.get("s", 0)["metrics"] == {"m": 1.0}
+
+
+def test_scope_fingerprint_mismatch_refuses_resume(path):
+    with CheckpointStore(path) as store:
+        store.begin_scope("experiment", "fp-a")
+    with CheckpointStore(path, resume=True) as store:
+        with pytest.raises(CheckpointError, match="different"):
+            store.begin_scope("experiment", "fp-b")
+
+
+def test_record_without_scope_rejected(path):
+    with CheckpointStore(path) as store:
+        with pytest.raises(CheckpointError, match="begin_scope"):
+            store.record("nope", 0, {})
+
+
+def test_non_resume_truncates(path):
+    with CheckpointStore(path) as store:
+        store.begin_scope("s", "fp")
+        store.record("s", 0, {"metrics": {}})
+    with CheckpointStore(path, resume=False) as store:
+        store.begin_scope("s", "fp")
+        assert store.replications("s") == {}
+
+
+def test_torn_final_line_tolerated(path):
+    with CheckpointStore(path) as store:
+        store.begin_scope("s", "fp")
+        store.record("s", 0, {"metrics": {"m": 1.0}})
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"kind": "replication", "scope": "s", "repl')  # killed mid-write
+    with CheckpointStore(path, resume=True) as store:
+        assert sorted(store.replications("s")) == [0]
+
+
+def test_append_after_torn_tail_keeps_file_resumable(path):
+    # A resumed run must not glue its first new record onto the torn
+    # fragment — that would corrupt the file for every future resume.
+    with CheckpointStore(path) as store:
+        store.begin_scope("s", "fp")
+        store.record("s", 0, {"metrics": {"m": 1.0}})
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"kind": "replication", "scope": "s", "repl')
+    with CheckpointStore(path, resume=True) as store:
+        store.begin_scope("s", "fp")
+        store.record("s", 1, {"metrics": {"m": 2.0}})
+    with CheckpointStore(path, resume=True) as store:  # second resume
+        assert sorted(store.replications("s")) == [0, 1]
+
+
+def test_corruption_mid_file_raises(path):
+    with CheckpointStore(path) as store:
+        store.begin_scope("s", "fp")
+        store.record("s", 0, {"metrics": {}})
+    lines = open(path, encoding="utf-8").read().splitlines()
+    lines.insert(1, "NOT JSON")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(lines) + "\n")
+    with pytest.raises(CheckpointError, match="corrupt"):
+        CheckpointStore(path, resume=True)
+
+
+def test_unknown_record_kind_raises(path):
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps({"kind": "mystery"}) + "\n")
+        handle.write(json.dumps({"kind": "scope", "scope": "s", "fingerprint": "f"}) + "\n")
+    with pytest.raises(CheckpointError, match="mystery"):
+        CheckpointStore(path, resume=True)
+
+
+def test_scopes_are_independent(path):
+    with CheckpointStore(path) as store:
+        store.begin_scope("point0", "fp0")
+        store.begin_scope("point1", "fp1")
+        store.record("point0", 0, {"metrics": {"m": 1.0}})
+        store.record("point1", 0, {"metrics": {"m": 2.0}})
+    with CheckpointStore(path, resume=True) as store:
+        store.begin_scope("point0", "fp0")
+        store.begin_scope("point1", "fp1")
+        assert store.get("point0", 0)["metrics"] == {"m": 1.0}
+        assert store.get("point1", 0)["metrics"] == {"m": 2.0}
+
+
+def test_parent_directories_created(tmp_path):
+    nested = str(tmp_path / "a" / "b" / "ckpt.jsonl")
+    with CheckpointStore(nested) as store:
+        store.begin_scope("s", "fp")
+    with CheckpointStore(nested, resume=True) as store:
+        store.begin_scope("s", "fp")  # same fingerprint: accepted

@@ -3,9 +3,11 @@
 import pytest
 
 from repro.errors import (
+    CheckpointError,
     ConfigurationError,
     ModelError,
     RegistryError,
+    ReplicationError,
     ReproError,
     SchedulingError,
     SimulationError,
@@ -19,6 +21,8 @@ ALL_ERRORS = [
     SchedulingError,
     RegistryError,
     StatisticsError,
+    ReplicationError,
+    CheckpointError,
 ]
 
 

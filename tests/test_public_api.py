@@ -31,8 +31,23 @@ def test_subpackages_importable():
         "metrics",
         "analysis",
         "paper",
+        "resilience",
     ):
         assert hasattr(repro, name), name
+
+
+def test_resilience_api():
+    for name in ("ResilienceConfig", "GuardPolicy", "ChaosSpec", "ReplicationFailure"):
+        assert hasattr(repro, name), name
+    from repro.resilience import (  # noqa: F401
+        ChaosScheduler,
+        CheckpointStore,
+        GuardedScheduler,
+        ReplicationOutcome,
+        retry_seed,
+        run_replications,
+    )
+    from repro.schedulers import validate_decisions  # noqa: F401
 
 
 def test_core_api():

@@ -22,6 +22,28 @@ class TestFailureModel:
         with pytest.raises(ConfigurationError):
             PCPUFailureModel(mtbf=10, mttr=-1)
 
+    def test_validation_rejects_both_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            PCPUFailureModel(mtbf=-5, mttr=0)
+        with pytest.raises(ConfigurationError):
+            PCPUFailureModel(mtbf=10, mttr=0)
+
+    def test_availability_formula_edges(self):
+        # availability = mtbf / (mtbf + mttr), exactly.
+        assert PCPUFailureModel(mtbf=1, mttr=1).availability() == pytest.approx(0.5)
+        # Repairs much faster than failures: availability -> 1.
+        assert PCPUFailureModel(mtbf=1e9, mttr=1).availability() == pytest.approx(
+            1.0, abs=1e-8
+        )
+        # Failures much faster than repairs: availability -> 0.
+        assert PCPUFailureModel(mtbf=1, mttr=1e9).availability() == pytest.approx(
+            0.0, abs=1e-8
+        )
+        # Fractional parameters are fine; only the ratio matters.
+        assert PCPUFailureModel(mtbf=0.3, mttr=0.1).availability() == pytest.approx(
+            PCPUFailureModel(mtbf=3, mttr=1).availability()
+        )
+
 
 def build_failing_system(scheduler="rrs", topology=(1,), pcpus=1,
                          mtbf=200.0, mttr=50.0, seed=0, rep=0):
