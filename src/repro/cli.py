@@ -62,6 +62,7 @@ def _resilience_from_args(args: argparse.Namespace) -> Optional[ResilienceConfig
         retries=args.retries,
         checkpoint=args.checkpoint,
         resume=args.resume,
+        incremental=args.engine != "rescan",
     )
     config.validate()
     return config
@@ -79,6 +80,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         root_seed=args.seed,
         extra_probes=args.probes,
         resilience=_resilience_from_args(args),
+        incremental=args.engine != "rescan",
     )
     if args.csv:
         print(results_to_csv([result], metrics=result.metrics()), end="")
@@ -192,6 +194,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume",
         action="store_true",
         help="reuse replications already in --checkpoint instead of recomputing",
+    )
+    run_parser.add_argument(
+        "--engine",
+        choices=("incremental", "rescan"),
+        default="incremental",
+        help="enablement engine: incremental (cached, default) or rescan "
+        "(full re-evaluation reference; bit-identical results)",
     )
     run_parser.set_defaults(handler=_cmd_run)
 

@@ -45,6 +45,7 @@ def run_experiment(
     root_seed: int = 0,
     extra_probes: bool = False,
     resilience: Optional[ResilienceConfig] = None,
+    incremental: bool = True,
 ) -> ExperimentResult:
     """Estimate every metric of one configuration to target confidence.
 
@@ -65,6 +66,11 @@ def run_experiment(
             timeout, retry/reseed, checkpoint/resume, decision guard,
             chaos injection.  ``None`` runs the legacy serial protocol
             (in-process, no retries) with identical results.
+        incremental: enablement engine for every replication; False
+            forces the full-rescan reference engine (bit-identical
+            results, mostly useful for differential testing).  When a
+            ``resilience`` config is given, its own ``incremental``
+            field wins.
 
     Returns:
         An :class:`ExperimentResult` with one estimate per metric, the
@@ -91,7 +97,9 @@ def run_experiment(
         watch_metrics = ["vcpu_availability", "pcpu_utilization", "vcpu_utilization"]
     if resilience is None:
         # Legacy protocol: in-process, one attempt, fail on first error.
-        resilience = ResilienceConfig(jobs=1, timeout=None, retries=0)
+        resilience = ResilienceConfig(
+            jobs=1, timeout=None, retries=0, incremental=incremental
+        )
 
     def _prefix_converged(ordered_samples: List[Dict[str, float]]) -> bool:
         samples: Dict[str, List[float]] = {}

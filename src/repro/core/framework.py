@@ -84,6 +84,7 @@ class Simulation:
         guard: Optional[GuardPolicy] = None,
         chaos: Optional[ChaosSpec] = None,
         attempt: int = 0,
+        incremental: bool = True,
     ) -> None:
         spec.validate()
         self.spec = spec
@@ -112,7 +113,7 @@ class Simulation:
             scheduler_slots=spec.scheduler_slots,
             failures=_failure_model(spec),
         )
-        self.simulator = SANSimulator(self.system, self.streams)
+        self.simulator = SANSimulator(self.system, self.streams, incremental=incremental)
         self.rewards = standard_rewards(self.system, warmup=spec.warmup)
         if extra_probes:
             self.rewards.update(per_vm_blocked_fraction(self.system, warmup=spec.warmup))
@@ -157,6 +158,7 @@ def simulate_once(
     guard: Optional[GuardPolicy] = None,
     chaos: Optional[ChaosSpec] = None,
     attempt: int = 0,
+    incremental: bool = True,
 ) -> RunResult:
     """Build and run one replication of ``spec`` (the quickstart entry).
 
@@ -165,6 +167,8 @@ def simulate_once(
             faults (see :mod:`repro.resilience.guard`).
         chaos: optional deterministic fault-injection plan (testing).
         attempt: retry attempt index; only chaos targeting uses it.
+        incremental: enablement engine selection, passed through to
+            :class:`repro.san.SANSimulator` (False forces full rescan).
     """
     return Simulation(
         spec,
@@ -174,6 +178,7 @@ def simulate_once(
         guard=guard,
         chaos=chaos,
         attempt=attempt,
+        incremental=incremental,
     ).run()
 
 

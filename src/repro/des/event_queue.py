@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Any, Iterator, Optional
+from typing import Any, Dict, Iterator, Optional
 
 
 @dataclass(order=True)
@@ -52,6 +52,9 @@ class EventQueue:
         self._heap: list[Event] = []
         self._sequence = 0
         self._live = 0
+        self._scheduled_total = 0
+        self._cancelled_total = 0
+        self._popped_total = 0
 
     def __len__(self) -> int:
         """Number of live (non-cancelled) events."""
@@ -68,22 +71,26 @@ class EventQueue:
         self._sequence += 1
         heapq.heappush(self._heap, event)
         self._live += 1
+        self._scheduled_total += 1
         return event
 
     def cancel(self, event: Event) -> None:
         """Cancel a previously scheduled event.
 
-        Cancelling twice is a no-op; cancelling an already-popped event is
-        also a no-op (the pop path clears the live count exactly once).
+        Cancelling twice is a no-op; cancelling an already-popped (or
+        cleared) event is also a no-op — the live count is decremented
+        exactly once per event lifetime.
         """
         if not event.cancelled:
             event.cancelled = True
-            self._live -= 1 if self._contains(event) else 0
+            if self._contains(event):
+                self._live -= 1
+                self._cancelled_total += 1
 
     def _contains(self, event: Event) -> bool:
-        # An event that was popped is no longer counted as live.  We mark
-        # popped events by setting their sequence negative, which no live
-        # event ever has.
+        # An event that left the queue (popped, or dropped by clear) is
+        # no longer counted as live.  We mark such events by setting
+        # their sequence negative, which no live event ever has.
         return event.sequence >= 0
 
     def peek(self) -> Optional[Event]:
@@ -102,6 +109,7 @@ class EventQueue:
             raise IndexError("pop from an empty EventQueue")
         event = heapq.heappop(self._heap)
         self._live -= 1
+        self._popped_total += 1
         event.sequence = -1 - event.sequence  # mark as popped (see _contains)
         return event
 
@@ -110,7 +118,15 @@ class EventQueue:
             heapq.heappop(self._heap)
 
     def clear(self) -> None:
-        """Remove every event, live or cancelled."""
+        """Remove every event, live or cancelled.
+
+        Dropped events are marked as no longer queued, so a stale handle
+        passed to :meth:`cancel` afterwards cannot corrupt the live
+        count of events scheduled after the clear.
+        """
+        for event in self._heap:
+            if event.sequence >= 0:
+                event.sequence = -1 - event.sequence
         self._heap.clear()
         self._live = 0
 
@@ -118,6 +134,15 @@ class EventQueue:
         """Time of the next live event, or ``None`` if the queue is empty."""
         head = self.peek()
         return head.time if head is not None else None
+
+    def stats(self) -> Dict[str, int]:
+        """Lifetime counters (survive :meth:`clear`) plus the live count."""
+        return {
+            "events_scheduled": self._scheduled_total,
+            "events_cancelled": self._cancelled_total,
+            "events_popped": self._popped_total,
+            "events_live": self._live,
+        }
 
     def iter_live(self) -> Iterator[Event]:
         """Iterate over live events in heap (not chronological) order.

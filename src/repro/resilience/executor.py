@@ -66,6 +66,9 @@ class ResilienceConfig:
         keep_partial: when a replication exhausts its retries, record
             the failure and continue with the surviving replications
             instead of raising :class:`~repro.errors.ReplicationError`.
+        incremental: enablement engine for every replication (False
+            forces the full-rescan reference engine; results are
+            bit-identical either way).
     """
 
     jobs: int = 1
@@ -78,6 +81,7 @@ class ResilienceConfig:
     guard: Optional[GuardPolicy] = None
     chaos: Optional[ChaosSpec] = None
     keep_partial: bool = False
+    incremental: bool = True
 
     def validate(self) -> None:
         if self.jobs < 1:
@@ -171,6 +175,7 @@ class _Task:
     extra_probes: bool
     guard: Optional[GuardPolicy]
     chaos: Optional[ChaosSpec]
+    incremental: bool = True
 
 
 def _execute_task(task: _Task) -> Dict[str, Any]:
@@ -186,6 +191,7 @@ def _execute_task(task: _Task) -> Dict[str, Any]:
             guard=task.guard,
             chaos=task.chaos,
             attempt=task.attempt,
+            incremental=task.incremental,
         )
     except Exception as exc:  # noqa: BLE001 — every fault becomes a record
         return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
@@ -242,6 +248,7 @@ class _Run:
             extra_probes=self.extra_probes,
             guard=self.config.guard,
             chaos=self.config.chaos,
+            incremental=self.config.incremental,
         )
 
     def _stamp(self, failures: List[ReplicationFailure], task: _Task) -> None:

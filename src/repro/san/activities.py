@@ -92,6 +92,23 @@ class Activity:
         """Attach another output gate to the given case, at the end."""
         self.cases[case].output_gates.append(gate)
 
+    def is_volatile(self) -> bool:
+        """True when any input gate opted out of read-set tracking.
+
+        The incremental engine re-evaluates volatile activities after
+        every completion instead of caching their enablement.
+        """
+        return any(gate.volatile for gate in self.input_gates)
+
+    def declared_read_cells(self) -> list:
+        """Union of storage cells declared by this activity's gates."""
+        cells: list = []
+        for gate in self.input_gates:
+            for cell in gate.declared_read_cells():
+                if cell not in cells:
+                    cells.append(cell)
+        return cells
+
     def enabled(self) -> bool:
         """True while every attached input gate's predicate holds.
 

@@ -29,7 +29,7 @@ places) evaluate unchanged per state.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Hashable, List, Tuple
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
 
 import numpy as np
 from scipy import linalg
@@ -90,7 +90,7 @@ class CTMCSolver:
         self._index: Dict[Hashable, int] = {}
         self._snapshots: List[Dict[str, Any]] = []
         self._transitions: List[Tuple[int, int, float]] = []
-        self._pi: np.ndarray = None  # type: ignore[assignment]
+        self._pi: Optional[np.ndarray] = None
 
     # -- marking plumbing ---------------------------------------------------
 

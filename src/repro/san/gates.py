@@ -12,19 +12,38 @@ Gates are where SANs go beyond plain Petri nets:
 In this implementation, gate predicates and functions are zero-argument
 Python callables closing over the :class:`~repro.san.places.Place`
 objects they touch.  That mirrors how Mobius gate code bodies reference
-shared state variables directly, and it keeps the simulator oblivious to
-*what* a gate reads or writes — it simply re-evaluates enabling after
-every completion.
+shared state variables directly.
+
+**Read sets.**  The incremental enablement engine only re-evaluates a
+predicate when a place it reads has changed.  A gate's read set is
+either *declared* up front (``reads=[place, ...]``) or *observed* on
+each evaluation via the tracking hooks in :mod:`repro.san.places`.
+Observation is sound for predicates that are deterministic, pure
+functions of place state accessed through place accessors — which every
+gate in this repository is.  A predicate that depends on anything else
+(module globals, object attributes, wall-clock) must be constructed
+with ``volatile=True`` so the engine falls back to re-evaluating it
+after every completion, exactly like the full-rescan engine.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, List, Optional, Sequence
 
 from ..errors import ModelError, SimulationError
 
 Predicate = Callable[[], bool]
 GateFunction = Callable[[], None]
+
+# Process-global predicate-evaluation counter.  Benchmarks snapshot it
+# before/after a run to attribute evaluations to one simulator; it is
+# not thread-safe (simulations are single-threaded per process).
+_EVALUATIONS = 0
+
+
+def evaluation_count() -> int:
+    """Total input-gate predicate evaluations in this process."""
+    return _EVALUATIONS
 
 
 def _noop() -> None:
@@ -40,6 +59,16 @@ class InputGate:
             only while this returns a truthy value.
         function: executed when the activity completes, before any output
             gate.  Defaults to a no-op.
+        reads: optional declared read set — the places whose markings the
+            predicate depends on.  The incremental engine trusts this
+            declaration instead of (in addition to) run-time observation;
+            an incomplete declaration on a gate whose reads cannot be
+            observed breaks incremental re-evaluation, so declare every
+            place the predicate can touch.
+        volatile: the predicate depends on state outside the declared or
+            observable places; the incremental engine re-evaluates it
+            after every completion (the conservative full-rescan
+            behaviour, per gate).
     """
 
     def __init__(
@@ -47,6 +76,8 @@ class InputGate:
         name: str,
         predicate: Predicate,
         function: Optional[GateFunction] = None,
+        reads: Optional[Sequence] = None,
+        volatile: bool = False,
     ) -> None:
         if not name:
             raise ModelError("an input gate needs a non-empty name")
@@ -55,9 +86,27 @@ class InputGate:
         self.name = name
         self._predicate = predicate
         self._function = function if function is not None else _noop
+        self.declared_reads: List = list(reads) if reads else []
+        for place in self.declared_reads:
+            if not hasattr(place, "_cell"):
+                raise ModelError(
+                    f"input gate {name!r}: reads must list Place/ExtendedPlace "
+                    f"objects, got {type(place).__name__}"
+                )
+        self.volatile = bool(volatile)
+
+    def declared_read_cells(self) -> List:
+        """Storage cells of the declared read set, resolved lazily.
+
+        Resolution must be lazy because Join redirects place cells
+        *after* gates are constructed.
+        """
+        return [place._cell for place in self.declared_reads]
 
     def holds(self) -> bool:
         """Evaluate the predicate, wrapping model bugs in SimulationError."""
+        global _EVALUATIONS
+        _EVALUATIONS += 1
         try:
             return bool(self._predicate())
         except Exception as exc:  # surface the gate name in the traceback

@@ -12,6 +12,7 @@ from typing import Dict, Iterable, List, Optional, Union
 
 from ..errors import ModelError
 from .activities import Activity, InstantaneousActivity, TimedActivity
+from .gates import InputGate
 from .places import ExtendedPlace, Marking, Place, PlaceLike
 
 
@@ -27,6 +28,33 @@ class ModelBase:
     def activities(self) -> List[Activity]:
         """All activities, in deterministic registration order."""
         raise NotImplementedError
+
+    def input_gates(self) -> List[InputGate]:
+        """Every distinct input gate, in deterministic attachment order."""
+        gates: List[InputGate] = []
+        seen: set = set()
+        for activity in self.activities():
+            for gate in activity.input_gates:
+                if id(gate) not in seen:
+                    seen.add(id(gate))
+                    gates.append(gate)
+        return gates
+
+    def gate_read_sets(self) -> Dict[str, List[str]]:
+        """Declared read sets per input gate, as place names.
+
+        Gates without a declaration report an empty list — their read
+        sets are established by the simulator's first-evaluation
+        observation instead (or never, for ``volatile`` gates).  Keyed
+        by ``<activity qualified name>/<gate name>`` so shared gate
+        names across sub-models stay distinguishable.
+        """
+        report: Dict[str, List[str]] = {}
+        for activity in self.activities():
+            for gate in activity.input_gates:
+                key = f"{activity.qualified_name}/{gate.name}"
+                report[key] = [place.name for place in gate.declared_reads]
+        return report
 
     def place(self, path: str) -> PlaceLike:
         """Look up a place by qualified (dot-separated) name.

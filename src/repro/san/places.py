@@ -19,7 +19,8 @@ precisely Mobius's shared-variable semantics.
 from __future__ import annotations
 
 import copy
-from typing import Any, Dict, Optional, Sequence, Union
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional, Sequence, Set, Union
 
 from ..errors import ModelError, SimulationError
 
@@ -42,6 +43,95 @@ class _ValueCell:
         self.value = value
 
 
+# -- dependency tracking -------------------------------------------------
+#
+# The incremental enablement engine (see ``repro.san.simulator``) needs to
+# know which storage cells a gate predicate *reads* and which cells a
+# completion *writes*.  Tracking happens at the cell level because Join
+# redirects several places onto one cell: a write through any member must
+# invalidate gates watching any other member.
+#
+# Two module-level sinks drive it:
+#
+# * ``_read_sink`` — while installed, cell reads are recorded into it and
+#   reads of an extended place's mutable value are treated as pure (the
+#   engine installs it around gate predicates and reward functions, which
+#   are required to be side-effect-free observers of the marking).
+# * ``_dirty_sink`` — while installed, written cells are recorded into it
+#   (the engine installs it around activity completions).
+#
+# Every write additionally bumps ``_WRITE_EPOCH``, a process-global
+# counter; a simulator compares it against the value it saw at the end of
+# its last public call to detect out-of-band mutations (tests poking at
+# places, model resets, a second simulator) and conservatively drops its
+# whole enablement cache when they happened.
+#
+# Because an :class:`ExtendedPlace` hands out a *mutable* value through
+# its getter, a ``.value`` read outside any read sink is conservatively
+# counted as a potential write — gate functions mutate slot dicts in
+# place through exactly that path, and guessing would break semantics.
+
+_WRITE_EPOCH = 0
+_read_sink: Optional[Set[Any]] = None
+_dirty_sink: Optional[Set[Any]] = None
+
+
+def write_epoch() -> int:
+    """The process-global write counter (monotonic; engine plumbing)."""
+    return _WRITE_EPOCH
+
+
+def set_read_sink(sink: Optional[Set[Any]]) -> Optional[Set[Any]]:
+    """Install a read sink; returns the previous one (engine plumbing).
+
+    Callers must restore the previous sink in a ``finally`` block.
+    """
+    global _read_sink
+    previous = _read_sink
+    _read_sink = sink
+    return previous
+
+
+def set_dirty_sink(sink: Optional[Set[Any]]) -> Optional[Set[Any]]:
+    """Install a write sink; returns the previous one (engine plumbing)."""
+    global _dirty_sink
+    previous = _dirty_sink
+    _dirty_sink = sink
+    return previous
+
+
+@contextmanager
+def tracking_reads(sink: Set[Any]) -> Iterator[Set[Any]]:
+    """Record every cell read inside the block into ``sink``.
+
+    Inside the block, reads of extended-place values are treated as pure
+    observations (they do not conservatively dirty the cell), so only
+    wrap code that genuinely does not mutate the marking.
+    """
+    previous = set_read_sink(sink)
+    try:
+        yield sink
+    finally:
+        set_read_sink(previous)
+
+
+@contextmanager
+def capturing_writes(sink: Set[Any]) -> Iterator[Set[Any]]:
+    """Record every cell written inside the block into ``sink``."""
+    previous = set_dirty_sink(sink)
+    try:
+        yield sink
+    finally:
+        set_dirty_sink(previous)
+
+
+def _mark_written(cell: Any) -> None:
+    global _WRITE_EPOCH
+    _WRITE_EPOCH += 1
+    if _dirty_sink is not None:
+        _dirty_sink.add(cell)
+
+
 class Place:
     """A place holding a natural number of tokens.
 
@@ -61,6 +151,8 @@ class Place:
 
     @property
     def tokens(self) -> int:
+        if _read_sink is not None:
+            _read_sink.add(self._cell)
         return self._cell.tokens
 
     @tokens.setter
@@ -70,6 +162,7 @@ class Place:
                 f"place {self.name!r}: marking would go negative ({value})"
             )
         self._cell.tokens = int(value)
+        _mark_written(self._cell)
 
     def add(self, n: int = 1) -> None:
         """Deposit ``n`` tokens."""
@@ -80,14 +173,19 @@ class Place:
         self.tokens = self._cell.tokens - n
 
     def is_empty(self) -> bool:
+        if _read_sink is not None:
+            _read_sink.add(self._cell)
         return self._cell.tokens == 0
 
     def reset(self) -> None:
         """Restore the initial marking (between replications)."""
         self._cell.tokens = self.initial
+        _mark_written(self._cell)
 
     def snapshot(self) -> int:
         """An immutable copy of the marking, for traces and rewards."""
+        if _read_sink is not None:
+            _read_sink.add(self._cell)
         return self._cell.tokens
 
     def shares_cell_with(self, other: "Place") -> bool:
@@ -122,18 +220,30 @@ class ExtendedPlace:
 
     @property
     def value(self) -> Any:
+        # The getter hands out a mutable reference.  Under a read sink
+        # (gate predicates, rewards) it is a pure observation; anywhere
+        # else the caller may mutate the value in place, so the read is
+        # conservatively counted as a potential write.
+        if _read_sink is not None:
+            _read_sink.add(self._cell)
+        else:
+            _mark_written(self._cell)
         return self._cell.value
 
     @value.setter
     def value(self, new_value: Any) -> None:
         self._cell.value = new_value
+        _mark_written(self._cell)
 
     def reset(self) -> None:
         """Restore a deep copy of the initial value."""
         self._cell.value = copy.deepcopy(self.initial)
+        _mark_written(self._cell)
 
     def snapshot(self) -> Any:
         """A deep copy of the current value, for traces and rewards."""
+        if _read_sink is not None:
+            _read_sink.add(self._cell)
         return copy.deepcopy(self._cell.value)
 
     def shares_cell_with(self, other: "ExtendedPlace") -> bool:
@@ -175,6 +285,9 @@ def share(places: Sequence[PlaceLike]) -> None:
                 f"initial markings differ ({first.initial!r} vs {other.initial!r})"
             )
         other._cell = first._cell
+    # Joining rewires storage out from under any existing enablement
+    # cache; bump the epoch so attached simulators notice.
+    _mark_written(first._cell)
 
 
 class Marking:
@@ -188,8 +301,17 @@ class Marking:
         self._places = dict(places)
 
     def __getitem__(self, name: str):
+        # A Marking is an observation API: reads through it never count
+        # as potential writes (mutating a value obtained here is
+        # undefined behaviour — use the place object itself to mutate).
         place = self._places[name]
-        return place.tokens if isinstance(place, Place) else place.value
+        if _read_sink is not None:
+            _read_sink.add(place._cell)
+        return (
+            place._cell.tokens
+            if isinstance(place, Place)
+            else place._cell.value
+        )
 
     def get(self, name: str, default: Optional[Any] = None):
         if name not in self._places:

@@ -154,6 +154,22 @@ class RatioRateReward(RateReward):
             return 0.0
         return self._integral / self._denominator_integral
 
+    def time_average(self) -> float:
+        """Not meaningful for a ratio reward — use :meth:`ratio`.
+
+        The inherited implementation would silently divide the numerator
+        integral by *observed time* instead of by the denominator
+        integral, reporting a value that looks plausible but measures
+        the wrong thing (e.g. BUSY/elapsed instead of BUSY/ACTIVE).
+
+        Raises:
+            StatisticsError: always.
+        """
+        raise StatisticsError(
+            f"ratio reward {self.name!r}: time_average() is undefined for a "
+            "ratio of two integrals; call ratio() (or result()) instead"
+        )
+
     def result(self) -> float:
         return self.ratio()
 

@@ -24,23 +24,55 @@ Determinism: for a fixed root seed and replication index, runs are
 bit-for-bit reproducible — streams are keyed by activity qualified
 name, the event queue breaks ties by insertion order, and instantaneous
 settling follows a fixed priority order.
+
+Two interchangeable enablement engines implement the policy:
+
+* **incremental** (the default) — cached enablement with place-level
+  invalidation.  Each completion's writes are captured (see
+  :mod:`repro.san.places`); only activities whose watched cells changed
+  are re-evaluated, via :class:`repro.san.state.EnablementCache`.
+  Activities whose read sets cannot be established are conservatively
+  re-evaluated at every synchronisation point, and out-of-band marking
+  mutations (detected through the global write epoch) drop the whole
+  cache — so results are bit-for-bit identical to the rescan engine.
+* **rescan** (``incremental=False``) — the original engine: every
+  input-gate predicate of every activity is re-evaluated after every
+  completion.  Kept as the semantic reference; the differential
+  property suite in ``tests/property`` holds the two engines to
+  identical metrics, completions, and random-stream consumption.
+
+Both engines issue schedule/cancel operations in activity registration
+order, so event-queue insertion sequences — and therefore simultaneous-
+event tie-breaks — are identical.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from ..des.clock import SimulationClock
 from ..des.event_queue import Event, EventQueue
 from ..des.random_streams import StreamFactory
 from ..errors import SimulationError
+from . import gates as _gates
+from . import places as _places
 from .activities import Activity, InstantaneousActivity, TimedActivity
 from .model import ModelBase
 from .reward import ImpulseReward, RateReward, RewardVariable
+from .state import EnablementCache
 
 
 class SANSimulator:
     """Runs one replication of a SAN model.
+
+    Args:
+        model: the (atomic or composed) model to simulate.
+        streams: replication random streams (default: seed 0, rep 0).
+        max_instantaneous_chain: livelock guard for zero-time chains.
+        incremental: use the incremental enablement engine (default).
+            Pass False to force the full-rescan reference engine, e.g.
+            for differential testing or for models whose gate predicates
+            violate the purity contract and cannot be marked volatile.
 
     Example:
         >>> sim = SANSimulator(model, StreamFactory(root_seed=1, replication=0))
@@ -54,6 +86,7 @@ class SANSimulator:
         model: ModelBase,
         streams: Optional[StreamFactory] = None,
         max_instantaneous_chain: int = 100_000,
+        incremental: bool = True,
     ) -> None:
         self.model = model
         self.streams = streams if streams is not None else StreamFactory()
@@ -75,6 +108,22 @@ class SANSimulator:
         self._impulse_rewards: List[ImpulseReward] = []
         self._completions = 0
         self._started = False
+        self._cache: Optional[EnablementCache] = (
+            EnablementCache(activities) if incremental else None
+        )
+        # Prefetched per-activity state views for the per-event hot loops.
+        if self._cache is not None:
+            self._inst_states = self._cache.states_for(self._instantaneous)
+            self._timed_states = self._cache.states_for(self._timed)
+        else:
+            self._inst_states = []
+            self._timed_states = []
+        # Write-epoch watermark for out-of-band mutation detection; the
+        # cache starts invalid, so any initial value is safe.
+        self._synced_epoch = -1
+        self._gate_eval_base = _gates.evaluation_count()
+        self._reward_reads: set = set()  # discard sink for reward reads
+        self._rngs: Dict[Activity, Any] = {}  # per-activity stream cache
 
     # -- configuration ----------------------------------------------------
 
@@ -95,6 +144,33 @@ class SANSimulator:
         """Total activity completions so far (timed + instantaneous)."""
         return self._completions
 
+    @property
+    def engine(self) -> str:
+        """Which enablement engine runs this simulator."""
+        return "incremental" if self._cache is not None else "rescan"
+
+    @property
+    def gate_evaluations(self) -> int:
+        """Input-gate predicate evaluations attributable to this simulator.
+
+        Measured as the process-global counter delta since construction
+        (or the last :meth:`reset`); interleaving other simulators in
+        between skews the attribution.
+        """
+        return _gates.evaluation_count() - self._gate_eval_base
+
+    def stats(self) -> Dict[str, Any]:
+        """Machine-readable engine counters for benchmarks and tests."""
+        stats: Dict[str, Any] = {
+            "engine": self.engine,
+            "completions": self._completions,
+            "gate_evaluations": self.gate_evaluations,
+        }
+        stats.update(self._queue.stats())
+        if self._cache is not None:
+            stats.update(self._cache.stats())
+        return stats
+
     # -- lifecycle ----------------------------------------------------------
 
     def reset(self, streams: Optional[StreamFactory] = None) -> None:
@@ -107,45 +183,106 @@ class SANSimulator:
         self._started = False
         if streams is not None:
             self.streams = streams
+        self._rngs.clear()
         for reward in self._rate_rewards:
             reward.reset()
         for reward in self._impulse_rewards:
             reward.reset()
+        if self._cache is not None:
+            self._cache.invalidate()
+        self._gate_eval_base = _gates.evaluation_count()
 
     # -- core engine --------------------------------------------------------
 
     def _rng_for(self, activity: Activity):
-        return self.streams.stream(activity.qualified_name)
+        rng = self._rngs.get(activity)
+        if rng is None:
+            rng = self.streams.stream(activity.qualified_name)
+            self._rngs[activity] = rng
+        return rng
+
+    def _complete(self, activity: Activity) -> None:
+        """Run one completion, capturing its writes for the cache.
+
+        Sink swaps here and in the reward paths use direct module-
+        attribute assignment — the function-call form costs measurably
+        at this frequency.
+        """
+        if self._cache is not None:
+            previous = _places._dirty_sink
+            _places._dirty_sink = self._cache.dirty
+            try:
+                activity.complete(self._rng_for(activity))
+            finally:
+                _places._dirty_sink = previous
+        else:
+            activity.complete(self._rng_for(activity))
+        self._completions += 1
+        self._notify_impulse(activity)
+
+    def _chain_error(self, activity: Activity) -> SimulationError:
+        return SimulationError(
+            f"instantaneous chain exceeded {self.max_instantaneous_chain} "
+            f"completions at t={self.clock.now}; last activity was "
+            f"{activity.qualified_name!r} — the model likely livelocks"
+        )
 
     def _settle_instantaneous(self) -> None:
         """Complete enabled instantaneous activities until quiescence."""
+        if self._cache is not None:
+            self._settle_incremental()
+        else:
+            self._settle_rescan()
+
+    def _settle_rescan(self) -> None:
         chain = 0
         while True:
             fired = False
             for activity in self._instantaneous:
                 if activity.enabled():
-                    activity.complete(self._rng_for(activity))
-                    self._completions += 1
-                    self._notify_impulse(activity)
+                    self._complete(activity)
                     fired = True
                     chain += 1
                     if chain > self.max_instantaneous_chain:
-                        raise SimulationError(
-                            f"instantaneous chain exceeded {self.max_instantaneous_chain} "
-                            f"completions at t={self.clock.now}; last activity was "
-                            f"{activity.qualified_name!r} — the model likely livelocks"
-                        )
+                        raise self._chain_error(activity)
                     break  # restart the priority scan after any state change
             if not fired:
                 return
+
+    def _settle_incremental(self) -> None:
+        cache = self._cache
+        states = self._inst_states
+        chain = 0
+        while True:
+            cache.flush()
+            fired = None
+            for state in states:
+                if cache.compute(state) if state.stale else state.enabled:
+                    fired = state.activity
+                    break
+            if fired is None:
+                return
+            self._complete(fired)
+            chain += 1
+            if chain > self.max_instantaneous_chain:
+                raise self._chain_error(fired)
 
     def _reschedule_timed(self) -> None:
         """Abort disabled pending activities; schedule newly enabled ones.
 
         Activities with ``reactivation=True`` additionally resample
         while they stay enabled, so marking-dependent rates track the
-        marking (Mobius reactivation semantics).
+        marking (Mobius reactivation semantics).  Both variants walk
+        ``self._timed`` in registration order, so the schedule/cancel
+        operation sequence — and hence event tie-breaking — is engine-
+        independent.
         """
+        if self._cache is not None:
+            self._reschedule_incremental()
+        else:
+            self._reschedule_rescan()
+
+    def _reschedule_rescan(self) -> None:
         for activity in self._timed:
             key = activity.qualified_name
             pending = self._pending.get(key)
@@ -164,17 +301,53 @@ class SANSimulator:
                 event = self._queue.schedule(self.clock.now + delay, activity)
                 self._pending[key] = event
 
+    def _reschedule_incremental(self) -> None:
+        cache = self._cache
+        cache.flush()
+        pending_map = self._pending
+        for state in self._timed_states:
+            activity = state.activity
+            key = activity.qualified_name
+            pending = pending_map.get(key)
+            enabled = cache.compute(state) if state.stale else state.enabled
+            if pending is not None and not enabled:
+                self._queue.cancel(pending)
+                del pending_map[key]
+            elif pending is not None and activity.reactivation:
+                self._queue.cancel(pending)
+                delay = activity.sample_delay(self._rng_for(activity))
+                pending_map[key] = self._queue.schedule(
+                    self.clock.now + delay, activity
+                )
+            elif pending is None and enabled:
+                delay = activity.sample_delay(self._rng_for(activity))
+                event = self._queue.schedule(self.clock.now + delay, activity)
+                pending_map[key] = event
+
     def _advance_rewards(self, until: float) -> None:
         now = self.clock.now
-        if until > now:
-            for reward in self._rate_rewards:
-                reward.observe(now, until)
+        if until > now and self._rate_rewards:
+            # Rate functions are pure observers of the marking; run them
+            # under a read sink so their extended-place reads are not
+            # conservatively counted as writes.
+            previous = _places._read_sink
+            _places._read_sink = self._reward_reads
+            try:
+                for reward in self._rate_rewards:
+                    reward.observe(now, until)
+            finally:
+                _places._read_sink = previous
 
     def _notify_impulse(self, activity: Activity) -> None:
         if self._impulse_rewards:
             now = self.clock.now
-            for reward in self._impulse_rewards:
-                reward.on_completion(activity.qualified_name, now)
+            previous = _places._read_sink
+            _places._read_sink = self._reward_reads
+            try:
+                for reward in self._impulse_rewards:
+                    reward.on_completion(activity.qualified_name, now)
+            finally:
+                _places._read_sink = previous
 
     def _ensure_started(self) -> None:
         if not self._started:
@@ -182,13 +355,21 @@ class SANSimulator:
             self._reschedule_timed()
             self._started = True
 
-    def step(self) -> bool:
-        """Process the next timed completion.
+    # -- out-of-band mutation boundary ---------------------------------------
 
-        Returns:
-            True if an event was processed; False if no event is pending
-            (the simulation is quiescent).
-        """
+    def _sync_in(self) -> None:
+        """Entering a public call: drop the cache if places changed outside."""
+        if self._cache is not None and _places.write_epoch() != self._synced_epoch:
+            self._cache.invalidate()
+
+    def _sync_out(self) -> None:
+        """Leaving a public call: record the epoch our cache reflects."""
+        if self._cache is not None:
+            self._synced_epoch = _places.write_epoch()
+
+    # -- stepping -------------------------------------------------------------
+
+    def _step(self) -> bool:
         self._ensure_started()
         head = self._queue.peek()
         if head is None:
@@ -198,12 +379,23 @@ class SANSimulator:
         del self._pending[activity.qualified_name]
         self._advance_rewards(event.time)
         self.clock.advance_to(event.time)
-        activity.complete(self._rng_for(activity))
-        self._completions += 1
-        self._notify_impulse(activity)
+        self._complete(activity)
         self._settle_instantaneous()
         self._reschedule_timed()
         return True
+
+    def step(self) -> bool:
+        """Process the next timed completion.
+
+        Returns:
+            True if an event was processed; False if no event is pending
+            (the simulation is quiescent).
+        """
+        self._sync_in()
+        try:
+            return self._step()
+        finally:
+            self._sync_out()
 
     def run(self, until: float) -> None:
         """Run until simulated time ``until``.
@@ -216,21 +408,30 @@ class SANSimulator:
             raise SimulationError(
                 f"cannot run to t={until}: clock is already at {self.clock.now}"
             )
-        self._ensure_started()
-        while True:
-            next_time = self._queue.next_time()
-            if next_time is None or next_time >= until:
-                break
-            self.step()
-        self._advance_rewards(until)
-        self.clock.advance_to(until)
+        self._sync_in()
+        try:
+            self._ensure_started()
+            queue = self._queue
+            while True:
+                head = queue.peek()
+                if head is None or head.time >= until:
+                    break
+                self._step()
+            self._advance_rewards(until)
+            self.clock.advance_to(until)
+        finally:
+            self._sync_out()
 
     def run_to_quiescence(self, max_events: int = 10_000_000) -> None:
         """Run until no timed activity is pending (absorbing marking)."""
-        self._ensure_started()
-        for _ in range(max_events):
-            if not self.step():
-                return
-        raise SimulationError(
-            f"no quiescence after {max_events} events at t={self.clock.now}"
-        )
+        self._sync_in()
+        try:
+            self._ensure_started()
+            for _ in range(max_events):
+                if not self._step():
+                    return
+            raise SimulationError(
+                f"no quiescence after {max_events} events at t={self.clock.now}"
+            )
+        finally:
+            self._sync_out()

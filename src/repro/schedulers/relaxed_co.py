@@ -33,7 +33,7 @@ the standard view arrays.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..errors import SchedulingError
 from .interface import PCPUView, SchedulingAlgorithm, VCPUHostView
@@ -80,7 +80,7 @@ class RelaxedCoScheduler(SchedulingAlgorithm):
         self._progress: Dict[int, float] = {}
         self._catching_up: set = set()  # vm_ids currently in catch-up mode
         self._was_active: set = set()
-        self._last_timestamp: float = None  # type: ignore[assignment]
+        self._last_timestamp: Optional[float] = None
 
     def reset(self) -> None:
         super().reset()

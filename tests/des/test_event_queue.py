@@ -155,3 +155,57 @@ class TestClearAndIteration:
         assert q.pop() is d
         assert q.pop().payload == "c"
         assert len(q) == 0
+
+    def test_cancel_after_clear_does_not_corrupt_live_count(self):
+        # Regression: cancelling a handle that clear() already dropped
+        # used to decrement the live count of *new* events, making the
+        # queue report empty while holding a live event.
+        q = EventQueue()
+        stale = q.schedule(1.0, "stale")
+        q.clear()
+        fresh = q.schedule(2.0, "fresh")
+        q.cancel(stale)
+        assert len(q) == 1
+        assert q
+        assert q.pop() is fresh
+
+    def test_cancel_of_cancelled_then_cleared_event_is_noop(self):
+        q = EventQueue()
+        event = q.schedule(1.0, "a")
+        q.cancel(event)
+        q.clear()
+        q.schedule(2.0, "b")
+        q.cancel(event)  # stale handle, already cancelled and cleared
+        assert len(q) == 1
+
+
+class TestStats:
+    def test_counters_track_lifetime_operations(self):
+        q = EventQueue()
+        a = q.schedule(1.0, "a")
+        q.schedule(2.0, "b")
+        q.cancel(a)
+        q.pop()
+        stats = q.stats()
+        assert stats == {
+            "events_scheduled": 2,
+            "events_cancelled": 1,
+            "events_popped": 1,
+            "events_live": 0,
+        }
+
+    def test_counters_survive_clear(self):
+        q = EventQueue()
+        q.schedule(1.0, "a")
+        q.clear()
+        q.schedule(2.0, "b")
+        stats = q.stats()
+        assert stats["events_scheduled"] == 2
+        assert stats["events_live"] == 1
+
+    def test_cancel_after_pop_not_counted(self):
+        q = EventQueue()
+        event = q.schedule(1.0, "a")
+        q.pop()
+        q.cancel(event)
+        assert q.stats()["events_cancelled"] == 0

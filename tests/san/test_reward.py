@@ -92,6 +92,25 @@ class TestRatioRateReward:
         with pytest.raises(ModelError):
             RatioRateReward("u", lambda: 1.0, 2.0)
 
+    def test_time_average_raises(self):
+        # Regression: the inherited time_average() divided by observed
+        # time instead of the denominator integral, reporting a
+        # plausible-looking but wrong number (BUSY/elapsed, not
+        # BUSY/ACTIVE).  It must refuse instead.
+        reward = RatioRateReward("u", lambda: 1.0, lambda: 2.0)
+        reward.observe(0, 4)
+        with pytest.raises(StatisticsError):
+            reward.time_average()
+
+    def test_ratio_still_works_where_time_average_refuses(self):
+        state = {"busy": 1.0, "active": 2.0}
+        reward = RatioRateReward("u", lambda: state["busy"], lambda: state["active"])
+        reward.observe(0, 4)  # busy 4, active 8
+        with pytest.raises(StatisticsError):
+            reward.time_average()
+        assert reward.ratio() == pytest.approx(0.5)
+        assert reward.result() == pytest.approx(0.5)
+
 
 class TestImpulseReward:
     def test_exact_name_match(self):
