@@ -211,6 +211,44 @@ def _measure_pair(scheduler, sim_time, reps):
     return fast, reference
 
 
+def measure_tracing_overhead(sim_time=2000, reps=3, scheduler="rrs"):
+    """Wall-clock cost of the tracing hooks when tracing is *off*.
+
+    The observability layer promises zero overhead when disabled: every
+    hook site is one module-level pointer test.  This measures the
+    untraced run (hooks compiled in, tracer inactive) against a fully
+    traced run for scale, reporting the untraced wall clock so drift in
+    the disabled path shows up in the report next to the engine
+    numbers.
+    """
+    from repro.observability import SimTracer
+
+    def best_of(tracer_factory):
+        best = None
+        for _ in range(max(1, reps)):
+            sim = Simulation(
+                _fig8_spec(scheduler, sim_time),
+                replication=0,
+                root_seed=0,
+                tracer=tracer_factory(),
+            )
+            start = time.perf_counter()
+            sim.run()
+            elapsed = time.perf_counter() - start
+            if best is None or elapsed < best:
+                best = elapsed
+        return best
+
+    off = best_of(lambda: None)
+    on = best_of(SimTracer)
+    return {
+        "scheduler": scheduler,
+        "untraced_wall_seconds": off,
+        "traced_wall_seconds": on,
+        "traced_over_untraced": on / off if off > 0 else float("inf"),
+    }
+
+
 def compare_engines(sim_time=2000, reps=3, schedulers=FIG8_SCHEDULERS):
     """Benchmark incremental vs rescan; returns the full report dict."""
     results = {}
@@ -243,6 +281,9 @@ def compare_engines(sim_time=2000, reps=3, schedulers=FIG8_SCHEDULERS):
             "replication": 0,
         },
         "results": results,
+        "tracing_overhead": measure_tracing_overhead(
+            sim_time=sim_time, reps=reps
+        ),
         "summary": {
             "min_speedup": min(r["speedup"] for r in results.values()),
             "min_gate_eval_ratio": min(
@@ -281,6 +322,13 @@ def main(argv=None):
             f"({entry['gate_eval_ratio']:.2f}x fewer), "
             f"bit_identical={entry['bit_identical']}"
         )
+    overhead = report["tracing_overhead"]
+    print(
+        f"tracing ({overhead['scheduler']}): untraced "
+        f"{overhead['untraced_wall_seconds'] * 1000:.1f} ms, traced "
+        f"{overhead['traced_wall_seconds'] * 1000:.1f} ms "
+        f"({overhead['traced_over_untraced']:.2f}x)"
+    )
     summary = report["summary"]
     print(
         f"min speedup {summary['min_speedup']:.2f}x, "

@@ -28,6 +28,7 @@ Example spec file::
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
 from typing import List, Optional
@@ -36,7 +37,9 @@ from .core.config import SystemSpec
 from .core.experiment import run_experiment
 from .core.registry import list_schedulers
 from .core.results import render_table, results_to_csv
-from .errors import ReproError
+from .errors import ConfigurationError, ReproError
+from .observability import SimProfiler, SimTracer, profiling, tracing
+from .observability.trace import TRACE_FORMATS
 from .resilience import ResilienceConfig, failure_summary
 
 
@@ -72,16 +75,37 @@ def _cmd_run(args: argparse.Namespace) -> int:
     with open(args.spec, "r", encoding="utf-8") as handle:
         payload = json.load(handle)
     spec = SystemSpec.from_dict(payload)
-    result = run_experiment(
-        spec,
-        min_replications=args.min_replications,
-        max_replications=args.max_replications,
-        target_half_width=args.target_half_width,
-        root_seed=args.seed,
-        extra_probes=args.probes,
-        resilience=_resilience_from_args(args),
-        incremental=args.engine != "rescan",
-    )
+    if args.trace is not None and (args.jobs != 1 or args.timeout is not None):
+        raise ConfigurationError(
+            "--trace records in-process and needs serial execution: "
+            "it is incompatible with --jobs > 1 and --timeout"
+        )
+    tracer = SimTracer() if args.trace is not None else None
+    profiler = SimProfiler() if args.profile else None
+    with contextlib.ExitStack() as stack:
+        if tracer is not None:
+            stack.enter_context(tracing(tracer))
+        if profiler is not None:
+            stack.enter_context(profiling(profiler))
+        result = run_experiment(
+            spec,
+            min_replications=args.min_replications,
+            max_replications=args.max_replications,
+            target_half_width=args.target_half_width,
+            root_seed=args.seed,
+            extra_probes=args.probes,
+            resilience=_resilience_from_args(args),
+            incremental=args.engine != "rescan",
+        )
+    if tracer is not None:
+        tracer.write(args.trace, format=args.trace_format)
+        print(
+            f"trace: {len(tracer.records)} records -> {args.trace} "
+            f"({args.trace_format})",
+            file=sys.stderr,
+        )
+    if profiler is not None:
+        print(profiler.table(), file=sys.stderr)
     if args.csv:
         print(results_to_csv([result], metrics=result.metrics()), end="")
         return 0
@@ -201,6 +225,26 @@ def build_parser() -> argparse.ArgumentParser:
         default="incremental",
         help="enablement engine: incremental (cached, default) or rescan "
         "(full re-evaluation reference; bit-identical results)",
+    )
+    run_parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="record a structured simulation trace to FILE "
+        "(serial runs only: incompatible with --jobs > 1 / --timeout)",
+    )
+    run_parser.add_argument(
+        "--trace-format",
+        choices=TRACE_FORMATS,
+        default="jsonl",
+        dest="trace_format",
+        help="trace output format: jsonl (one record per line) or "
+        "chrome (trace_event JSON, viewable in Perfetto)",
+    )
+    run_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print per-subsystem wall-clock timings to stderr",
     )
     run_parser.set_defaults(handler=_cmd_run)
 

@@ -16,12 +16,16 @@ Example — the whole paper workflow in four lines:
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from ..des.random_streams import StreamFactory
 from ..metrics.collectors import per_vm_blocked_fraction, workloads_generated
 from ..metrics.rewards import standard_rewards
+from ..observability import trace as _trace
+from ..observability.profile import SimProfiler, profiling
+from ..observability.trace import SimTracer, tracing
 from ..resilience.chaos import ChaosScheduler, ChaosSpec
 from ..resilience.failures import ReplicationFailure
 from ..resilience.guard import GuardedScheduler, GuardPolicy
@@ -85,14 +89,21 @@ class Simulation:
         chaos: Optional[ChaosSpec] = None,
         attempt: int = 0,
         incremental: bool = True,
+        tracer: Optional[SimTracer] = None,
+        profile: bool = False,
     ) -> None:
         spec.validate()
         self.spec = spec
         self.replication = int(replication)
         self.root_seed = int(root_seed)
+        self.tracer = tracer
+        self.profiler: Optional[SimProfiler] = SimProfiler() if profile else None
+        self._guard_policy = guard
+        self._chaos_spec = chaos
         self.streams = StreamFactory(root_seed=root_seed, replication=replication)
 
         algorithm = create_scheduler(spec.scheduler, **spec.scheduler_params)
+        self._algorithm_root = algorithm
         # Wrap order matters: chaos sabotages the (possibly buggy) user
         # algorithm; the guard then isolates whatever comes out of it.
         if chaos is not None:
@@ -122,6 +133,25 @@ class Simulation:
             self.simulator.add_reward(reward)
         self._ran = False
 
+    def _run_header(self) -> Dict[str, Any]:
+        """The ``run.start`` payload: everything needed to re-run the trace."""
+        params: Dict[str, Any] = {"timeslice": self._algorithm_root.timeslice}
+        params.update(self.spec.scheduler_params)
+        return {
+            "scheduler": self.spec.scheduler,
+            "topology": [vm.vcpus for vm in self.spec.vms],
+            "pcpus": self.spec.pcpus,
+            "replication": self.replication,
+            "root_seed": self.root_seed,
+            "sim_time": self.spec.sim_time,
+            "warmup": self.spec.warmup,
+            "params": params,
+            "pcpu_failures": self.spec.pcpu_failures is not None,
+            "guard": self._guard_policy.mode if self._guard_policy else None,
+            "chaos": self._chaos_spec is not None,
+            "engine": self.simulator.engine,
+        }
+
     def run(self) -> RunResult:
         """Run the replication to ``spec.sim_time`` and collect metrics."""
         if self._ran:
@@ -129,7 +159,23 @@ class Simulation:
                 "a Simulation runs exactly once; build a new instance "
                 "(with the next replication index) for another run"
             )
-        self.simulator.run(until=self.spec.sim_time)
+        with contextlib.ExitStack() as stack:
+            if self.tracer is not None:
+                stack.enter_context(tracing(self.tracer))
+            if self.profiler is not None:
+                stack.enter_context(profiling(self.profiler))
+            tracer = _trace._ACTIVE
+            if tracer is not None:
+                tracer._now = 0.0
+                tracer.emit(_trace.RUN_START, time=0.0, **self._run_header())
+            self.simulator.run(until=self.spec.sim_time)
+            if tracer is not None:
+                tracer.emit(
+                    _trace.RUN_END,
+                    time=self.simulator.clock.now,
+                    completions=self.simulator.completions,
+                    degraded=self._guard.quarantined if self._guard else False,
+                )
         self._ran = True
         metrics = {name: reward.result() for name, reward in self.rewards.items()}
         failures: List[ReplicationFailure] = []
@@ -149,6 +195,15 @@ class Simulation:
             degraded=degraded,
         )
 
+    def stats(self) -> Dict[str, Any]:
+        """Engine counters plus (when enabled) profiling and trace stats."""
+        stats = dict(self.simulator.stats())
+        if self.profiler is not None:
+            stats["profile"] = self.profiler.stats()
+        if self.tracer is not None:
+            stats.update(self.tracer.stats())
+        return stats
+
 
 def simulate_once(
     spec: SystemSpec,
@@ -159,6 +214,8 @@ def simulate_once(
     chaos: Optional[ChaosSpec] = None,
     attempt: int = 0,
     incremental: bool = True,
+    tracer: Optional[SimTracer] = None,
+    profile: bool = False,
 ) -> RunResult:
     """Build and run one replication of ``spec`` (the quickstart entry).
 
@@ -169,6 +226,9 @@ def simulate_once(
         attempt: retry attempt index; only chaos targeting uses it.
         incremental: enablement engine selection, passed through to
             :class:`repro.san.SANSimulator` (False forces full rescan).
+        tracer: optional :class:`~repro.observability.SimTracer`;
+            activated around the run so every layer's hooks emit into it.
+        profile: collect per-subsystem timings (``Simulation.stats()``).
     """
     return Simulation(
         spec,
@@ -179,6 +239,8 @@ def simulate_once(
         chaos=chaos,
         attempt=attempt,
         incremental=incremental,
+        tracer=tracer,
+        profile=profile,
     ).run()
 
 

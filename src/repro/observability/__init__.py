@@ -1,0 +1,67 @@
+"""Observability: structured tracing, profiling, and trace checking.
+
+Three layers on top of the simulation core:
+
+* :mod:`~repro.observability.trace` — :class:`SimTracer` collects
+  typed event records (scheduler decisions, activity firings, marking
+  deltas, resilience interventions) and writes them as JSONL or Chrome
+  ``trace_event`` JSON (viewable in Perfetto).  Zero overhead when off.
+* :mod:`~repro.observability.profile` — :class:`SimProfiler`
+  accumulates per-subsystem wall-clock timings and counters, surfaced
+  via ``Simulation.stats()`` and the CLI ``--profile`` flag.
+* :mod:`~repro.observability.checker` — :class:`TraceChecker` replays
+  a trace against declarative scheduling invariants (PCPU exclusivity,
+  gang co-scheduling, skew bounds, timeslice accounting).
+* :mod:`~repro.observability.golden` — normalization and exact-match
+  comparison for the committed golden-trace regression fixtures.
+"""
+
+from .checker import (
+    ExclusivePCPU,
+    Invariant,
+    MonotoneTime,
+    SkewBound,
+    StrictCoScheduling,
+    TimesliceAccounting,
+    TraceChecker,
+    Violation,
+    check_trace,
+    standard_invariants,
+)
+from .golden import GOLDEN_KINDS, GOLDEN_SCHEMA, diff_traces, normalize
+from .profile import SimProfiler, profiling
+from .trace import (
+    RECORD_FIELDS,
+    TRACE_FORMATS,
+    SimTracer,
+    TraceRecord,
+    chrome_trace_events,
+    read_jsonl,
+    tracing,
+)
+
+__all__ = [
+    "SimTracer",
+    "TraceRecord",
+    "tracing",
+    "read_jsonl",
+    "chrome_trace_events",
+    "RECORD_FIELDS",
+    "TRACE_FORMATS",
+    "SimProfiler",
+    "profiling",
+    "TraceChecker",
+    "Violation",
+    "Invariant",
+    "MonotoneTime",
+    "ExclusivePCPU",
+    "StrictCoScheduling",
+    "SkewBound",
+    "TimesliceAccounting",
+    "check_trace",
+    "standard_invariants",
+    "GOLDEN_KINDS",
+    "GOLDEN_SCHEMA",
+    "normalize",
+    "diff_traces",
+]

@@ -1,0 +1,364 @@
+"""Replay a trace against declarative scheduling invariants.
+
+A :class:`TraceChecker` walks the records a :class:`~.trace.SimTracer`
+collected (or a JSONL trace loaded back from disk) and checks the
+properties the paper's schedulers are *supposed* to have — far
+stronger assertions than reward-level tolerances:
+
+* **mutual exclusion** — a PCPU never runs two VCPUs at once, never
+  hosts a VCPU while FAILED, and schedule-out always matches an actual
+  assignment;
+* **strict co-scheduling** — under SCS, a VM's VCPUs are active
+  all-or-none at every instant (gang co-start/co-stop);
+* **bounded skew** — under RCS, the per-VM sibling lag the scheduler
+  tracks never exceeds the configured skew bound (plus the bounded
+  slack its catch-up reaction time allows);
+* **timeslice accounting** — every residency fits its granted
+  timeslice, expiry evicts after exactly the granted tenure, and
+  per-PCPU busy time never exceeds elapsed time.
+
+Invariants configure themselves from the trace's ``run.start`` record
+(scheduler name, topology, scheduler parameters, failure model), so
+``check_trace(records)`` is all a test needs.  Traces containing
+several replications (one ``run.start`` each) are checked per segment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional
+
+from . import trace as _trace
+from .trace import RecordLike, TraceRecord, as_record
+
+_EPS = 1e-9
+
+
+@dataclass
+class Violation:
+    """One invariant breach found while replaying a trace."""
+
+    time: float
+    invariant: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.invariant}] t={self.time:g}: {self.message}"
+
+
+class Invariant:
+    """Base class: feed records in order, collect violations.
+
+    Subclasses override :meth:`on_record` (and optionally
+    :meth:`finish` for end-of-trace checks) and must reset their
+    per-replication state when a ``run.start`` record arrives.
+    """
+
+    name = "invariant"
+
+    def __init__(self) -> None:
+        self.violations: List[Violation] = []
+
+    def violation(self, time: float, message: str) -> None:
+        self.violations.append(Violation(time=time, invariant=self.name,
+                                         message=message))
+
+    def on_record(self, record: TraceRecord) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def finish(self) -> None:
+        """Called once after the last record."""
+
+
+class MonotoneTime(Invariant):
+    """Timestamps never go backwards; sequence numbers strictly grow."""
+
+    name = "monotone-time"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._last_t: Optional[float] = None
+        self._last_seq: Optional[int] = None
+
+    def on_record(self, record: TraceRecord) -> None:
+        if record.kind == _trace.RUN_START:
+            self._last_t = None  # a new replication restarts the clock
+        elif self._last_t is not None and record.t < self._last_t - _EPS:
+            self.violation(record.t,
+                           f"time went backwards: {self._last_t} -> {record.t}")
+        self._last_t = record.t if self._last_t is None else max(self._last_t, record.t)
+        if self._last_seq is not None and record.seq <= self._last_seq:
+            self.violation(record.t,
+                           f"seq not increasing: {self._last_seq} -> {record.seq}")
+        self._last_seq = record.seq
+
+
+class ExclusivePCPU(Invariant):
+    """A PCPU hosts at most one VCPU, and never while FAILED."""
+
+    name = "exclusive-pcpu"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._reset()
+
+    def _reset(self) -> None:
+        self._holder: Dict[int, int] = {}   # pcpu -> vcpu
+        self._held: Dict[int, int] = {}     # vcpu -> pcpu
+        self._failed: set = set()
+
+    def on_record(self, record: TraceRecord) -> None:
+        kind = record.kind
+        if kind == _trace.RUN_START:
+            self._reset()
+        elif kind == _trace.SCHED_IN:
+            vcpu, pcpu = record.get("vcpu"), record.get("pcpu")
+            if pcpu in self._holder:
+                self.violation(record.t,
+                               f"PCPU {pcpu} assigned to VCPU {vcpu} while "
+                               f"running VCPU {self._holder[pcpu]}")
+            if pcpu in self._failed:
+                self.violation(record.t,
+                               f"VCPU {vcpu} scheduled onto FAILED PCPU {pcpu}")
+            if vcpu in self._held:
+                self.violation(record.t,
+                               f"VCPU {vcpu} scheduled in while already on "
+                               f"PCPU {self._held[vcpu]}")
+            self._holder[pcpu] = vcpu
+            self._held[vcpu] = pcpu
+        elif kind == _trace.SCHED_OUT:
+            vcpu, pcpu = record.get("vcpu"), record.get("pcpu")
+            if self._held.get(vcpu) != pcpu:
+                self.violation(record.t,
+                               f"schedule_out of VCPU {vcpu} from PCPU {pcpu}, "
+                               f"but it holds {self._held.get(vcpu)}")
+            self._held.pop(vcpu, None)
+            if self._holder.get(pcpu) == vcpu:
+                del self._holder[pcpu]
+        elif kind == _trace.PCPU_FAIL:
+            pcpu = record.get("pcpu")
+            if pcpu in self._holder:
+                self.violation(record.t,
+                               f"PCPU {pcpu} failed while still hosting "
+                               f"VCPU {self._holder[pcpu]}")
+            self._failed.add(pcpu)
+        elif kind == _trace.PCPU_REPAIR:
+            pcpu = record.get("pcpu")
+            if pcpu not in self._failed:
+                self.violation(record.t, f"repair of PCPU {pcpu}, which is not FAILED")
+            self._failed.discard(pcpu)
+
+
+class StrictCoScheduling(Invariant):
+    """Under SCS, every VM's VCPUs are active all-or-none at all times.
+
+    Checked at every timestamp boundary (within one instant the model
+    applies co-stops before co-starts, so the mid-instant state may
+    legitimately be mixed).  The invariant deactivates once a guard
+    quarantine hands control to the round-robin fallback.
+    """
+
+    name = "strict-co-scheduling"
+
+    def __init__(self, topology: List[int]) -> None:
+        super().__init__()
+        self._sizes = {vm_id: int(n) for vm_id, n in enumerate(topology)}
+        self._reset()
+
+    def _reset(self) -> None:
+        self._active: Dict[int, set] = {}   # vm -> set of active vcpus
+        self._pending_t: Optional[float] = None
+        self._enabled = True
+
+    def _check_boundary(self) -> None:
+        if not self._enabled or self._pending_t is None:
+            return
+        for vm_id, active in self._active.items():
+            size = self._sizes.get(vm_id, len(active))
+            if active and len(active) != size:
+                self.violation(
+                    self._pending_t,
+                    f"VM {vm_id} has {sorted(active)} active but siblings "
+                    f"stopped (gang size {size})",
+                )
+
+    def on_record(self, record: TraceRecord) -> None:
+        if record.kind == _trace.RUN_START:
+            self._check_boundary()
+            self._reset()
+            return
+        if self._pending_t is not None and record.t > self._pending_t + _EPS:
+            self._check_boundary()
+        self._pending_t = record.t
+        if record.kind == _trace.SCHED_IN:
+            self._active.setdefault(record.get("vm"), set()).add(record.get("vcpu"))
+        elif record.kind == _trace.SCHED_OUT:
+            self._active.get(record.get("vm"), set()).discard(record.get("vcpu"))
+        elif record.kind == _trace.GUARD_QUARANTINE:
+            self._enabled = False  # round-robin fallback is not gang-scheduled
+
+    def finish(self) -> None:
+        self._check_boundary()
+
+
+class SkewBound(Invariant):
+    """Under RCS, sibling lag stays within the configured skew bound.
+
+    The scheduler trips catch-up when lag exceeds ``skew_threshold``;
+    its reaction takes effect the following tick, and a mid-pack
+    sibling may legally run on until its own lead passes
+    ``relax_threshold`` — so the hard ceiling on observable lag is
+    ``skew_threshold + relax_threshold`` plus two ticks of slack.
+    """
+
+    name = "skew-bound"
+
+    def __init__(self, skew_threshold: float, relax_threshold: float) -> None:
+        super().__init__()
+        self.bound = float(skew_threshold) + float(relax_threshold) + 2.0
+
+    def on_record(self, record: TraceRecord) -> None:
+        if record.kind == _trace.SCHED_SKEW:
+            max_lag = float(record.get("max_lag", 0.0))
+            if max_lag > self.bound + _EPS:
+                self.violation(
+                    record.t,
+                    f"VM {record.get('vm')} skew {max_lag:g} exceeds "
+                    f"bound {self.bound:g}",
+                )
+
+
+class TimesliceAccounting(Invariant):
+    """Residencies fit their grants; PCPU busy time fits elapsed time.
+
+    * a residency never outlives its granted timeslice;
+    * an ``expire`` eviction happens after *exactly* the granted tenure
+      (the model decrements one tick per clock firing);
+    * per PCPU, total busy time within a replication never exceeds the
+      replication's elapsed time.
+    """
+
+    name = "timeslice-accounting"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._reset()
+
+    def _reset(self) -> None:
+        self._open: Dict[int, TraceRecord] = {}   # vcpu -> sched.in record
+        self._busy: Dict[int, float] = {}         # pcpu -> accumulated busy
+        self._start_t: float = 0.0
+        self._end_t: float = 0.0
+
+    def _close_segment(self) -> None:
+        for start in self._open.values():  # still running at end of segment
+            pcpu = start.get("pcpu")
+            self._busy[pcpu] = self._busy.get(pcpu, 0.0) + (self._end_t - start.t)
+        elapsed = self._end_t - self._start_t
+        for pcpu, busy in self._busy.items():
+            if busy > elapsed + 1e-6:
+                self.violation(
+                    self._end_t,
+                    f"PCPU {pcpu} accumulated {busy:g} busy ticks in "
+                    f"{elapsed:g} elapsed ticks",
+                )
+
+    def on_record(self, record: TraceRecord) -> None:
+        if record.kind == _trace.RUN_START:
+            self._close_segment()
+            self._reset()
+            self._start_t = record.t
+            self._end_t = record.t
+            return
+        self._end_t = max(self._end_t, record.t)
+        if record.kind == _trace.SCHED_IN:
+            self._open[record.get("vcpu")] = record
+        elif record.kind == _trace.SCHED_OUT:
+            vcpu = record.get("vcpu")
+            start = self._open.pop(vcpu, None)
+            if start is None:
+                return  # exclusive-pcpu reports the pairing violation
+            granted = start.get("timeslice")
+            duration = record.t - start.t
+            pcpu = start.get("pcpu")
+            self._busy[pcpu] = self._busy.get(pcpu, 0.0) + duration
+            if granted is not None and duration > granted + _EPS:
+                self.violation(
+                    record.t,
+                    f"VCPU {vcpu} held PCPU {pcpu} for {duration:g} ticks "
+                    f"on a {granted}-tick timeslice",
+                )
+            if (record.get("reason") == _trace.OUT_EXPIRE
+                    and granted is not None
+                    and abs(duration - granted) > _EPS):
+                self.violation(
+                    record.t,
+                    f"VCPU {vcpu} expired after {duration:g} ticks, "
+                    f"granted {granted}",
+                )
+
+    def finish(self) -> None:
+        self._close_segment()
+
+
+class TraceChecker:
+    """Runs a set of invariants over a trace.
+
+    Example:
+        >>> checker = TraceChecker([MonotoneTime(), ExclusivePCPU()])
+        >>> checker.check([])
+        []
+    """
+
+    def __init__(self, invariants: Iterable[Invariant]) -> None:
+        self.invariants = list(invariants)
+
+    def check(self, records: Iterable[RecordLike]) -> List[Violation]:
+        """Replay ``records`` (TraceRecords or JSONL dicts) in order."""
+        invariants = self.invariants
+        for raw in records:
+            record = as_record(raw)
+            for invariant in invariants:
+                invariant.on_record(record)
+        violations: List[Violation] = []
+        for invariant in invariants:
+            invariant.finish()
+            violations.extend(invariant.violations)
+        return violations
+
+
+def standard_invariants(records: Iterable[RecordLike]) -> List[Invariant]:
+    """Build the invariant set the trace's own ``run.start`` calls for.
+
+    Always: monotone time, exclusive PCPU occupancy, timeslice
+    accounting.  Scheduler-specific invariants switch on by registry
+    name: gang all-or-none for ``scs`` (skipped when a PCPU failure
+    process runs — a mid-slice failure legitimately breaks a gang) and
+    the skew bound for ``rcs``.
+    """
+    start: Optional[TraceRecord] = None
+    for raw in records:
+        record = as_record(raw)
+        if record.kind == _trace.RUN_START:
+            start = record
+            break
+    invariants: List[Invariant] = [MonotoneTime(), ExclusivePCPU(),
+                                   TimesliceAccounting()]
+    if start is None:
+        return invariants
+    scheduler = start.get("scheduler")
+    params: Dict[str, Any] = start.get("params") or {}
+    if scheduler == "scs" and not start.get("pcpu_failures"):
+        invariants.append(StrictCoScheduling(start.get("topology") or []))
+    if scheduler == "rcs":
+        invariants.append(SkewBound(
+            skew_threshold=params.get("skew_threshold", 10),
+            relax_threshold=params.get("relax_threshold", 5),
+        ))
+    return invariants
+
+
+def check_trace(records: Iterable[RecordLike]) -> List[Violation]:
+    """One-call check: standard invariants, configured from the trace."""
+    records = [as_record(r) for r in records]
+    return TraceChecker(standard_invariants(records)).check(records)

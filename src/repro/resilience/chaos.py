@@ -26,6 +26,7 @@ from typing import Any, Dict, List, Tuple
 
 from ..des.random_streams import derive_seed
 from ..errors import ConfigurationError
+from ..observability import trace as _trace
 from ..schedulers.interface import PCPUView, SchedulingAlgorithm, VCPUHostView
 
 CORRUPT_KINDS = ("double_assign", "out_of_range", "conflict")
@@ -160,9 +161,16 @@ class ChaosScheduler(SchedulingAlgorithm):
         num_pcpu: int,
         timestamp: float,
     ) -> bool:
+        tracer = _trace._ACTIVE
         if self.armed and timestamp >= self.spec.inject_after:
             if not self._crashed and self.replication in self.spec.crash_replications:
                 self._crashed = True
+                if tracer is not None:
+                    tracer.emit(
+                        _trace.CHAOS_CRASH,
+                        time=timestamp,
+                        replication=self.replication,
+                    )
                 raise InjectedFault(
                     f"chaos: injected crash in replication {self.replication} "
                     f"at t={timestamp:g}"
@@ -172,12 +180,25 @@ class ChaosScheduler(SchedulingAlgorithm):
                 and self.replication in self.spec.crash_replications
                 and self._rng.random() < self.spec.fault_rate
             ):
+                if tracer is not None:
+                    tracer.emit(
+                        _trace.CHAOS_CRASH,
+                        time=timestamp,
+                        replication=self.replication,
+                    )
                 raise InjectedFault(
                     f"chaos: random fault in replication {self.replication} "
                     f"at t={timestamp:g}"
                 )
             if not self._stalled and self.replication in self.spec.stall_replications:
                 self._stalled = True
+                if tracer is not None:
+                    tracer.emit(
+                        _trace.CHAOS_STALL,
+                        time=timestamp,
+                        replication=self.replication,
+                        seconds=self.spec.stall_seconds,
+                    )
                 time.sleep(self.spec.stall_seconds)
         decided = self.inner.schedule(vcpus, num_vcpu, pcpus, num_pcpu, timestamp)
         if (
@@ -187,6 +208,13 @@ class ChaosScheduler(SchedulingAlgorithm):
             and self.replication in self.spec.corrupt_replications
         ):
             self._corrupted = True
+            if tracer is not None:
+                tracer.emit(
+                    _trace.CHAOS_CORRUPT,
+                    time=timestamp,
+                    replication=self.replication,
+                    corrupt_kind=self.spec.corrupt_kind,
+                )
             self._corrupt(vcpus, num_pcpu)
         return decided
 

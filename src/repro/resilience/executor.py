@@ -35,6 +35,7 @@ from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from ..des.random_streams import derive_seed
 from ..errors import ConfigurationError, ReplicationError
+from ..observability import trace as _trace
 from .chaos import ChaosSpec
 from .checkpoint import CheckpointStore, fingerprint
 from .failures import FailureKind, ReplicationFailure, failure_summary
@@ -281,7 +282,16 @@ class _Run:
         if task.attempt < self.config.retries:
             if self.config.backoff:
                 time.sleep(self.config.backoff * (2 ** task.attempt))
-            return replace(task, attempt=task.attempt + 1)
+            retry = replace(task, attempt=task.attempt + 1)
+            tracer = _trace._ACTIVE
+            if tracer is not None:
+                tracer.emit(
+                    _trace.EXECUTOR_RETRY,
+                    replication=retry.replication,
+                    attempt=retry.attempt,
+                    seed=retry_seed(retry.root_seed, retry.replication, retry.attempt),
+                )
+            return retry
         # Retries exhausted: the replication is permanently failed.
         bucket.append(
             ReplicationFailure(

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
 from ..errors import ConfigurationError, SchedulingError
+from ..observability import trace as _trace
 from ..schedulers.interface import (
     PCPUView,
     SchedulingAlgorithm,
@@ -159,6 +160,15 @@ class GuardedScheduler(SchedulingAlgorithm):
                 sim_time=timestamp,
             )
         )
+        tracer = _trace._ACTIVE
+        if tracer is not None:
+            tracer.emit(
+                _trace.GUARD_FAULT,
+                time=timestamp,
+                scheduler=self.inner.name,
+                fault_kind=kind,
+                message=f"{type(exc).__name__}: {exc}"[:200],
+            )
         if self.policy.mode == "fail_fast":
             raise SchedulingError(
                 f"{self.inner.name} faulted at t={timestamp:g}: "
@@ -171,6 +181,13 @@ class GuardedScheduler(SchedulingAlgorithm):
         self._consecutive_faults += 1
         if self._consecutive_faults >= self.policy.quarantine_after:
             self.quarantined = True
+            if tracer is not None:
+                tracer.emit(
+                    _trace.GUARD_QUARANTINE,
+                    time=timestamp,
+                    scheduler=self.inner.name,
+                    faults=len(self.failures),
+                )
             self._fallback.reset()
             return self._fallback.schedule(vcpus, num_vcpu, pcpus, num_pcpu, timestamp)
         return False

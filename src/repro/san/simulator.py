@@ -50,10 +50,14 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional
 
+from time import perf_counter
+
 from ..des.clock import SimulationClock
 from ..des.event_queue import Event, EventQueue
 from ..des.random_streams import StreamFactory
 from ..errors import SimulationError
+from ..observability import profile as _profile
+from ..observability import trace as _trace
 from . import gates as _gates
 from . import places as _places
 from .activities import Activity, InstantaneousActivity, TimedActivity
@@ -124,6 +128,7 @@ class SANSimulator:
         self._gate_eval_base = _gates.evaluation_count()
         self._reward_reads: set = set()  # discard sink for reward reads
         self._rngs: Dict[Activity, Any] = {}  # per-activity stream cache
+        self._cell_names: Optional[Dict[int, str]] = None  # trace write names
 
     # -- configuration ----------------------------------------------------
 
@@ -208,6 +213,10 @@ class SANSimulator:
         attribute assignment — the function-call form costs measurably
         at this frequency.
         """
+        tracer = _trace._ACTIVE
+        if tracer is not None:
+            self._complete_traced(activity, tracer)
+            return
         if self._cache is not None:
             previous = _places._dirty_sink
             _places._dirty_sink = self._cache.dirty
@@ -219,6 +228,51 @@ class SANSimulator:
             activity.complete(self._rng_for(activity))
         self._completions += 1
         self._notify_impulse(activity)
+
+    def _complete_traced(self, activity: Activity, tracer: "_trace.SimTracer") -> None:
+        """Traced completion: capture the marking delta in both engines.
+
+        A private write set records the completion's writes whatever
+        the engine; the incremental cache is then fed from it, so the
+        emitted trace — like the sample path — is engine-independent.
+        """
+        tracer._now = self.clock.now
+        written: set = set()
+        previous = _places._dirty_sink
+        _places._dirty_sink = written
+        try:
+            activity.complete(self._rng_for(activity))
+        finally:
+            _places._dirty_sink = previous
+        if self._cache is not None:
+            self._cache.dirty.update(written)
+        tracer.emit(
+            _trace.ACTIVITY_FIRE,
+            time=self.clock.now,
+            activity=activity.qualified_name,
+            timed=isinstance(activity, TimedActivity),
+            writes=self._write_names(written),
+        )
+        self._completions += 1
+        self._notify_impulse(activity)
+
+    def _write_names(self, written: set) -> List[str]:
+        """Canonical place names for a set of written cells.
+
+        Joined places share one cell; the lexicographically first
+        qualified name is the canonical alias, keeping traces stable
+        across engines and join orders.
+        """
+        if self._cell_names is None:
+            names: Dict[int, str] = {}
+            for qualified, place in self.model.places().items():
+                key = id(place._cell)
+                current = names.get(key)
+                if current is None or qualified < current:
+                    names[key] = qualified
+            self._cell_names = names
+        names = self._cell_names
+        return sorted(names[key] for key in map(id, written) if key in names)
 
     def _chain_error(self, activity: Activity) -> SimulationError:
         return SimulationError(
@@ -283,6 +337,7 @@ class SANSimulator:
             self._reschedule_rescan()
 
     def _reschedule_rescan(self) -> None:
+        tracer = _trace._ACTIVE
         for activity in self._timed:
             key = activity.qualified_name
             pending = self._pending.get(key)
@@ -290,21 +345,31 @@ class SANSimulator:
             if pending is not None and not enabled:
                 self._queue.cancel(pending)
                 del self._pending[key]
+                if tracer is not None:
+                    tracer.emit(_trace.ENGINE_CANCEL, time=self.clock.now,
+                                activity=key)
             elif pending is not None and activity.reactivation:
                 self._queue.cancel(pending)
                 delay = activity.sample_delay(self._rng_for(activity))
                 self._pending[key] = self._queue.schedule(
                     self.clock.now + delay, activity
                 )
+                if tracer is not None:
+                    tracer.emit(_trace.ENGINE_SCHEDULE, time=self.clock.now,
+                                activity=key, at=self.clock.now + delay)
             elif pending is None and enabled:
                 delay = activity.sample_delay(self._rng_for(activity))
                 event = self._queue.schedule(self.clock.now + delay, activity)
                 self._pending[key] = event
+                if tracer is not None:
+                    tracer.emit(_trace.ENGINE_SCHEDULE, time=self.clock.now,
+                                activity=key, at=self.clock.now + delay)
 
     def _reschedule_incremental(self) -> None:
         cache = self._cache
         cache.flush()
         pending_map = self._pending
+        tracer = _trace._ACTIVE
         for state in self._timed_states:
             activity = state.activity
             key = activity.qualified_name
@@ -313,16 +378,25 @@ class SANSimulator:
             if pending is not None and not enabled:
                 self._queue.cancel(pending)
                 del pending_map[key]
+                if tracer is not None:
+                    tracer.emit(_trace.ENGINE_CANCEL, time=self.clock.now,
+                                activity=key)
             elif pending is not None and activity.reactivation:
                 self._queue.cancel(pending)
                 delay = activity.sample_delay(self._rng_for(activity))
                 pending_map[key] = self._queue.schedule(
                     self.clock.now + delay, activity
                 )
+                if tracer is not None:
+                    tracer.emit(_trace.ENGINE_SCHEDULE, time=self.clock.now,
+                                activity=key, at=self.clock.now + delay)
             elif pending is None and enabled:
                 delay = activity.sample_delay(self._rng_for(activity))
                 event = self._queue.schedule(self.clock.now + delay, activity)
                 pending_map[key] = event
+                if tracer is not None:
+                    tracer.emit(_trace.ENGINE_SCHEDULE, time=self.clock.now,
+                                activity=key, at=self.clock.now + delay)
 
     def _advance_rewards(self, until: float) -> None:
         now = self.clock.now
@@ -370,6 +444,9 @@ class SANSimulator:
     # -- stepping -------------------------------------------------------------
 
     def _step(self) -> bool:
+        profiler = _profile._ACTIVE
+        if profiler is not None:
+            return self._step_profiled(profiler)
         self._ensure_started()
         head = self._queue.peek()
         if head is None:
@@ -382,6 +459,32 @@ class SANSimulator:
         self._complete(activity)
         self._settle_instantaneous()
         self._reschedule_timed()
+        return True
+
+    def _step_profiled(self, profiler: "_profile.SimProfiler") -> bool:
+        """The `_step` body with per-phase wall-clock attribution."""
+        self._ensure_started()
+        head = self._queue.peek()
+        if head is None:
+            return False
+        event = self._queue.pop()
+        activity: TimedActivity = event.payload
+        del self._pending[activity.qualified_name]
+        t0 = perf_counter()
+        self._advance_rewards(event.time)
+        t1 = perf_counter()
+        self.clock.advance_to(event.time)
+        self._complete(activity)
+        t2 = perf_counter()
+        self._settle_instantaneous()
+        t3 = perf_counter()
+        self._reschedule_timed()
+        t4 = perf_counter()
+        profiler.add_time("engine.rewards", t1 - t0)
+        profiler.add_time("engine.completion", t2 - t1)
+        profiler.add_time("engine.settle", t3 - t2)
+        profiler.add_time("engine.reschedule", t4 - t3)
+        profiler.count("engine.events")
         return True
 
     def step(self) -> bool:

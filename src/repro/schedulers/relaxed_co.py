@@ -36,6 +36,7 @@ from collections import deque
 from typing import Dict, List, Optional
 
 from ..errors import SchedulingError
+from ..observability import trace as _trace
 from .interface import PCPUView, SchedulingAlgorithm, VCPUHostView
 
 
@@ -128,6 +129,17 @@ class RelaxedCoScheduler(SchedulingAlgorithm):
         self._update_progress(vcpus, timestamp)
         decided = False
         vms = self.by_vm(vcpus)
+
+        tracer = _trace._ACTIVE
+        if tracer is not None:
+            # Observability: the pre-decision sibling lag per SMP VM, the
+            # quantity the skew-bound invariant asserts on.
+            for vm_id, siblings in vms.items():
+                if len(siblings) < 2:
+                    continue
+                tracer.emit(_trace.SCHED_SKEW, time=timestamp, vm=vm_id,
+                            max_lag=max(self._lags(siblings).values()),
+                            catching_up=vm_id in self._catching_up)
 
         # 1. Maintain catch-up mode and self-co-stop leaders.
         leaders: set = set()

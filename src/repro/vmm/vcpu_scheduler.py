@@ -46,6 +46,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..des.distributions import Deterministic, Exponential
 from ..errors import ConfigurationError, ModelError, SchedulingError
+from ..observability import profile as _profile
+from ..observability import trace as _trace
 from ..san import (
     ExtendedPlace,
     InputGate,
@@ -206,13 +208,18 @@ def build_vcpu_scheduler(
 
     # -- Scheduling_Func: timeslice accounting + the plugged algorithm ------
 
-    def _deschedule(g: int) -> None:
+    def _deschedule(g: int, reason: str = _trace.OUT_DECISION) -> None:
         """Free slot g's PCPU and notify its VCPU model."""
         pcpu_index = pcpu_places[g].value
         pcpus.value[pcpu_index] = new_pcpu_entry()
         pcpu_places[g].value = None
         timeslice_places[g].tokens = 0
         schedule_out_places[g].add()
+        tracer = _trace._ACTIVE
+        if tracer is not None:
+            vm_id, vcpu_index = slot_map[g]
+            tracer.emit(_trace.SCHED_OUT, vcpu=g, vm=vm_id,
+                        vcpu_index=vcpu_index, pcpu=pcpu_index, reason=reason)
 
     def _assign(g: int, pcpu_index: int, timeslice: int, now: float) -> None:
         """Assign a PCPU to slot g and notify its VCPU model."""
@@ -221,6 +228,12 @@ def build_vcpu_scheduler(
         timeslice_places[g].tokens = timeslice
         last_in_places[g].value = now
         schedule_in_places[g].add()
+        tracer = _trace._ACTIVE
+        if tracer is not None:
+            vm_id, vcpu_index = slot_map[g]
+            tracer.emit(_trace.SCHED_IN, vcpu=g, vm=vm_id,
+                        vcpu_index=vcpu_index, pcpu=pcpu_index,
+                        timeslice=timeslice)
 
     # -- optional dependability process: PCPU fail/repair --------------------
 
@@ -229,12 +242,20 @@ def build_vcpu_scheduler(
 
             def fail(i: int = pcpu_index) -> None:
                 entry = pcpus.value[i]
+                victim = None
                 if entry["state"] == PCPUState.ASSIGNED:
-                    _deschedule(entry["vcpu"])  # victim loses its PCPU now
+                    victim = entry["vcpu"]
+                    _deschedule(victim, reason=_trace.OUT_PCPU_FAILURE)
                 pcpus.value[i] = {"state": PCPUState.FAILED, "vcpu": None}
+                tracer = _trace._ACTIVE
+                if tracer is not None:
+                    tracer.emit(_trace.PCPU_FAIL, pcpu=i, victim=victim)
 
             def repair(i: int = pcpu_index) -> None:
                 pcpus.value[i] = new_pcpu_entry()
+                tracer = _trace._ACTIVE
+                if tracer is not None:
+                    tracer.emit(_trace.PCPU_REPAIR, pcpu=i)
 
             model.add_activity(
                 TimedActivity(
@@ -274,6 +295,14 @@ def build_vcpu_scheduler(
         return VCPUStatus.READY
 
     def run_scheduling_func() -> None:
+        profiler = _profile._ACTIVE
+        if profiler is not None:
+            with profiler.section("vmm.scheduling_func"):
+                _run_scheduling_func()
+            return
+        _run_scheduling_func()
+
+    def _run_scheduling_func() -> None:
         sched_tick.remove()
         now = float(timestamp.tokens)
 
@@ -283,7 +312,7 @@ def build_vcpu_scheduler(
                 continue
             remaining = timeslice_places[g].tokens - 1
             if remaining <= 0:
-                _deschedule(g)
+                _deschedule(g, reason=_trace.OUT_EXPIRE)
             else:
                 timeslice_places[g].tokens = remaining
 
@@ -311,7 +340,12 @@ def build_vcpu_scheduler(
         ]
 
         # 3. Call the plugged scheduling function.
-        algorithm.schedule(views, len(views), pcpu_views, num_pcpus, now)
+        profiler = _profile._ACTIVE
+        if profiler is None:
+            algorithm.schedule(views, len(views), pcpu_views, num_pcpus, now)
+        else:
+            with profiler.section("vmm.algorithm"):
+                algorithm.schedule(views, len(views), pcpu_views, num_pcpus, now)
 
         # 4. Validate and apply its decisions: outs first, then ins.
         for view in views:

@@ -10,6 +10,16 @@ from repro.core import SystemSpec, VMSpec, WorkloadSpec
 from repro.des import StreamFactory
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden-trace fixtures in tests/golden/fixtures "
+        "instead of comparing against them (review the diff like code)",
+    )
+
+
 @pytest.fixture
 def rng():
     """A deterministic random stream for sampling tests."""

@@ -131,6 +131,118 @@ class TestRun:
         assert first != second
 
 
+class TestTraceAndProfileFlags:
+    """The ``--trace`` / ``--profile`` / ``--engine`` observability matrix."""
+
+    SMP_SPEC = {
+        "vms": [{"vcpus": 2}, {"vcpus": 1}],
+        "pcpus": 2,
+        "scheduler": "rrs",
+        "sim_time": 200,
+        "warmup": 20,
+    }
+
+    @pytest.fixture
+    def smp_spec_file(self, tmp_path):
+        path = tmp_path / "smp.json"
+        path.write_text(json.dumps(self.SMP_SPEC))
+        return str(path)
+
+    def run_traced(self, spec_file, tmp_path, *extra):
+        trace = str(tmp_path / "trace.jsonl")
+        code = main(["run", "--spec", spec_file, "--csv",
+                     "--min-replications", "2", "--max-replications", "2",
+                     "--trace", trace, *extra])
+        assert code == 0
+        return trace
+
+    @pytest.mark.parametrize("engine", ["incremental", "rescan"])
+    def test_jsonl_trace_schema_and_order(self, smp_spec_file, tmp_path,
+                                          capsys, engine):
+        from repro.observability.trace import RECORD_FIELDS
+
+        trace = self.run_traced(smp_spec_file, tmp_path, "--engine", engine)
+        err = capsys.readouterr().err
+        assert "trace:" in err and "trace.jsonl" in err
+        records = [json.loads(line)
+                   for line in open(trace, encoding="utf-8") if line.strip()]
+        assert records, "trace file is empty"
+        kinds = {r["kind"] for r in records}
+        assert {"run.start", "run.end", "sched.in", "activity.fire"} <= kinds
+        # schema: every record carries kind/t/seq plus exactly its fields
+        last_seq, last_t = -1, None
+        for record in records:
+            assert set(record) == {"kind", "t", "seq"} | set(
+                RECORD_FIELDS[record["kind"]]
+            ), record["kind"]
+            assert record["seq"] > last_seq
+            last_seq = record["seq"]
+            # timestamps are monotone within each replication segment
+            if record["kind"] == "run.start":
+                last_t = record["t"]
+            else:
+                assert record["t"] >= last_t
+                last_t = record["t"]
+        # both replications are present, delimited by run markers
+        assert sum(r["kind"] == "run.start" for r in records) == 2
+        assert sum(r["kind"] == "run.end" for r in records) == 2
+
+    def test_both_engines_trace_identically_via_cli(self, smp_spec_file,
+                                                    tmp_path, capsys):
+        def load(engine):
+            path = self.run_traced(
+                smp_spec_file, tmp_path, "--engine", engine)
+            capsys.readouterr()
+            records = [json.loads(line)
+                       for line in open(path, encoding="utf-8")]
+            for record in records:
+                record.pop("engine", None)
+            return records
+
+        assert load("incremental") == load("rescan")
+
+    def test_chrome_format(self, smp_spec_file, tmp_path, capsys):
+        trace = str(tmp_path / "trace.json")
+        assert main(["run", "--spec", smp_spec_file, "--csv",
+                     "--min-replications", "2", "--max-replications", "2",
+                     "--trace", trace, "--trace-format", "chrome"]) == 0
+        capsys.readouterr()
+        payload = json.loads(open(trace, encoding="utf-8").read())
+        events = payload["traceEvents"]
+        assert any(e["ph"] == "X" for e in events), "no schedule slices"
+        assert any(e["ph"] == "M" for e in events), "no track metadata"
+
+    def test_profile_prints_subsystem_table(self, spec_file, capsys):
+        assert main(["run", "--spec", spec_file,
+                     "--min-replications", "2", "--max-replications", "2",
+                     "--profile"]) == 0
+        err = capsys.readouterr().err
+        assert "profile:" in err
+        assert "vmm.scheduling_func" in err
+        assert "engine.completion" in err
+
+    def test_trace_refuses_parallel_jobs(self, spec_file, tmp_path, capsys):
+        assert main(["run", "--spec", spec_file,
+                     "--trace", str(tmp_path / "t.jsonl"), "--jobs", "2"]) == 1
+        assert "serial" in capsys.readouterr().err
+
+    def test_trace_refuses_timeout(self, spec_file, tmp_path, capsys):
+        assert main(["run", "--spec", spec_file,
+                     "--trace", str(tmp_path / "t.jsonl"),
+                     "--timeout", "30"]) == 1
+        assert "error: ConfigurationError" in capsys.readouterr().err
+
+    def test_traced_run_matches_untraced(self, smp_spec_file, tmp_path,
+                                         capsys):
+        base = ["run", "--spec", smp_spec_file, "--csv",
+                "--min-replications", "2", "--max-replications", "2"]
+        assert main(base) == 0
+        untraced = capsys.readouterr().out
+        assert main(base + ["--trace", str(tmp_path / "t.jsonl")]) == 0
+        traced = capsys.readouterr().out
+        assert traced == untraced
+
+
 class TestTables:
     def test_prints_both_tables(self, capsys):
         assert main(["tables"]) == 0

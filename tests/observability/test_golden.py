@@ -1,0 +1,75 @@
+"""Unit tests for golden-trace normalization and diffing."""
+
+from __future__ import annotations
+
+from repro.observability import GOLDEN_KINDS, GOLDEN_SCHEMA, diff_traces, normalize
+from repro.observability import trace as trace_mod
+from repro.observability.golden import dump_jsonl, load_jsonl
+
+
+def sched_in(t, seq, **over):
+    data = {"kind": trace_mod.SCHED_IN, "t": t, "seq": seq, "vcpu": 0,
+            "vm": 0, "vcpu_index": 0, "pcpu": 0, "timeslice": 30}
+    data.update(over)
+    return data
+
+
+def test_normalize_keeps_only_golden_kinds():
+    records = [
+        {"kind": trace_mod.RUN_START, "t": 0.0, "seq": 0, "scheduler": "rrs"},
+        sched_in(1.0, 1),
+        {"kind": trace_mod.ACTIVITY_FIRE, "t": 1.0, "seq": 2, "activity": "A",
+         "timed": True, "writes": []},
+    ]
+    normalized = normalize(records)
+    assert [e["kind"] for e in normalized] == [trace_mod.SCHED_IN]
+
+
+def test_normalize_is_tolerant_of_added_fields_and_kinds():
+    baseline = normalize([sched_in(1.0, 1)])
+    grown_schema = normalize([
+        sched_in(1.0, 1, future_field="whatever"),
+        {"kind": "future.kind", "t": 2.0, "seq": 2, "x": 1},
+    ])
+    assert grown_schema == baseline
+
+
+def test_normalize_is_sensitive_to_value_drift():
+    a = normalize([sched_in(1.0, 1, pcpu=0)])
+    b = normalize([sched_in(1.0, 1, pcpu=1)])
+    assert diff_traces(a, b) is not None
+
+
+def test_normalize_drops_seq_but_keeps_time():
+    entry = normalize([sched_in(3.25, 17)])[0]
+    assert "seq" not in entry
+    assert entry["t"] == 3.25
+
+
+def test_diff_reports_first_divergence_with_line_number():
+    golden = normalize([sched_in(1.0, 0), sched_in(2.0, 1, vcpu=1, pcpu=1)])
+    actual = normalize([sched_in(1.0, 0), sched_in(2.0, 1, vcpu=2, pcpu=1)])
+    message = diff_traces(actual, golden)
+    assert "record 1" in message and "fixture line 2" in message
+
+
+def test_diff_reports_length_mismatch():
+    golden = normalize([sched_in(1.0, 0)])
+    actual = normalize([sched_in(1.0, 0), sched_in(2.0, 1)])
+    message = diff_traces(actual, golden)
+    assert "length mismatch" in message
+
+    assert diff_traces(golden, golden) is None
+
+
+def test_fixture_roundtrip(tmp_path):
+    normalized = normalize([sched_in(1.0, 0), sched_in(2.5, 1, vcpu=1)])
+    path = tmp_path / "fixture.jsonl"
+    dump_jsonl(str(path), normalized)
+    assert load_jsonl(str(path)) == normalized
+
+
+def test_golden_schema_covers_golden_kinds():
+    assert set(GOLDEN_KINDS) == set(GOLDEN_SCHEMA)
+    for kind in GOLDEN_KINDS:
+        assert set(GOLDEN_SCHEMA[kind]) <= set(trace_mod.RECORD_FIELDS[kind])

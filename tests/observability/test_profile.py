@@ -1,0 +1,58 @@
+"""Unit tests for the per-subsystem profiler."""
+
+from __future__ import annotations
+
+from repro.core import Simulation
+from repro.observability import SimProfiler, profiling
+from repro.observability import profile as profile_mod
+from tests.conftest import make_spec
+
+
+def test_counters_and_sections():
+    prof = SimProfiler()
+    prof.count("ticks")
+    prof.count("ticks", 2)
+    with prof.section("work"):
+        pass
+    stats = prof.stats()
+    assert stats["counters"]["ticks"] == 3
+    assert stats["counters"]["work"] == 1
+    assert stats["seconds"]["work"] >= 0.0
+
+
+def test_profiling_context_installs_and_restores():
+    assert profile_mod.active() is None
+    with profiling(SimProfiler()) as prof:
+        assert profile_mod.active() is prof
+    assert profile_mod.active() is None
+
+
+def test_table_renders_every_bucket():
+    prof = SimProfiler()
+    with prof.section("alpha"):
+        pass
+    prof.count("beta", 5)
+    table = prof.table()
+    assert "alpha" in table and "beta" in table
+
+
+def test_simulation_stats_include_profile():
+    spec = make_spec((2, 1), 2, sim_time=120, warmup=0)
+    sim = Simulation(spec, profile=True)
+    sim.run()
+    stats = sim.stats()
+    seconds = stats["profile"]["seconds"]
+    assert {"engine.rewards", "engine.completion", "engine.settle",
+            "engine.reschedule", "vmm.scheduling_func",
+            "vmm.algorithm"} <= set(seconds)
+    assert stats["profile"]["counters"]["engine.events"] > 0
+    # profiling must not perturb the simulation itself
+    baseline = Simulation(spec).run()
+    assert Simulation(spec, profile=True).run().metrics == baseline.metrics
+
+
+def test_unprofiled_run_collects_nothing():
+    spec = make_spec((2, 1), 2, sim_time=60, warmup=0)
+    sim = Simulation(spec)
+    sim.run()
+    assert "profile" not in sim.stats()

@@ -1,0 +1,139 @@
+"""Unit tests for the SimTracer record store and its writers."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import simulate_once
+from repro.errors import ConfigurationError
+from repro.observability import (
+    RECORD_FIELDS,
+    SimTracer,
+    TraceRecord,
+    chrome_trace_events,
+    read_jsonl,
+    tracing,
+)
+from repro.observability import trace as trace_mod
+from tests.conftest import make_spec
+
+
+def test_emit_records_in_sequence():
+    tracer = SimTracer()
+    tracer.emit(trace_mod.SCHED_IN, time=1.0, vcpu=0, vm=0, vcpu_index=0,
+                pcpu=0, timeslice=30)
+    tracer.emit(trace_mod.SCHED_OUT, time=4.0, vcpu=0, vm=0, vcpu_index=0,
+                pcpu=0, reason="expire")
+    assert len(tracer) == 2
+    assert [r.seq for r in tracer.records] == [0, 1]
+    assert tracer.records[0].kind == trace_mod.SCHED_IN
+    assert tracer.records[1].get("reason") == "expire"
+
+
+def test_emit_without_time_uses_tracker_now():
+    tracer = SimTracer()
+    tracer._now = 17.5
+    tracer.emit(trace_mod.PCPU_FAIL, pcpu=1, victim=None)
+    assert tracer.records[0].t == 17.5
+
+
+def test_kind_filter_drops_unwanted_records():
+    tracer = SimTracer(kinds=(trace_mod.SCHED_IN,))
+    tracer.emit(trace_mod.SCHED_IN, time=0.0, vcpu=0)
+    tracer.emit(trace_mod.ACTIVITY_FIRE, time=0.0, activity="X")
+    assert [r.kind for r in tracer.records] == [trace_mod.SCHED_IN]
+
+
+def test_inactive_by_default():
+    assert trace_mod.active() is None
+    with tracing(SimTracer()) as tracer:
+        assert trace_mod.active() is tracer
+    assert trace_mod.active() is None
+
+
+def test_tracing_nests_and_restores():
+    outer, inner = SimTracer(), SimTracer()
+    with tracing(outer):
+        with tracing(inner):
+            assert trace_mod.active() is inner
+        assert trace_mod.active() is outer
+
+
+def test_untraced_run_emits_nothing():
+    tracer = SimTracer()
+    simulate_once(make_spec((2, 1), 2, sim_time=100, warmup=0))
+    assert tracer.records == []
+
+
+def test_record_roundtrip_via_dict():
+    record = TraceRecord(kind=trace_mod.SCHED_IN, t=3.0, seq=9,
+                         data={"vcpu": 1, "pcpu": 0})
+    again = TraceRecord.from_dict(record.to_dict())
+    assert again == record
+
+
+def test_jsonl_roundtrip(tmp_path):
+    tracer = SimTracer()
+    spec = make_spec((2, 1), 2, scheduler="rrs", sim_time=100, warmup=0)
+    simulate_once(spec, tracer=tracer)
+    path = tmp_path / "trace.jsonl"
+    tracer.write(str(path), format="jsonl")
+    loaded = read_jsonl(str(path))
+    assert [r.to_dict() for r in loaded] == tracer.to_dicts()
+
+
+def test_emitted_fields_match_schema():
+    """Every record a real run emits carries exactly its schema fields."""
+    tracer = SimTracer()
+    spec = make_spec((2, 1), 2, scheduler="rcs", sim_time=150, warmup=0)
+    simulate_once(spec, tracer=tracer)
+    seen_kinds = set()
+    for record in tracer.records:
+        assert record.kind in RECORD_FIELDS, record.kind
+        assert set(record.data) == set(RECORD_FIELDS[record.kind]), record.kind
+        seen_kinds.add(record.kind)
+    assert trace_mod.RUN_START in seen_kinds
+    assert trace_mod.SCHED_IN in seen_kinds
+    assert trace_mod.SCHED_SKEW in seen_kinds
+    assert trace_mod.ACTIVITY_FIRE in seen_kinds
+
+
+def test_chrome_conversion_builds_slices(tmp_path):
+    tracer = SimTracer()
+    spec = make_spec((2, 1), 2, scheduler="rrs", sim_time=150, warmup=0)
+    simulate_once(spec, tracer=tracer)
+    events = chrome_trace_events(tracer.records)
+    slices = [e for e in events if e["ph"] == "X"]
+    assert slices, "expected at least one complete slice"
+    for event in slices:
+        assert event["dur"] >= 0
+        assert event["name"].startswith("VM")
+    # and the full writer emits valid JSON with traceEvents
+    path = tmp_path / "trace.json"
+    tracer.write(str(path), format="chrome")
+    payload = json.loads(path.read_text())
+    assert isinstance(payload["traceEvents"], list)
+
+
+def test_write_rejects_unknown_format(tmp_path):
+    with pytest.raises(ConfigurationError):
+        SimTracer().write(str(tmp_path / "x"), format="xml")
+
+
+def test_stats_counts_by_kind():
+    tracer = SimTracer()
+    tracer.emit(trace_mod.SCHED_IN, time=0.0)
+    tracer.emit(trace_mod.SCHED_IN, time=1.0)
+    tracer.emit(trace_mod.RUN_END, time=2.0)
+    stats = tracer.stats()
+    assert stats["trace_records"] == 3
+    assert stats["trace_kinds"][trace_mod.SCHED_IN] == 2
+
+
+def test_clear_resets_sequence():
+    tracer = SimTracer()
+    tracer.emit(trace_mod.RUN_START, time=0.0)
+    tracer.clear()
+    assert tracer.records == [] and tracer._seq == 0

@@ -22,6 +22,7 @@ from hypothesis import strategies as st
 
 from repro.core.framework import simulate_once
 from repro.core.registry import list_schedulers
+from repro.observability import SimTracer
 from repro.resilience import ChaosSpec, GuardPolicy
 
 from ..conftest import make_spec
@@ -40,6 +41,31 @@ def assert_engines_agree(spec, replication=0, root_seed=7, **kwargs):
     assert fast.completions == reference.completions
     assert fast.degraded == reference.degraded
     assert len(fast.failures) == len(reference.failures)
+
+
+def assert_engine_traces_identical(spec, replication=0, root_seed=7, **kwargs):
+    """Stronger than metric equality: the *event streams* must match.
+
+    Both engines must fire the same activities with the same marking
+    deltas, schedule/cancel the same events, and drive the hypervisor
+    to the same decisions, record for record.  Only the ``engine``
+    label in ``run.start`` may differ.
+    """
+    fast_tracer, reference_tracer = SimTracer(), SimTracer()
+    simulate_once(spec, replication=replication, root_seed=root_seed,
+                  incremental=True, tracer=fast_tracer, **kwargs)
+    simulate_once(spec, replication=replication, root_seed=root_seed,
+                  incremental=False, tracer=reference_tracer, **kwargs)
+    fast = fast_tracer.to_dicts()
+    reference = reference_tracer.to_dicts()
+    for payload in fast + reference:
+        payload.pop("engine", None)
+    assert len(fast) == len(reference)
+    for index, (got, want) in enumerate(zip(fast, reference)):
+        assert got == want, (
+            f"engine traces diverge at record {index}:\n"
+            f"  incremental: {got}\n  rescan:      {want}"
+        )
 
 
 def small_spec(scheduler, **overrides):
@@ -81,6 +107,22 @@ class TestEverySchedulerBitIdentical:
             spec, pcpu_failures={"mtbf": 80.0, "mttr": 20.0}
         )
         assert_engines_agree(spec)
+
+    def test_traces_identical(self, scheduler):
+        # Event-stream equality subsumes metric equality: the engines
+        # must make every intermediate decision identically, not just
+        # land on the same aggregates.
+        assert_engine_traces_identical(small_spec(scheduler))
+
+    def test_traces_identical_under_faults(self, scheduler):
+        spec = dataclasses.replace(
+            small_spec(scheduler), pcpu_failures={"mtbf": 80.0, "mttr": 20.0}
+        )
+        assert_engine_traces_identical(
+            spec,
+            guard=GuardPolicy(mode="degrade", quarantine_after=2),
+            chaos=ChaosSpec(corrupt_replications=(0,), inject_after=100.0),
+        )
 
 
 @settings(max_examples=15, deadline=None)
