@@ -7,11 +7,14 @@ throughput, instantaneous settle cost, and full virtualization-system
 throughput in simulated ticks per second.
 
 Run directly (``python benchmarks/bench_san_engine.py``) the module
-compares the incremental enablement engine against the full-rescan
-reference on the Figure 8 configuration and writes a machine-readable
-report (``BENCH_pr2.json``): wall-clock, events/second, input-gate
-evaluations, speedup ratios, and a bit-identical cross-check of the
-two engines' metrics.  ``--fail-under`` turns it into a CI gate.
+compares the three enablement engines — compiled (with and without its
+clock-tick fast-forward, ablating the skip from the flat-array
+lowering), incremental, and the full-rescan reference — on the
+Figure 8 configuration and writes a machine-readable report
+(``BENCH_pr4.json``): wall-clock, events/second, input-gate
+evaluations, tick fast-forward counters, speedup ratios, model-reuse
+build amortization, and a bit-identical cross-check of every variant's
+metrics.  ``--fail-under`` turns it into a CI gate.
 """
 
 import argparse
@@ -144,17 +147,23 @@ def test_full_system_ticks_per_second(benchmark):
     assert completions > 10_000
 
 
-# -- incremental vs rescan comparison (the PR 2 acceptance bench) -----------
+# -- engine comparison (the PR 4 acceptance bench) ---------------------------
 #
 # The Figure 8 *shape* — more runnable VCPUs than PCPUs, so scheduling
 # decisions bind every tick — scaled to four 2-VCPU VMs: co-scheduling
-# comparisons need SMP VMs, and the incremental engine's advantage
-# grows with gate count, so the bench uses the larger of the paper's
-# starved-host configurations.
+# comparisons need SMP VMs, and the engines' advantages grow with gate
+# count, so the bench uses the larger of the paper's starved-host
+# configurations.  Four variants run interleaved: compiled, compiled
+# with tick fast-forward disabled (the ablation isolating the FF win
+# from the flat-array lowering), incremental, and the rescan reference.
+# rcs is the deliberate worst case: its per-tick skew bookkeeping means
+# no tick is ever skippable, so it measures the lowering alone.
 
 FIG8_TOPOLOGY = (2, 2, 2, 2)
 FIG8_PCPUS = 2
 FIG8_SCHEDULERS = ("rrs", "scs", "rcs")
+
+_VARIANTS = ("compiled", "compiled_no_ff", "incremental", "rescan")
 
 
 def _fig8_spec(scheduler, sim_time):
@@ -167,48 +176,54 @@ def _fig8_spec(scheduler, sim_time):
     )
 
 
-def _run_once(scheduler, sim_time, incremental, root_seed=0):
+def _run_once(scheduler, sim_time, variant, root_seed=0):
     """Run one replication and report wall clock plus engine effort.
 
     ``gate_evaluations`` is a process-global delta, so it must be read
     immediately after the run, before any other simulator executes —
     which also makes it identical across reps (same seed, same path).
     """
+    engine = "compiled" if variant.startswith("compiled") else variant
     sim = Simulation(
         _fig8_spec(scheduler, sim_time),
         replication=0,
         root_seed=root_seed,
-        incremental=incremental,
+        engine=engine,
     )
+    if variant == "compiled_no_ff":
+        sim.simulator.fast_forward = False
     start = time.perf_counter()
     result = sim.run()
     elapsed = time.perf_counter() - start
+    stats = sim.simulator.stats()
     return {
         "wall_seconds": elapsed,
         "events_per_second": result.completions / elapsed if elapsed > 0 else 0.0,
         "gate_evaluations": sim.simulator.gate_evaluations,
         "completions": result.completions,
+        "ticks_fired": stats["ticks_fired"],
+        "ticks_fast_forwarded": stats["ticks_fast_forwarded"],
         "metrics": result.metrics,
     }
 
 
-def _measure_pair(scheduler, sim_time, reps):
-    """Best-of-``reps`` for both engines, measured back-to-back.
+def _measure_variants(scheduler, sim_time, reps):
+    """Best-of-``reps`` for every engine variant, measured interleaved.
 
-    The engines are interleaved (incremental, rescan, incremental, ...)
-    rather than run in two blocks, so background-load drift on the host
-    cannot systematically favour one side of the speedup ratio.
+    The variants cycle (compiled, compiled_no_ff, incremental, rescan,
+    compiled, ...) rather than running in blocks, so background-load
+    drift on the host cannot systematically favour one side of a ratio.
     """
-    fast = None
-    reference = None
+    best = {}
     for _ in range(max(1, reps)):
-        sample = _run_once(scheduler, sim_time, True)
-        if fast is None or sample["wall_seconds"] < fast["wall_seconds"]:
-            fast = sample
-        sample = _run_once(scheduler, sim_time, False)
-        if reference is None or sample["wall_seconds"] < reference["wall_seconds"]:
-            reference = sample
-    return fast, reference
+        for variant in _VARIANTS:
+            sample = _run_once(scheduler, sim_time, variant)
+            if (
+                variant not in best
+                or sample["wall_seconds"] < best[variant]["wall_seconds"]
+            ):
+                best[variant] = sample
+    return best
 
 
 def measure_tracing_overhead(sim_time=2000, reps=3, scheduler="rrs"):
@@ -249,26 +264,81 @@ def measure_tracing_overhead(sim_time=2000, reps=3, scheduler="rrs"):
     }
 
 
+def measure_model_reuse(sim_time=500, reps=3, scheduler="rrs"):
+    """Build-cost amortization of cross-replication model reuse.
+
+    Times full ``Simulation`` construction (the part reuse elides) for a
+    fresh build vs a cache checkout of the compiled engine.
+    """
+    from repro.core.framework import clear_model_cache
+
+    spec = _fig8_spec(scheduler, sim_time)
+
+    def best_construction(reuse):
+        best = None
+        for replication in range(max(1, reps)):
+            if not reuse:
+                clear_model_cache()
+            start = time.perf_counter()
+            sim = Simulation(
+                spec, replication=replication, engine="compiled", reuse=True
+            )
+            elapsed = time.perf_counter() - start
+            sim.run()  # releases the cache entry for the next checkout
+            if replication == 0 and reuse:
+                continue  # the first reuse=True build primes the cache
+            if best is None or elapsed < best:
+                best = elapsed
+        return best
+
+    fresh = best_construction(reuse=False)
+    reused = best_construction(reuse=True)
+    clear_model_cache()
+    return {
+        "scheduler": scheduler,
+        "fresh_build_seconds": fresh,
+        "reused_build_seconds": reused,
+        "build_speedup": fresh / reused if reused and reused > 0 else float("inf"),
+    }
+
+
 def compare_engines(sim_time=2000, reps=3, schedulers=FIG8_SCHEDULERS):
-    """Benchmark incremental vs rescan; returns the full report dict."""
+    """Benchmark compiled (with and without tick fast-forward),
+    incremental, and rescan; returns the full report dict."""
     results = {}
     for scheduler in schedulers:
-        fast, reference = _measure_pair(scheduler, sim_time, reps)
-        bit_identical = (
-            fast["metrics"] == reference["metrics"]
-            and fast["completions"] == reference["completions"]
+        best = _measure_variants(scheduler, sim_time, reps)
+        reference = best["rescan"]
+        compiled = best["compiled"]
+        bit_identical = all(
+            best[variant]["metrics"] == reference["metrics"]
+            and best[variant]["completions"] == reference["completions"]
+            for variant in _VARIANTS
         )
-        results[scheduler] = {
-            "incremental": {k: v for k, v in fast.items() if k != "metrics"},
-            "rescan": {k: v for k, v in reference.items() if k != "metrics"},
-            "speedup": reference["wall_seconds"] / fast["wall_seconds"],
-            "gate_eval_ratio": (
-                reference["gate_evaluations"] / fast["gate_evaluations"]
-                if fast["gate_evaluations"]
-                else float("inf")
-            ),
-            "bit_identical": bit_identical,
+        entry = {
+            variant: {k: v for k, v in best[variant].items() if k != "metrics"}
+            for variant in _VARIANTS
         }
+        entry.update(
+            compiled_over_incremental=(
+                best["incremental"]["wall_seconds"] / compiled["wall_seconds"]
+            ),
+            compiled_over_rescan=(
+                reference["wall_seconds"] / compiled["wall_seconds"]
+            ),
+            incremental_over_rescan=(
+                reference["wall_seconds"] / best["incremental"]["wall_seconds"]
+            ),
+            fast_forward_speedup=(
+                best["compiled_no_ff"]["wall_seconds"] / compiled["wall_seconds"]
+            ),
+            # The FF win only exists where the scheduler certifies skips;
+            # the CI gate applies to these schedulers (see main()).
+            fast_forward_engaged=compiled["ticks_fast_forwarded"] > 0,
+            bit_identical=bit_identical,
+        )
+        results[scheduler] = entry
+    gated = [r for r in results.values() if r["fast_forward_engaged"]]
     return {
         "benchmark": "san-enablement-engine",
         "config": {
@@ -284,10 +354,18 @@ def compare_engines(sim_time=2000, reps=3, schedulers=FIG8_SCHEDULERS):
         "tracing_overhead": measure_tracing_overhead(
             sim_time=sim_time, reps=reps
         ),
+        "model_reuse": measure_model_reuse(reps=reps),
         "summary": {
-            "min_speedup": min(r["speedup"] for r in results.values()),
-            "min_gate_eval_ratio": min(
-                r["gate_eval_ratio"] for r in results.values()
+            "min_compiled_over_incremental": (
+                min(r["compiled_over_incremental"] for r in gated)
+                if gated
+                else None
+            ),
+            "min_compiled_over_rescan": (
+                min(r["compiled_over_rescan"] for r in gated) if gated else None
+            ),
+            "min_incremental_over_rescan": min(
+                r["incremental_over_rescan"] for r in results.values()
             ),
             "all_bit_identical": all(r["bit_identical"] for r in results.values()),
         },
@@ -296,16 +374,17 @@ def compare_engines(sim_time=2000, reps=3, schedulers=FIG8_SCHEDULERS):
 
 def main(argv=None):
     parser = argparse.ArgumentParser(
-        description="Compare the incremental enablement engine to full rescan"
+        description="Compare the compiled, incremental, and rescan engines"
     )
-    parser.add_argument("--out", default="BENCH_pr2.json", help="report path")
+    parser.add_argument("--out", default="BENCH_pr4.json", help="report path")
     parser.add_argument("--sim-time", type=int, default=2000)
     parser.add_argument("--reps", type=int, default=3, help="best-of-N wall clock")
     parser.add_argument(
         "--fail-under",
         type=float,
         default=None,
-        help="exit 1 if any scheduler's speedup falls below this",
+        help="exit 1 if compiled-over-incremental falls below this on any "
+        "scheduler where tick fast-forward engages",
     )
     args = parser.parse_args(argv)
 
@@ -315,11 +394,13 @@ def main(argv=None):
         handle.write("\n")
 
     for scheduler, entry in report["results"].items():
+        compiled = entry["compiled"]
         print(
-            f"{scheduler}: speedup {entry['speedup']:.2f}x, "
-            f"gate evals {entry['rescan']['gate_evaluations']} -> "
-            f"{entry['incremental']['gate_evaluations']} "
-            f"({entry['gate_eval_ratio']:.2f}x fewer), "
+            f"{scheduler}: compiled {entry['compiled_over_incremental']:.2f}x "
+            f"over incremental, {entry['compiled_over_rescan']:.2f}x over "
+            f"rescan (fast-forward alone {entry['fast_forward_speedup']:.2f}x; "
+            f"ticks fired {compiled['ticks_fired']}, "
+            f"fast-forwarded {compiled['ticks_fast_forwarded']}), "
             f"bit_identical={entry['bit_identical']}"
         )
     overhead = report["tracing_overhead"]
@@ -329,19 +410,28 @@ def main(argv=None):
         f"{overhead['traced_wall_seconds'] * 1000:.1f} ms "
         f"({overhead['traced_over_untraced']:.2f}x)"
     )
+    reuse = report["model_reuse"]
+    print(
+        f"model reuse ({reuse['scheduler']}): fresh build "
+        f"{reuse['fresh_build_seconds'] * 1000:.1f} ms, cached checkout "
+        f"{reuse['reused_build_seconds'] * 1000:.1f} ms "
+        f"({reuse['build_speedup']:.1f}x)"
+    )
     summary = report["summary"]
     print(
-        f"min speedup {summary['min_speedup']:.2f}x, "
-        f"min gate-eval ratio {summary['min_gate_eval_ratio']:.2f}x, "
-        f"wrote {args.out}"
+        f"min compiled/incremental {summary['min_compiled_over_incremental']:.2f}x, "
+        f"min compiled/rescan {summary['min_compiled_over_rescan']:.2f}x "
+        f"(fast-forward-capable schedulers), wrote {args.out}"
     )
 
     if not summary["all_bit_identical"]:
         print("FAIL: engines diverged — metrics are not bit-identical", file=sys.stderr)
         return 1
-    if args.fail_under is not None and summary["min_speedup"] < args.fail_under:
+    floor = summary["min_compiled_over_incremental"]
+    if args.fail_under is not None and (floor is None or floor < args.fail_under):
         print(
-            f"FAIL: min speedup {summary['min_speedup']:.2f}x below "
+            f"FAIL: min compiled-over-incremental "
+            f"{'n/a' if floor is None else f'{floor:.2f}x'} below "
             f"--fail-under {args.fail_under}",
             file=sys.stderr,
         )

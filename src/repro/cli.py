@@ -66,6 +66,7 @@ def _resilience_from_args(args: argparse.Namespace) -> Optional[ResilienceConfig
         checkpoint=args.checkpoint,
         resume=args.resume,
         incremental=args.engine != "rescan",
+        engine=args.engine,
     )
     config.validate()
     return config
@@ -96,6 +97,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             extra_probes=args.probes,
             resilience=_resilience_from_args(args),
             incremental=args.engine != "rescan",
+            engine=args.engine,
         )
     if tracer is not None:
         tracer.write(args.trace, format=args.trace_format)
@@ -106,6 +108,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
     if profiler is not None:
         print(profiler.table(), file=sys.stderr)
+        fired = profiler.counters.get("engine.ticks_fired", 0)
+        skipped = profiler.counters.get("engine.ticks_fast_forwarded", 0)
+        print(
+            f"engine: {args.engine} "
+            f"(clock ticks fired {fired}, fast-forwarded {skipped})",
+            file=sys.stderr,
+        )
     if args.csv:
         print(results_to_csv([result], metrics=result.metrics()), end="")
         return 0
@@ -221,10 +230,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument(
         "--engine",
-        choices=("incremental", "rescan"),
+        choices=("incremental", "rescan", "compiled"),
         default="incremental",
-        help="enablement engine: incremental (cached, default) or rescan "
-        "(full re-evaluation reference; bit-identical results)",
+        help="enablement engine: incremental (cached, default), rescan "
+        "(full re-evaluation reference), or compiled (flat-array lowering "
+        "with clock-tick fast-forward); results are bit-identical",
     )
     run_parser.add_argument(
         "--trace",

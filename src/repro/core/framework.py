@@ -17,10 +17,13 @@ Example — the whole paper workflow in four lines:
 from __future__ import annotations
 
 import contextlib
+import json
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from ..des.random_streams import StreamFactory
+from ..errors import ConfigurationError
 from ..metrics.collectors import per_vm_blocked_fraction, workloads_generated
 from ..metrics.rewards import standard_rewards
 from ..observability import trace as _trace
@@ -29,7 +32,7 @@ from ..observability.trace import SimTracer, tracing
 from ..resilience.chaos import ChaosScheduler, ChaosSpec
 from ..resilience.failures import ReplicationFailure
 from ..resilience.guard import GuardedScheduler, GuardPolicy
-from ..san import ComposedModel, SANSimulator
+from ..san import ComposedModel, SANSimulator, build_simulator, resolve_engine
 from .config import SystemSpec
 from .registry import create_scheduler
 from ..vmm.system import build_virtual_system
@@ -41,6 +44,64 @@ def _failure_model(spec: "SystemSpec"):
     if spec.pcpu_failures is None:
         return None
     return PCPUFailureModel(**spec.pcpu_failures)
+
+
+# -- cross-replication model reuse -------------------------------------------
+#
+# Building (and, for the compiled engine, lowering) the composed model is a
+# pure function of the spec, yet it dominates wall time for short
+# replications.  A small per-process cache keeps built (system, simulator,
+# rewards) triples; the next replication of the same spec checks one out,
+# swaps in a fresh scheduler algorithm, reseeds the existing stream objects
+# in place, and resets the simulator — no rebuild, no recompile.  The
+# parallel executor gets this for free: each worker process has its own
+# cache, so a sweep compiles each spec once per worker.
+
+
+@dataclass
+class _CachedModel:
+    system: ComposedModel
+    simulator: SANSimulator
+    rewards: Dict[str, Any]
+    in_use: bool = False
+
+
+_REUSE_CAP = 8
+_MODEL_CACHE: "OrderedDict[str, _CachedModel]" = OrderedDict()
+
+
+def clear_model_cache() -> None:
+    """Drop all cached models (tests; memory pressure)."""
+    _MODEL_CACHE.clear()
+
+
+def _reuse_key(spec: SystemSpec, engine: str, extra_probes: bool) -> Optional[str]:
+    """Cache key, or None when the spec cannot be serialized (no reuse)."""
+    try:
+        blob = json.dumps(spec.to_dict(), sort_keys=True)
+    except (ConfigurationError, TypeError, ValueError):
+        return None  # e.g. a live Distribution instance as the load
+    return f"{blob}|{engine}|{int(bool(extra_probes))}"
+
+
+def _cache_checkout(key: str) -> Optional[_CachedModel]:
+    entry = _MODEL_CACHE.get(key)
+    if entry is None or entry.in_use:
+        return None
+    entry.in_use = True
+    _MODEL_CACHE.move_to_end(key)
+    return entry
+
+
+def _cache_register(key: str, entry: _CachedModel) -> None:
+    _MODEL_CACHE[key] = entry
+    while len(_MODEL_CACHE) > _REUSE_CAP:
+        for stale_key in _MODEL_CACHE:
+            if not _MODEL_CACHE[stale_key].in_use:
+                del _MODEL_CACHE[stale_key]
+                break
+        else:  # everything checked out: let the cache grow past the cap
+            break
 
 
 @dataclass
@@ -91,6 +152,8 @@ class Simulation:
         incremental: bool = True,
         tracer: Optional[SimTracer] = None,
         profile: bool = False,
+        engine: Optional[str] = None,
+        reuse: bool = False,
     ) -> None:
         spec.validate()
         self.spec = spec
@@ -100,7 +163,7 @@ class Simulation:
         self.profiler: Optional[SimProfiler] = SimProfiler() if profile else None
         self._guard_policy = guard
         self._chaos_spec = chaos
-        self.streams = StreamFactory(root_seed=root_seed, replication=replication)
+        engine_name = resolve_engine(engine, incremental)
 
         algorithm = create_scheduler(spec.scheduler, **spec.scheduler_params)
         self._algorithm_root = algorithm
@@ -114,23 +177,58 @@ class Simulation:
         if guard is not None:
             algorithm = GuardedScheduler(algorithm, guard)
             self._guard = algorithm
-        vm_configs = [(vm.vcpus, vm.workload.build(), vm.dispatch) for vm in spec.vms]
-        self.system: ComposedModel = build_virtual_system(
-            vm_configs,
-            algorithm,
-            spec.pcpus,
-            streams=self.streams,
-            vm_slots=spec.vm_slots,
-            scheduler_slots=spec.scheduler_slots,
-            failures=_failure_model(spec),
-        )
-        self.simulator = SANSimulator(self.system, self.streams, incremental=incremental)
-        self.rewards = standard_rewards(self.system, warmup=spec.warmup)
-        if extra_probes:
-            self.rewards.update(per_vm_blocked_fraction(self.system, warmup=spec.warmup))
-            self.rewards.update(workloads_generated(self.system, warmup=spec.warmup))
-        for reward in self.rewards.values():
-            self.simulator.add_reward(reward)
+
+        cache_key = _reuse_key(spec, engine_name, extra_probes) if reuse else None
+        self._cache_entry = _cache_checkout(cache_key) if cache_key else None
+        if self._cache_entry is not None:
+            entry = self._cache_entry
+            self.system = entry.system
+            self.simulator = entry.simulator
+            self.rewards = entry.rewards
+            # The scheduling closure reads the scheduler sub-model's
+            # ``algorithm`` attribute; metrics and metadata read the
+            # composed model's.  Point both at this replication's fresh
+            # (possibly wrapped) instance.
+            self.system.algorithm = algorithm
+            self.system.scheduler.algorithm = algorithm
+            # Re-arm the *existing* stream objects rather than minting a
+            # new factory: builder closures captured these objects, and a
+            # fresh factory would split their streams from the simulator's.
+            self.streams = self.simulator.streams
+            self.streams.reseed(root_seed, replication)
+            self.simulator.reset()
+        else:
+            self.streams = StreamFactory(root_seed=root_seed, replication=replication)
+            vm_configs = [
+                (vm.vcpus, vm.workload.build(), vm.dispatch) for vm in spec.vms
+            ]
+            self.system = build_virtual_system(
+                vm_configs,
+                algorithm,
+                spec.pcpus,
+                streams=self.streams,
+                vm_slots=spec.vm_slots,
+                scheduler_slots=spec.scheduler_slots,
+                failures=_failure_model(spec),
+            )
+            self.simulator = build_simulator(
+                self.system, self.streams, engine=engine_name
+            )
+            self.rewards = standard_rewards(self.system, warmup=spec.warmup)
+            if extra_probes:
+                self.rewards.update(
+                    per_vm_blocked_fraction(self.system, warmup=spec.warmup)
+                )
+                self.rewards.update(
+                    workloads_generated(self.system, warmup=spec.warmup)
+                )
+            for reward in self.rewards.values():
+                self.simulator.add_reward(reward)
+            if cache_key is not None:
+                self._cache_entry = _CachedModel(
+                    self.system, self.simulator, self.rewards, in_use=True
+                )
+                _cache_register(cache_key, self._cache_entry)
         self._ran = False
 
     def _run_header(self) -> Dict[str, Any]:
@@ -159,6 +257,17 @@ class Simulation:
                 "a Simulation runs exactly once; build a new instance "
                 "(with the next replication index) for another run"
             )
+        try:
+            return self._run_once()
+        finally:
+            # Even a faulted run may release: the next checkout resets the
+            # simulator (markings, queue, rewards, streams) from scratch.
+            entry = self._cache_entry
+            if entry is not None:
+                entry.in_use = False
+                self._cache_entry = None
+
+    def _run_once(self) -> RunResult:
         with contextlib.ExitStack() as stack:
             if self.tracer is not None:
                 stack.enter_context(tracing(self.tracer))
@@ -216,6 +325,8 @@ def simulate_once(
     incremental: bool = True,
     tracer: Optional[SimTracer] = None,
     profile: bool = False,
+    engine: Optional[str] = None,
+    reuse: bool = False,
 ) -> RunResult:
     """Build and run one replication of ``spec`` (the quickstart entry).
 
@@ -224,11 +335,16 @@ def simulate_once(
             faults (see :mod:`repro.resilience.guard`).
         chaos: optional deterministic fault-injection plan (testing).
         attempt: retry attempt index; only chaos targeting uses it.
-        incremental: enablement engine selection, passed through to
-            :class:`repro.san.SANSimulator` (False forces full rescan).
+        incremental: legacy engine toggle (False forces full rescan);
+            ignored when ``engine`` is given.
         tracer: optional :class:`~repro.observability.SimTracer`;
             activated around the run so every layer's hooks emit into it.
         profile: collect per-subsystem timings (``Simulation.stats()``).
+        engine: enablement engine name — ``"incremental"`` (default),
+            ``"rescan"``, or ``"compiled"`` (see :mod:`repro.san.compiled`).
+        reuse: check the built model out of the per-process cache when an
+            identical spec/engine pair ran before (cheap reset + reseed
+            instead of a rebuild); bit-identical results either way.
     """
     return Simulation(
         spec,
@@ -241,6 +357,8 @@ def simulate_once(
         incremental=incremental,
         tracer=tracer,
         profile=profile,
+        engine=engine,
+        reuse=reuse,
     ).run()
 
 

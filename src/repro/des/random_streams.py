@@ -62,6 +62,23 @@ class StreamFactory:
         self._streams[key] = rng
         return rng
 
+    def reseed(self, root_seed: int, replication: int) -> None:
+        """Re-arm every memoized stream for another replication, in place.
+
+        ``rng.seed(n)`` puts a ``random.Random`` in exactly the state of a
+        fresh ``random.Random(n)``, so reseeding the existing objects is
+        indistinguishable from building a new factory — except that object
+        identity survives.  That identity matters for model reuse: builder
+        closures capture their stream objects at construction time, and a
+        fresh factory would hand the simulator *different* objects for the
+        same keys, silently splitting what should be one interleaved
+        stream into two.
+        """
+        self.root_seed = int(root_seed)
+        self.replication = int(replication)
+        for key, rng in self._streams.items():
+            rng.seed(derive_seed(self.root_seed, key, self.replication))
+
     def for_replication(self, replication: int) -> "StreamFactory":
         """A sibling factory with the same root seed but another replication.
 

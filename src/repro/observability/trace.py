@@ -49,6 +49,7 @@ RUN_END = "run.end"
 ACTIVITY_FIRE = "activity.fire"
 ENGINE_SCHEDULE = "engine.schedule"
 ENGINE_CANCEL = "engine.cancel"
+ENGINE_FASTFORWARD = "engine.fastforward"
 SCHED_IN = "sched.in"
 SCHED_OUT = "sched.out"
 SCHED_SKEW = "sched.skew"
@@ -72,6 +73,9 @@ RECORD_FIELDS: Dict[str, tuple] = {
     ACTIVITY_FIRE: ("activity", "timed", "writes"),
     ENGINE_SCHEDULE: ("activity", "at"),
     ENGINE_CANCEL: ("activity",),
+    # One record per coalesced clock span (compiled engine): the k
+    # skipped ticks and the activity completions they account for.
+    ENGINE_FASTFORWARD: ("ticks", "completions"),
     SCHED_IN: ("vcpu", "vm", "vcpu_index", "pcpu", "timeslice"),
     SCHED_OUT: ("vcpu", "vm", "vcpu_index", "pcpu", "reason"),
     SCHED_SKEW: ("vm", "max_lag", "catching_up"),

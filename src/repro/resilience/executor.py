@@ -67,9 +67,14 @@ class ResilienceConfig:
         keep_partial: when a replication exhausts its retries, record
             the failure and continue with the surviving replications
             instead of raising :class:`~repro.errors.ReplicationError`.
-        incremental: enablement engine for every replication (False
-            forces the full-rescan reference engine; results are
-            bit-identical either way).
+        incremental: legacy enablement-engine toggle (False forces the
+            full-rescan reference engine); ignored when ``engine`` is set.
+        engine: enablement engine for every replication —
+            ``"incremental"``, ``"rescan"``, or ``"compiled"``; results
+            are bit-identical across all three.
+        reuse: reuse the built (and, for compiled, lowered) model across
+            replications of the same spec — once per process, so each
+            pool worker compiles once and resets thereafter.
     """
 
     jobs: int = 1
@@ -83,6 +88,8 @@ class ResilienceConfig:
     chaos: Optional[ChaosSpec] = None
     keep_partial: bool = False
     incremental: bool = True
+    engine: Optional[str] = None
+    reuse: bool = True
 
     def validate(self) -> None:
         if self.jobs < 1:
@@ -99,6 +106,15 @@ class ResilienceConfig:
             self.guard.validate()
         if self.chaos is not None:
             self.chaos.validate()
+        if self.engine is not None and self.engine not in (
+            "incremental",
+            "rescan",
+            "compiled",
+        ):
+            raise ConfigurationError(
+                f"unknown engine {self.engine!r}; "
+                "expected 'incremental', 'rescan', or 'compiled'"
+            )
 
 
 def retry_seed(root_seed: int, replication: int, attempt: int) -> int:
@@ -177,6 +193,8 @@ class _Task:
     guard: Optional[GuardPolicy]
     chaos: Optional[ChaosSpec]
     incremental: bool = True
+    engine: Optional[str] = None
+    reuse: bool = True
 
 
 def _execute_task(task: _Task) -> Dict[str, Any]:
@@ -193,6 +211,8 @@ def _execute_task(task: _Task) -> Dict[str, Any]:
             chaos=task.chaos,
             attempt=task.attempt,
             incremental=task.incremental,
+            engine=task.engine,
+            reuse=task.reuse,
         )
     except Exception as exc:  # noqa: BLE001 — every fault becomes a record
         return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
@@ -250,6 +270,8 @@ class _Run:
             guard=self.config.guard,
             chaos=self.config.chaos,
             incremental=self.config.incremental,
+            engine=self.config.engine,
+            reuse=self.config.reuse,
         )
 
     def _stamp(self, failures: List[ReplicationFailure], task: _Task) -> None:

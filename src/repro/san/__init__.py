@@ -9,6 +9,7 @@ the paper used.
 
 from .activities import Activity, Case, InstantaneousActivity, TimedActivity
 from .analysis import ReachabilityAnalyzer
+from .compiled import ENGINES, CompiledSANSimulator, build_simulator, resolve_engine
 from .composed import ComposedModel, SharedVariable, join, replicate
 from .ctmc import CTMCSolver
 from .dot import save_dot, to_dot
@@ -46,5 +47,9 @@ __all__ = [
     "RatioRateReward",
     "RewardVariable",
     "SANSimulator",
+    "CompiledSANSimulator",
+    "ENGINES",
+    "build_simulator",
+    "resolve_engine",
     "MarkingTrace",
 ]

@@ -1,0 +1,545 @@
+"""The compiled enablement engine: flat-array lowering + tick fast-forward.
+
+The incremental engine (PR 2) made enablement *queries* cheap but still
+walks Python object graphs — ``_ActivityState`` instances, per-gate
+record lists, dict hops — on every event.  This module lowers the model
+once, at construction, into flat parallel arrays indexed by a dense
+integer activity index:
+
+* instantaneous activities occupy indices ``0 .. n_inst-1`` in settle
+  order (priority, then registration), timed activities follow in
+  registration order — so a single index space covers both hot loops;
+* per-activity staleness and enablement live in two ``bytearray``s,
+  scanned with ``bytearray.find`` (a C-level memchr) instead of a
+  Python loop over state objects;
+* the cell -> dependent-activities watcher index maps ``id(cell)`` to a
+  prebuilt list of integer indices, and writes propagate *eagerly*: the
+  dirty sink installed during completions flips stale bytes directly,
+  so there is no deferred flush pass at all;
+* timed rescheduling walks prebuilt ``(index, activity, key, rng)``
+  rows — no attribute lookups or stream-cache probes per event.
+
+Verdicts are cached at activity granularity (the conjunction over the
+gates), refreshed under a read sink exactly like the incremental
+engine; the same soundness argument applies (pure predicates re-reading
+unchanged cells return unchanged verdicts), as do the same conservative
+fallbacks (volatile gates and empty observed read sets re-evaluate at
+every synchronisation point, out-of-band writes invalidate everything).
+
+On top of the lowered form the engine implements **clock-tick
+fast-forward** for models that publish a ``tick_fast_forward`` spec
+(see :class:`repro.vmm.vcpu_scheduler.ClockFastForward`): when the
+model certifies that the next ``k`` ticks of its deterministic clock
+are pure countdown — every PCPU assigned, every running VCPU burning
+load outside critical sections, timeslices and loads at least ``k``
+from expiry — and no other timed event intervenes, the engine fires the
+clock ``k`` times in closed form: rewards accumulate per unit interval
+with the (provably constant) rate evaluated once, markings receive the
+net arithmetic update, the completion counter advances by the exact
+per-tick completion count, and the clock is rescheduled at the same
+model time it would have reached step by step.  No random stream is
+touched (the clock is deterministic and every skipped activity has a
+single case), so the sample path — and every reward metric — is
+bit-for-bit identical to the other engines.  Traces coalesce the
+skipped ticks into one ``engine.fastforward`` record; golden
+normalization already projects those away (see
+:mod:`repro.observability.golden`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..des.random_streams import StreamFactory
+from ..errors import ConfigurationError, SimulationError
+from ..observability import profile as _profile
+from ..observability import trace as _trace
+from . import places as _places
+from .activities import Activity, TimedActivity
+from .model import ModelBase
+from .simulator import SANSimulator
+
+#: Recognised enablement engines, in documentation order.
+ENGINES = ("incremental", "rescan", "compiled")
+
+
+def resolve_engine(engine: Optional[str] = None, incremental: bool = True) -> str:
+    """Normalise the engine selection, honouring the legacy boolean.
+
+    ``engine`` wins when given; otherwise the PR 2-era ``incremental``
+    flag picks between the two original engines, keeping every existing
+    call site's behaviour unchanged.
+    """
+    if engine is None:
+        return "incremental" if incremental else "rescan"
+    if engine not in ENGINES:
+        raise ConfigurationError(
+            f"unknown enablement engine {engine!r}; expected one of {ENGINES}"
+        )
+    return engine
+
+
+def build_simulator(
+    model: ModelBase,
+    streams: Optional[StreamFactory] = None,
+    engine: Optional[str] = None,
+    incremental: bool = True,
+    max_instantaneous_chain: int = 100_000,
+) -> SANSimulator:
+    """Construct the simulator for the selected enablement engine."""
+    name = resolve_engine(engine, incremental)
+    if name == "compiled":
+        return CompiledSANSimulator(
+            model, streams, max_instantaneous_chain=max_instantaneous_chain
+        )
+    return SANSimulator(
+        model,
+        streams,
+        max_instantaneous_chain=max_instantaneous_chain,
+        incremental=(name == "incremental"),
+    )
+
+
+class _EagerDirtySink:
+    """Dirty sink that flips stale bytes at write time.
+
+    Installed as ``places._dirty_sink`` around completions; any object
+    with ``add`` satisfies the sink protocol, so writes propagate to
+    the flat stale array with no intermediate set and no flush pass.
+    """
+
+    __slots__ = ("_watchers", "_stale")
+
+    def __init__(self, watchers: Dict[int, List[int]], stale: bytearray) -> None:
+        self._watchers = watchers
+        self._stale = stale
+
+    def add(self, cell: Any) -> None:
+        dependents = self._watchers.get(id(cell))
+        if dependents is not None:
+            stale = self._stale
+            for index in dependents:
+                stale[index] = 1
+
+
+class CompiledSANSimulator(SANSimulator):
+    """SAN simulator running the lowered, index-based enablement engine.
+
+    Args:
+        model: the (atomic or composed) model to simulate.
+        streams: replication random streams (default: seed 0, rep 0).
+        max_instantaneous_chain: livelock guard for zero-time chains.
+        fast_forward: honour the model's ``tick_fast_forward`` spec
+            (default).  Disable for ablation benchmarks — lowering and
+            fast-forward speedups are then separately attributable.
+    """
+
+    def __init__(
+        self,
+        model: ModelBase,
+        streams: Optional[StreamFactory] = None,
+        max_instantaneous_chain: int = 100_000,
+        fast_forward: bool = True,
+    ) -> None:
+        # The base class with incremental=False gives us the activity
+        # lists, queue, reward plumbing and stream bindings without an
+        # EnablementCache we would never consult.
+        super().__init__(
+            model,
+            streams,
+            max_instantaneous_chain=max_instantaneous_chain,
+            incremental=False,
+        )
+        self.fast_forward = bool(fast_forward)
+        self._compile()
+
+    # -- lowering -----------------------------------------------------------
+
+    def _compile(self) -> None:
+        acts: List[Activity] = list(self._instantaneous) + list(self._timed)
+        self._acts = acts
+        n = len(acts)
+        self._n_inst = len(self._instantaneous)
+        self._act_gates: List[Tuple[Any, ...]] = [
+            tuple(activity.input_gates) for activity in acts
+        ]
+        self._stale = bytearray(b"\x01" * n)
+        self._enabled = bytearray(n)
+        # Observed/declared read cells per activity, for watcher dedupe.
+        self._act_cells: List[set] = [set() for _ in range(n)]
+        # id(cell) -> dependent activity indices; _cell_pins keeps the
+        # cells alive so ids cannot be recycled.
+        self._watchers: Dict[int, List[int]] = {}
+        self._cell_pins: Dict[int, Any] = {}
+        self._scratch: set = set()
+        self._ff_reads: set = set()
+        self._dirty = _EagerDirtySink(self._watchers, self._stale)
+        self.refreshes = 0
+        # Activities re-marked stale at every synchronisation point:
+        # volatile gates up front, empty observed read sets on demand.
+        self._always_inst: List[int] = []
+        self._always_timed: List[int] = []
+        for index, activity in enumerate(acts):
+            if activity.input_gates and activity.is_volatile():
+                self._always_for(index).append(index)
+            for cell in activity.declared_read_cells():
+                self._watch(index, cell)
+        self._bind_compiled_rows()
+        # Clock fast-forward: the model publishes the spec (or not).
+        spec = getattr(self.model, "tick_fast_forward", None)
+        self._ff_spec = spec
+        self._tick_activity = spec.clock if spec is not None else None
+        self._tick_key = (
+            self._tick_activity.qualified_name
+            if self._tick_activity is not None
+            else None
+        )
+
+    def _bind_compiled_rows(self) -> None:
+        """Timed reschedule rows carrying the index alongside the stream."""
+        n_inst = self._n_inst
+        self._timed_crows: List[tuple] = [
+            (n_inst + offset, activity, key, rng)
+            for offset, (activity, key, rng) in enumerate(self._timed_rows)
+        ]
+
+    def _always_for(self, index: int) -> List[int]:
+        return self._always_inst if index < self._n_inst else self._always_timed
+
+    def _watch(self, index: int, cell: Any) -> None:
+        cells = self._act_cells[index]
+        if cell in cells:
+            return
+        cells.add(cell)
+        key = id(cell)
+        dependents = self._watchers.get(key)
+        if dependents is None:
+            self._watchers[key] = [index]
+            self._cell_pins[key] = cell
+        else:
+            dependents.append(index)
+
+    # -- engine identity ----------------------------------------------------
+
+    @property
+    def engine(self) -> str:
+        return "compiled"
+
+    def stats(self) -> Dict[str, Any]:
+        stats = super().stats()
+        stats["enablement_refreshes"] = self.refreshes
+        stats["watched_cells"] = len(self._watchers)
+        return stats
+
+    def reset(self, streams: Optional[StreamFactory] = None) -> None:
+        super().reset(streams)
+        self._bind_compiled_rows()
+        self._stale[:] = b"\x01" * len(self._stale)
+        for index in range(len(self._enabled)):
+            self._enabled[index] = 0
+        self.refreshes = 0
+
+    # -- enablement refresh --------------------------------------------------
+
+    def _refresh(self, index: int) -> int:
+        """Re-evaluate one activity's gate conjunction, tracking reads.
+
+        Same contract as the incremental engine's refresh: pure
+        predicates under a read sink, short-circuit at the first
+        non-holding gate (so gate-evaluation counts stay comparable),
+        watcher edges extended for newly observed cells — stale edges
+        from earlier control paths only ever cause spurious refreshes.
+        """
+        gates = self._act_gates[index]
+        if not gates:
+            # Gate-less activities are never enabled (the Activity
+            # contract) and their verdict can never change.
+            self._stale[index] = 0
+            self._enabled[index] = 0
+            return 0
+        self.refreshes += 1
+        scratch = self._scratch
+        scratch.clear()
+        previous = _places._read_sink
+        _places._read_sink = scratch
+        try:
+            enabled = 1
+            for gate in gates:
+                if not gate.holds():
+                    enabled = 0
+                    break
+        finally:
+            _places._read_sink = previous
+        if scratch:
+            cells = self._act_cells[index]
+            for cell in scratch:
+                if cell not in cells:
+                    self._watch(index, cell)
+        elif not self._act_cells[index]:
+            # Nothing observed, nothing declared: the read set cannot
+            # be established.  Never guess — re-evaluate at every
+            # synchronisation point from now on.
+            always = self._always_for(index)
+            if index not in always:
+                always.append(index)
+        self._stale[index] = 0
+        self._enabled[index] = enabled
+        return enabled
+
+    # -- completions ---------------------------------------------------------
+
+    def _complete(self, activity: Activity) -> None:
+        if activity is self._tick_activity:
+            self.ticks_fired += 1
+        tracer = _trace._ACTIVE
+        if tracer is not None:
+            self._complete_traced(activity, tracer)
+            return
+        previous = _places._dirty_sink
+        _places._dirty_sink = self._dirty
+        try:
+            activity.complete(self._rngs[activity])
+        finally:
+            _places._dirty_sink = previous
+        self._completions += 1
+        self._notify_impulse(activity)
+
+    def _complete_traced(self, activity: Activity, tracer: "_trace.SimTracer") -> None:
+        tracer._now = self.clock.now
+        written: set = set()
+        previous = _places._dirty_sink
+        _places._dirty_sink = written
+        try:
+            activity.complete(self._rngs[activity])
+        finally:
+            _places._dirty_sink = previous
+        mark = self._dirty.add
+        for cell in written:
+            mark(cell)
+        tracer.emit(
+            _trace.ACTIVITY_FIRE,
+            time=self.clock.now,
+            activity=activity.qualified_name,
+            timed=isinstance(activity, TimedActivity),
+            writes=self._write_names(written),
+        )
+        self._completions += 1
+        self._notify_impulse(activity)
+
+    # -- settle / reschedule --------------------------------------------------
+
+    def _settle_instantaneous(self) -> None:
+        """Lowered settle: memchr scans over the stale/enabled arrays.
+
+        Invariant exploited by the scan: indices below the cursor are
+        fresh and disabled, so the first set byte in either array —
+        whichever comes first — decides without touching state objects.
+        """
+        stale = self._stale
+        enabled = self._enabled
+        acts = self._acts
+        n = self._n_inst
+        always = self._always_inst
+        refresh = self._refresh
+        complete = self._complete
+        chain = 0
+        while True:
+            for index in always:
+                stale[index] = 1
+            fired = -1
+            cursor = 0
+            while True:
+                first_stale = stale.find(1, cursor, n)
+                if first_stale == -1:
+                    fired = enabled.find(1, cursor, n)
+                    break
+                first_enabled = enabled.find(1, cursor, first_stale)
+                if first_enabled != -1:
+                    fired = first_enabled
+                    break
+                if refresh(first_stale):
+                    fired = first_stale
+                    break
+                cursor = first_stale + 1
+            if fired == -1:
+                return
+            fired_activity = acts[fired]
+            complete(fired_activity)
+            chain += 1
+            if chain > self.max_instantaneous_chain:
+                raise self._chain_error(fired_activity)
+
+    def _reschedule_timed(self) -> None:
+        stale = self._stale
+        enabled = self._enabled
+        for index in self._always_timed:
+            stale[index] = 1
+        pending_map = self._pending
+        queue = self._queue
+        now = self.clock.now
+        tracer = _trace._ACTIVE
+        refresh = self._refresh
+        for index, activity, key, rng in self._timed_crows:
+            is_enabled = refresh(index) if stale[index] else enabled[index]
+            pending = pending_map.get(key)
+            if pending is not None:
+                if not is_enabled:
+                    queue.cancel(pending)
+                    del pending_map[key]
+                    if tracer is not None:
+                        tracer.emit(_trace.ENGINE_CANCEL, time=now, activity=key)
+                elif activity.reactivation:
+                    queue.cancel(pending)
+                    delay = activity.sample_delay(rng)
+                    pending_map[key] = queue.schedule(now + delay, activity)
+                    if tracer is not None:
+                        tracer.emit(_trace.ENGINE_SCHEDULE, time=now,
+                                    activity=key, at=now + delay)
+            elif is_enabled:
+                delay = activity.sample_delay(rng)
+                pending_map[key] = queue.schedule(now + delay, activity)
+                if tracer is not None:
+                    tracer.emit(_trace.ENGINE_SCHEDULE, time=now,
+                                activity=key, at=now + delay)
+
+    # -- out-of-band mutation boundary ----------------------------------------
+
+    def _sync_in(self) -> None:
+        if _places.write_epoch() != self._synced_epoch:
+            # Out-of-band writes: distrust every cached verdict.  The
+            # watcher index stays — stale edges cause only spurious
+            # refreshes, never missed invalidations.
+            self._stale[:] = b"\x01" * len(self._stale)
+
+    def _sync_out(self) -> None:
+        self._synced_epoch = _places.write_epoch()
+
+    # -- clock fast-forward ----------------------------------------------------
+
+    def _try_fast_forward(self, head, until: float, spec) -> int:
+        """Coalesce up to ``k`` clock ticks; returns the ticks skipped.
+
+        Called at quiescence with the clock completion at the queue
+        head.  Three bounds apply: the run horizon (the last coalesced
+        tick must fall strictly before ``until``), the earliest other
+        pending timed event (the span may not cross it — an event *at*
+        tick ``j`` still wins its tie-break against the re-scheduled
+        clock, exactly as step-by-step, because the fresh clock event
+        always carries the younger sequence number), and the model's
+        own certificate :meth:`max_skip` (evaluated under a read sink:
+        pure observation).  Fast-forwarding fewer than 2 ticks buys
+        nothing, so the ordinary step runs instead.
+        """
+        t_first = head.time
+        k = math.ceil(until - t_first + 1.0) - 1
+        if k < 2:
+            return 0
+        pending = self._pending
+        if len(pending) > 1:
+            tick_key = self._tick_key
+            horizon = min(
+                event.time for key, event in pending.items() if key != tick_key
+            )
+            bound = math.ceil(horizon - t_first + 1.0) - 1
+            if bound < k:
+                k = bound
+                if k < 2:
+                    return 0
+        previous = _places._read_sink
+        _places._read_sink = self._ff_reads
+        try:
+            model_bound = spec.max_skip()
+        finally:
+            _places._read_sink = previous
+        self._ff_reads.clear()
+        if model_bound < k:
+            k = model_bound
+            if k < 2:
+                return 0
+        # Commit: pop the clock completion, batch the span, reschedule.
+        event = self._queue.pop()
+        del pending[self._tick_key]
+        self._advance_rewards(t_first)
+        self._advance_rewards_constant(t_first, k - 1)
+        self.clock.advance_to(t_first + (k - 1))
+        previous = _places._dirty_sink
+        _places._dirty_sink = self._dirty
+        try:
+            spec.apply(k)
+        finally:
+            _places._dirty_sink = previous
+        skipped_completions = k * spec.per_tick_completions
+        self._completions += skipped_completions
+        self.ticks_fast_forwarded += k
+        pending[self._tick_key] = self._queue.schedule(t_first + k, event.payload)
+        tracer = _trace._ACTIVE
+        if tracer is not None:
+            tracer.emit(
+                _trace.ENGINE_FASTFORWARD,
+                time=t_first,
+                ticks=k,
+                completions=skipped_completions,
+            )
+        return k
+
+    def _advance_rewards_constant(self, start: float, steps: int) -> None:
+        """Per-unit-interval reward accumulation over a frozen state."""
+        if steps > 0 and self._rate_rewards:
+            previous = _places._read_sink
+            _places._read_sink = self._reward_reads
+            try:
+                for reward in self._rate_rewards:
+                    reward.observe_constant(start, steps)
+            finally:
+                _places._read_sink = previous
+
+    def run(self, until: float) -> None:
+        """Run until ``until``, fast-forwarding idle clock spans.
+
+        Identical contract to the base ``run``; impulse rewards see
+        every completion individually, so their presence disables
+        fast-forward for the whole run (the countdown ticks the span
+        skips *do* complete activities an impulse reward could match).
+        ``step()`` never fast-forwards — single-stepping is a debugging
+        surface and must show every event.
+        """
+        if until < self.clock.now:
+            raise SimulationError(
+                f"cannot run to t={until}: clock is already at {self.clock.now}"
+            )
+        fired_before = self.ticks_fired
+        skipped_before = self.ticks_fast_forwarded
+        self._sync_in()
+        try:
+            self._ensure_started()
+            queue = self._queue
+            spec = (
+                self._ff_spec
+                if self.fast_forward
+                and self._ff_spec is not None
+                and not self._impulse_rewards
+                else None
+            )
+            tick = self._tick_activity
+            while True:
+                head = queue.peek()
+                if head is None or head.time >= until:
+                    break
+                if spec is not None and head.payload is tick:
+                    if self._try_fast_forward(head, until, spec):
+                        continue
+                self._step()
+            self._advance_rewards(until)
+            self.clock.advance_to(until)
+        finally:
+            profiler = _profile._ACTIVE
+            if profiler is not None:
+                profiler.count(
+                    "engine.ticks_fired", self.ticks_fired - fired_before
+                )
+                profiler.count(
+                    "engine.ticks_fast_forwarded",
+                    self.ticks_fast_forwarded - skipped_before,
+                )
+            self._sync_out()

@@ -73,6 +73,29 @@ class RateReward(RewardVariable):
         self._integral += self.rate() * dt
         self._observed_time += dt
 
+    def observe_constant(self, start: float, steps: int) -> None:
+        """Accumulate ``steps`` unit intervals over one frozen state.
+
+        Bit-for-bit equivalent to ``steps`` successive
+        ``observe(t, t + 1.0)`` calls — same per-interval warm-up
+        clipping, same float accumulation order — except the rate
+        function is evaluated at most once and its value reused.  The
+        caller (the compiled engine's clock fast-forward) must
+        guarantee that nothing the rate function reads changes over the
+        span, so repeated evaluation would return the identical float.
+        """
+        value = None
+        t = float(start)
+        for _ in range(int(steps)):
+            end = t + 1.0
+            if end > self.warmup:
+                if value is None:
+                    value = self.rate()
+                dt = end - (t if t > self.warmup else self.warmup)
+                self._integral += value * dt
+                self._observed_time += dt
+            t = end
+
     @property
     def integral(self) -> float:
         """Total accumulated reward (the interval-of-time variable)."""
@@ -142,6 +165,26 @@ class RatioRateReward(RateReward):
         self._integral += self.rate() * dt
         self._denominator_integral += self.denominator() * dt
         self._observed_time += dt
+
+    def observe_constant(self, start: float, steps: int) -> None:
+        """Unit-interval batch accumulation for both integrals.
+
+        Mirrors :meth:`RateReward.observe_constant` with the numerator
+        and denominator each evaluated at most once over the span.
+        """
+        num = den = None
+        t = float(start)
+        for _ in range(int(steps)):
+            end = t + 1.0
+            if end > self.warmup:
+                if num is None:
+                    num = self.rate()
+                    den = self.denominator()
+                dt = end - (t if t > self.warmup else self.warmup)
+                self._integral += num * dt
+                self._denominator_integral += den * dt
+                self._observed_time += dt
+            t = end
 
     @property
     def denominator_integral(self) -> float:

@@ -129,6 +129,11 @@ class SANSimulator:
         self._reward_reads: set = set()  # discard sink for reward reads
         self._rngs: Dict[Activity, Any] = {}  # per-activity stream cache
         self._cell_names: Optional[Dict[int, str]] = None  # trace write names
+        # Tick accounting for the compiled engine's clock fast-forward;
+        # always present so stats() has a uniform shape across engines.
+        self.ticks_fired = 0
+        self.ticks_fast_forwarded = 0
+        self._bind_streams()
 
     # -- configuration ----------------------------------------------------
 
@@ -170,6 +175,8 @@ class SANSimulator:
             "engine": self.engine,
             "completions": self._completions,
             "gate_evaluations": self.gate_evaluations,
+            "ticks_fired": self.ticks_fired,
+            "ticks_fast_forwarded": self.ticks_fast_forwarded,
         }
         stats.update(self._queue.stats())
         if self._cache is not None:
@@ -188,7 +195,9 @@ class SANSimulator:
         self._started = False
         if streams is not None:
             self.streams = streams
-        self._rngs.clear()
+        self._bind_streams()
+        self.ticks_fired = 0
+        self.ticks_fast_forwarded = 0
         for reward in self._rate_rewards:
             reward.reset()
         for reward in self._impulse_rewards:
@@ -198,6 +207,30 @@ class SANSimulator:
         self._gate_eval_base = _gates.evaluation_count()
 
     # -- core engine --------------------------------------------------------
+
+    def _bind_streams(self) -> None:
+        """Resolve every activity's random stream up front.
+
+        Hot-loop hoist (found with the PR 3 profiler): the per-firing
+        ``_rng_for`` dict probe and the per-reschedule stream lookups
+        are paid once here instead of once per event.  Stream creation
+        is a pure function of the activity's qualified name, so eager
+        resolution draws nothing and changes no sample path.  The
+        reschedule loops then walk prebuilt rows carrying the stream.
+        """
+        streams = self.streams
+        self._rngs = {
+            activity: streams.stream(activity.qualified_name)
+            for activity in self._timed + self._instantaneous
+        }
+        self._timed_rows: List[tuple] = [
+            (activity, activity.qualified_name, self._rngs[activity])
+            for activity in self._timed
+        ]
+        self._timed_state_rows: List[tuple] = [
+            (state, row[0], row[1], row[2])
+            for state, row in zip(self._timed_states, self._timed_rows)
+        ]
 
     def _rng_for(self, activity: Activity):
         rng = self._rngs.get(activity)
@@ -221,11 +254,11 @@ class SANSimulator:
             previous = _places._dirty_sink
             _places._dirty_sink = self._cache.dirty
             try:
-                activity.complete(self._rng_for(activity))
+                activity.complete(self._rngs[activity])
             finally:
                 _places._dirty_sink = previous
         else:
-            activity.complete(self._rng_for(activity))
+            activity.complete(self._rngs[activity])
         self._completions += 1
         self._notify_impulse(activity)
 
@@ -241,7 +274,7 @@ class SANSimulator:
         previous = _places._dirty_sink
         _places._dirty_sink = written
         try:
-            activity.complete(self._rng_for(activity))
+            activity.complete(self._rngs[activity])
         finally:
             _places._dirty_sink = previous
         if self._cache is not None:
@@ -338,8 +371,7 @@ class SANSimulator:
 
     def _reschedule_rescan(self) -> None:
         tracer = _trace._ACTIVE
-        for activity in self._timed:
-            key = activity.qualified_name
+        for activity, key, rng in self._timed_rows:
             pending = self._pending.get(key)
             enabled = activity.enabled()
             if pending is not None and not enabled:
@@ -350,7 +382,7 @@ class SANSimulator:
                                 activity=key)
             elif pending is not None and activity.reactivation:
                 self._queue.cancel(pending)
-                delay = activity.sample_delay(self._rng_for(activity))
+                delay = activity.sample_delay(rng)
                 self._pending[key] = self._queue.schedule(
                     self.clock.now + delay, activity
                 )
@@ -358,7 +390,7 @@ class SANSimulator:
                     tracer.emit(_trace.ENGINE_SCHEDULE, time=self.clock.now,
                                 activity=key, at=self.clock.now + delay)
             elif pending is None and enabled:
-                delay = activity.sample_delay(self._rng_for(activity))
+                delay = activity.sample_delay(rng)
                 event = self._queue.schedule(self.clock.now + delay, activity)
                 self._pending[key] = event
                 if tracer is not None:
@@ -370,9 +402,7 @@ class SANSimulator:
         cache.flush()
         pending_map = self._pending
         tracer = _trace._ACTIVE
-        for state in self._timed_states:
-            activity = state.activity
-            key = activity.qualified_name
+        for state, activity, key, rng in self._timed_state_rows:
             pending = pending_map.get(key)
             enabled = cache.compute(state) if state.stale else state.enabled
             if pending is not None and not enabled:
@@ -383,7 +413,7 @@ class SANSimulator:
                                 activity=key)
             elif pending is not None and activity.reactivation:
                 self._queue.cancel(pending)
-                delay = activity.sample_delay(self._rng_for(activity))
+                delay = activity.sample_delay(rng)
                 pending_map[key] = self._queue.schedule(
                     self.clock.now + delay, activity
                 )
@@ -391,7 +421,7 @@ class SANSimulator:
                     tracer.emit(_trace.ENGINE_SCHEDULE, time=self.clock.now,
                                 activity=key, at=self.clock.now + delay)
             elif pending is None and enabled:
-                delay = activity.sample_delay(self._rng_for(activity))
+                delay = activity.sample_delay(rng)
                 event = self._queue.schedule(self.clock.now + delay, activity)
                 pending_map[key] = event
                 if tracer is not None:

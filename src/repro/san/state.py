@@ -119,6 +119,7 @@ class EnablementCache:
         self._volatile: List[_GateRecord] = [
             record for record in self._records if record.volatile
         ]
+        self._rebuild_volatile_marks()
         self._valid = False
         self._discard: Set[Any] = set()
         self._scratch: Set[Any] = set()
@@ -129,6 +130,28 @@ class EnablementCache:
     def invalidate(self) -> None:
         """Drop every cached verdict; the next flush marks all stale."""
         self._valid = False
+
+    def _rebuild_volatile_marks(self) -> None:
+        """Flatten the volatile re-stale walk into one list of flag holders.
+
+        ``flush()`` runs once per settle iteration, so the nested
+        record -> dependents walk it used to do per call is hot-loop
+        work; the records and their dependent activity states all just
+        need ``stale = True``, so they are collected (deduplicated)
+        once here and re-collected only when a gate is demoted to
+        volatile — which can happen at most once per gate.
+        """
+        marks: List[Any] = []
+        seen: Set[int] = set()
+        for record in self._volatile:
+            if id(record) not in seen:
+                seen.add(id(record))
+                marks.append(record)
+            for state in record.dependents:
+                if id(state) not in seen:
+                    seen.add(id(state))
+                    marks.append(state)
+        self._volatile_marks = marks
 
     def states_for(self, activities: Sequence[Activity]) -> List[Any]:
         """Per-activity state views for hot loops.
@@ -201,11 +224,10 @@ class EnablementCache:
         # Volatile gates get the conservative treatment: their verdicts
         # may depend on state we cannot watch, so mirror the rescan
         # engine and re-evaluate them whenever queried after any
-        # synchronisation point.
-        for record in self._volatile:
-            record.stale = True
-            for state in record.dependents:
-                state.stale = True
+        # synchronisation point.  The flattened mark list covers the
+        # records and their dependent activity states in one pass.
+        for holder in self._volatile_marks:
+            holder.stale = True
 
     def _refresh(self, record: _GateRecord) -> None:
         # Hot path: the read sink is swapped by direct module-attribute
@@ -238,6 +260,7 @@ class EnablementCache:
             # gate to the always-re-evaluate path.
             record.volatile = True
             self._volatile.append(record)
+            self._rebuild_volatile_marks()
             return
         if reads != record.cells:
             watchers = self._watchers

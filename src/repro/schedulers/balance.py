@@ -25,6 +25,9 @@ class BalanceScheduler(SchedulingAlgorithm):
     """Per-PCPU run queues with sibling anti-stacking placement."""
 
     name = "balance"
+    # Per-PCPU queues only change when a VCPU goes inactive or a PCPU
+    # idles; a fully assigned, fully busy host offers neither.
+    tick_skip_safe = True
 
     def __init__(self, timeslice: int = 30) -> None:
         super().__init__(timeslice)

@@ -39,6 +39,9 @@ class CreditScheduler(SchedulingAlgorithm):
     """
 
     name = "credit"
+    # Virtual time is charged at dispatch, not per tick; with zero free
+    # PCPUs schedule() returns before touching any state.
+    tick_skip_safe = True
 
     def __init__(self, timeslice: int = 30, weights: Optional[Dict[int, float]] = None) -> None:
         super().__init__(timeslice)

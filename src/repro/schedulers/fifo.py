@@ -23,6 +23,10 @@ class FifoScheduler(SchedulingAlgorithm):
     """Arrival-order dispatch, release on workload completion."""
 
     name = "fifo"
+    # All PCPUs assigned + every assigned VCPU BUSY: no READY active to
+    # release, nothing newly inactive, zero free PCPUs — a value-level
+    # no-op (the queue is rebuilt but unchanged).
+    tick_skip_safe = True
 
     # Effectively "no preemption": the granted timeslice exceeds any
     # realistic simulation length, so only the READY-release below ever

@@ -35,6 +35,10 @@ class HybridScheduler(SchedulingAlgorithm):
     """
 
     name = "hybrid"
+    # Same argument as scs for the gang half and credit for the
+    # proportional half: with zero free PCPUs and no partial gangs the
+    # candidate loop breaks before charging any virtual time.
+    tick_skip_safe = True
 
     def __init__(
         self,

@@ -134,9 +134,20 @@ class SchedulingAlgorithm:
         name: registry key; subclasses override.
         timeslice: default timeslice (ticks) granted on schedule_in when
             the algorithm does not set ``next_timeslice``.
+        tick_skip_safe: a subclass sets this True to certify that its
+            ``schedule()`` makes no decision and mutates no internal
+            state on a tick where every PCPU is ASSIGNED and every
+            assigned VCPU is BUSY — the precondition under which the
+            compiled engine may coalesce clock ticks (see
+            :class:`repro.vmm.vcpu_scheduler.ClockFastForward`).
+            Algorithms that do per-tick bookkeeping regardless of the
+            marking (e.g. deadline rollover, skew accounting) must
+            leave it False; wrappers that do not re-declare the flag
+            (guard, chaos) disable fast-forward automatically.
     """
 
     name = "abstract"
+    tick_skip_safe = False
 
     def __init__(self, timeslice: int = 30) -> None:
         if timeslice < 1:

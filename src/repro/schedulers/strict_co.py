@@ -34,6 +34,10 @@ class StrictCoScheduler(SchedulingAlgorithm):
     """Gang scheduling at VM granularity with skip-ahead dispatch."""
 
     name = "scs"
+    # At a fast-forwardable marking every gang is fully active or fully
+    # idle (a partial gang implies a FAILED/IDLE PCPU, which blocks the
+    # certificate), so co-stop, admission and dispatch are all no-ops.
+    tick_skip_safe = True
 
     def __init__(self, timeslice: int = 30) -> None:
         super().__init__(timeslice)

@@ -90,6 +90,11 @@ def build_virtual_system(
 
     submodels = {SCHEDULER_NAME: scheduler}
     vm_names: List[str] = []
+    # (stream key, rng) pairs captured by VM closures.  Cross-replication
+    # reuse re-arms them via StreamFactory.reseed (same objects, new
+    # seeds); this list lets tests verify the captured objects really are
+    # the factory's memoized streams.
+    stream_bindings: List[Tuple[str, object]] = []
     for position, (num_vcpus, workload_model, dispatch) in enumerate(
         normalized, start=1
     ):
@@ -98,6 +103,8 @@ def build_virtual_system(
             raise ModelError(f"duplicate VM model name {vm_name!r}")
         rng = streams.stream(f"{vm_name}.Workload_Generator")
         dispatch_rng = streams.stream(f"{vm_name}.VM_Job_Scheduler")
+        stream_bindings.append((f"{vm_name}.Workload_Generator", rng))
+        stream_bindings.append((f"{vm_name}.VM_Job_Scheduler", dispatch_rng))
         submodels[vm_name] = build_vm_model(
             vm_name,
             num_vcpus,
@@ -160,6 +167,11 @@ def build_virtual_system(
     system.topology = topology
     system.num_pcpus = num_pcpus
     system.algorithm = algorithm
+    # Forward the scheduler's tick fast-forward certificate and the VM
+    # stream bindings so the compiled engine and the reuse path find
+    # them on the composed model.
+    system.tick_fast_forward = scheduler.tick_fast_forward
+    system.stream_bindings = stream_bindings
     return system
 
 

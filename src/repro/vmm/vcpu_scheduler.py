@@ -96,6 +96,130 @@ class PCPUFailureModel:
         return self.mtbf / (self.mtbf + self.mttr)
 
 
+class ClockFastForward:
+    """Certificate + closed form for coalescing idle Clock ticks.
+
+    Published on the scheduler model as ``tick_fast_forward`` and
+    consumed by :class:`repro.san.compiled.CompiledSANSimulator`.  The
+    engine asks :meth:`max_skip` how many consecutive ticks from the
+    current (quiescent) marking are *pure countdown* — every firing in
+    the span is the fixed set {Clock, one tick consumer per plugged
+    slot, Scheduling_Func}, every one of them merely decrements
+    timeslices/remaining loads, and the plugged algorithm provably
+    decides nothing.  That holds exactly when:
+
+    * the algorithm class declares ``tick_skip_safe`` — its
+      ``schedule()`` is a no-op whenever every PCPU is assigned and
+      every assigned VCPU is BUSY (resolved through
+      ``model.algorithm``, so guard/chaos wrappers — which do not
+      declare the flag — automatically disable fast-forward);
+    * every PCPU is ASSIGNED (no idle PCPU an algorithm could fill, no
+      FAILED PCPU mid-repair);
+    * every assigned slot is BUSY outside its critical section, and no
+      non-assigned slot is BUSY (so each slot's tick consumer is fixed
+      for the whole span: ``Processing_load`` for assigned slots,
+      ``Discard_tick`` otherwise);
+    * no timeslice expires and no load completes strictly inside the
+      span — the returned bound is the smallest distance to either.
+
+    Under those conditions every per-tick firing has a single case (no
+    RNG draw) and the span's net marking change is arithmetic:
+    :meth:`apply` performs it through the ordinary place APIs so the
+    engine's dirty tracking sees every write.
+    """
+
+    __slots__ = (
+        "_model",
+        "_pcpus",
+        "_timestamp",
+        "_slot_values",
+        "_timeslices",
+        "_pcpu_refs",
+        "_total",
+        "_span",
+        "clock",
+        "per_tick_completions",
+    )
+
+    def __init__(
+        self,
+        model: SANModel,
+        clock: TimedActivity,
+        timestamp: Place,
+        pcpus: ExtendedPlace,
+        slot_value_places: Sequence[ExtendedPlace],
+        timeslice_places: Sequence[Place],
+        pcpu_places: Sequence[ExtendedPlace],
+        total_vcpus: int,
+    ) -> None:
+        self._model = model
+        #: The Clock activity *object* — the engine matches the queue
+        #: head by identity, which survives Join re-qualification.
+        self.clock = clock
+        self._timestamp = timestamp
+        self._pcpus = pcpus
+        self._slot_values = list(slot_value_places[:total_vcpus])
+        self._timeslices = list(timeslice_places[:total_vcpus])
+        self._pcpu_refs = list(pcpu_places[:total_vcpus])
+        self._total = total_vcpus
+        #: Completions per coalesced tick: Clock + Scheduling_Func +
+        #: exactly one tick consumer per plugged slot.
+        self.per_tick_completions = total_vcpus + 2
+        self._span: List[int] = []
+
+    def max_skip(self) -> int:
+        """Ticks certifiably skippable from the current marking (0 = none).
+
+        Called at quiescence under a read sink, so the extended-place
+        reads below are pure observation.  Also records which slots are
+        burning load, for :meth:`apply`.
+        """
+        if not getattr(self._model.algorithm, "tick_skip_safe", False):
+            return 0
+        for entry in self._pcpus.value:
+            if entry["state"] != PCPUState.ASSIGNED:
+                return 0
+        span = self._span
+        del span[:]
+        bound: Optional[int] = None
+        for g in range(self._total):
+            slot = self._slot_values[g].value
+            if slot["critical"]:
+                return 0
+            busy = slot["status"] == VCPUStatus.BUSY
+            if self._pcpu_refs[g].value is None:
+                if busy:
+                    # A BUSY slot without a PCPU would burn load it was
+                    # never granted time for — only a transient state;
+                    # never certify it.
+                    return 0
+                continue
+            if not busy:
+                return 0
+            room = min(slot["remaining_load"], self._timeslices[g].tokens) - 1
+            if bound is None or room < bound:
+                bound = room
+            span.append(g)
+        if bound is None or bound < 1:
+            return 0
+        return bound
+
+    def apply(self, k: int) -> None:
+        """Net marking change of ``k`` countdown ticks.
+
+        Per tick: ``Timestamp`` gains a token (Clock), every burning
+        slot's timeslice drops by one (Scheduling_Func accounting) and
+        its remaining load drops by one (Processing_load).  Tick and
+        Sched_tick tokens are deposited and consumed within each tick,
+        so their net change is zero.
+        """
+        self._timestamp.add(k)
+        for g in self._span:
+            self._timeslices[g].remove(k)
+            slot = self._slot_values[g].value  # mutable ref: marks the cell written
+            slot["remaining_load"] -= k
+
+
 def slot_places(index: int) -> Dict[str, str]:
     """Names of the per-slot places for global slot ``index`` (1-based)."""
     return {
@@ -197,7 +321,7 @@ def build_vcpu_scheduler(
             tick_places[g].add()
         sched_tick.add()
 
-    model.add_activity(
+    clock = model.add_activity(
         TimedActivity(
             "Clock",
             Deterministic(1),
@@ -303,6 +427,10 @@ def build_vcpu_scheduler(
         _run_scheduling_func()
 
     def _run_scheduling_func() -> None:
+        # Resolved through the model each tick so cross-replication
+        # reuse can swap in a fresh algorithm (or a guard/chaos wrapper)
+        # without rebuilding these closures.
+        algorithm = model.algorithm
         sched_tick.remove()
         now = float(timestamp.tokens)
 
@@ -425,4 +553,14 @@ def build_vcpu_scheduler(
     model.num_pcpus = num_pcpus
     model.algorithm = algorithm
     model.failures = failures
+    model.tick_fast_forward = ClockFastForward(
+        model,
+        clock,
+        timestamp,
+        pcpus,
+        slot_value_places,
+        timeslice_places,
+        pcpu_places,
+        total_vcpus,
+    )
     return model

@@ -1,17 +1,23 @@
-"""Differential tests: incremental enablement engine vs full rescan.
+"""Differential tests: the three enablement engines must agree bit-for-bit.
 
-The incremental engine (:class:`repro.san.SANSimulator` with
-``incremental=True``, the default) caches per-gate verdicts and
-re-evaluates only gates whose watched places changed.  The rescan
-engine re-evaluates everything every step and is the semantic
-reference.  For a fixed ``(root_seed, replication)`` the two must be
+The incremental engine caches per-gate verdicts; the compiled engine
+lowers the model to flat arrays and fast-forwards idle clock ticks; the
+rescan engine re-evaluates everything every step and is the semantic
+reference.  For a fixed ``(root_seed, replication)`` all three must be
 *bit-for-bit* identical — same metrics, same completion count — for
 every registered scheduler, with and without the resilience layers
 (decision guard, chaos injection) and the PCPU fail/repair extension.
 
-Any divergence here means the dependency tracker missed a write (a
-gate read a place the tracker did not watch) and is a correctness bug,
-not a tolerance issue — hence exact ``==`` on the metric dicts.
+Any divergence here means an engine skipped work that mattered: the
+incremental tracker missed a write, or the compiled fast-forward
+certified a span in which some gate would actually have opened.  Both
+are correctness bugs, not tolerance issues — hence exact ``==``.
+
+Trace-level equality is two-tiered: incremental and rescan emit the
+same records one for one, while compiled coalesces idle clock firings
+(one ``engine.fastforward`` record replaces k fire records), so its
+stream is compared after the golden normalization documented in
+:mod:`repro.observability.golden`.
 """
 
 import dataclasses
@@ -20,44 +26,58 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.framework import simulate_once
+from repro.core.framework import Simulation, clear_model_cache, simulate_once
 from repro.core.registry import list_schedulers
-from repro.observability import SimTracer
+from repro.errors import ConfigurationError
+from repro.observability import SimTracer, check_trace
+from repro.observability import golden
 from repro.resilience import ChaosSpec, GuardPolicy
+from repro.san import ENGINES, resolve_engine
 
 from ..conftest import make_spec
 
+# The engines under test, measured against the rescan reference.
+FAST_ENGINES = tuple(engine for engine in ENGINES if engine != "rescan")
+
 
 def assert_engines_agree(spec, replication=0, root_seed=7, **kwargs):
-    fast = simulate_once(
-        spec, replication=replication, root_seed=root_seed,
-        incremental=True, **kwargs,
-    )
     reference = simulate_once(
         spec, replication=replication, root_seed=root_seed,
-        incremental=False, **kwargs,
+        engine="rescan", **kwargs,
     )
-    assert fast.metrics == reference.metrics
-    assert fast.completions == reference.completions
-    assert fast.degraded == reference.degraded
-    assert len(fast.failures) == len(reference.failures)
+    for engine in FAST_ENGINES:
+        fast = simulate_once(
+            spec, replication=replication, root_seed=root_seed,
+            engine=engine, **kwargs,
+        )
+        assert fast.metrics == reference.metrics, engine
+        assert fast.completions == reference.completions, engine
+        assert fast.degraded == reference.degraded, engine
+        assert len(fast.failures) == len(reference.failures), engine
+
+
+def _traced(spec, engine, replication=0, root_seed=7, **kwargs):
+    tracer = SimTracer()
+    simulate_once(spec, replication=replication, root_seed=root_seed,
+                  engine=engine, tracer=tracer, **kwargs)
+    return tracer
 
 
 def assert_engine_traces_identical(spec, replication=0, root_seed=7, **kwargs):
     """Stronger than metric equality: the *event streams* must match.
 
-    Both engines must fire the same activities with the same marking
-    deltas, schedule/cancel the same events, and drive the hypervisor
-    to the same decisions, record for record.  Only the ``engine``
-    label in ``run.start`` may differ.
+    Incremental vs rescan is record-for-record (only the ``engine``
+    label in ``run.start`` may differ).  Compiled coalesces idle clock
+    firings, so its raw stream is shorter; the golden normalization
+    must erase exactly that difference and nothing else — and the raw
+    compiled stream must still satisfy every scheduling invariant.
     """
-    fast_tracer, reference_tracer = SimTracer(), SimTracer()
-    simulate_once(spec, replication=replication, root_seed=root_seed,
-                  incremental=True, tracer=fast_tracer, **kwargs)
-    simulate_once(spec, replication=replication, root_seed=root_seed,
-                  incremental=False, tracer=reference_tracer, **kwargs)
-    fast = fast_tracer.to_dicts()
-    reference = reference_tracer.to_dicts()
+    tracers = {
+        engine: _traced(spec, engine, replication, root_seed, **kwargs)
+        for engine in ENGINES
+    }
+    fast = tracers["incremental"].to_dicts()
+    reference = tracers["rescan"].to_dicts()
     for payload in fast + reference:
         payload.pop("engine", None)
     assert len(fast) == len(reference)
@@ -66,6 +86,11 @@ def assert_engine_traces_identical(spec, replication=0, root_seed=7, **kwargs):
             f"engine traces diverge at record {index}:\n"
             f"  incremental: {got}\n  rescan:      {want}"
         )
+    want_norm = golden.normalize(tracers["rescan"].records)
+    got_norm = golden.normalize(tracers["compiled"].records)
+    assert got_norm == want_norm, "compiled trace normalizes differently"
+    violations = check_trace(tracers["compiled"].records)
+    assert not violations, "\n".join(str(v) for v in violations[:10])
 
 
 def small_spec(scheduler, **overrides):
@@ -76,9 +101,15 @@ def small_spec(scheduler, **overrides):
     return make_spec([2, 1], pcpus=2, scheduler=scheduler, **defaults)
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("scheduler", list_schedulers())
 class TestEverySchedulerBitIdentical:
     def test_plain(self, scheduler):
+        # No extra probes: impulse rewards would disable the compiled
+        # fast-forward, and this cell is the one that exercises it.
+        assert_engines_agree(small_spec(scheduler))
+
+    def test_with_extra_probes(self, scheduler):
         assert_engines_agree(small_spec(scheduler), extra_probes=True)
 
     def test_under_decision_guard(self, scheduler):
@@ -88,7 +119,7 @@ class TestEverySchedulerBitIdentical:
 
     def test_under_chaos_injection(self, scheduler):
         # Corrupt decisions are absorbed by the degrade-mode guard; the
-        # injected faults are deterministic, so both engines see the
+        # injected faults are deterministic, so all engines see the
         # same sabotage at the same simulated times.
         chaos = ChaosSpec(
             corrupt_replications=(0,),
@@ -125,6 +156,7 @@ class TestEverySchedulerBitIdentical:
         )
 
 
+@pytest.mark.slow
 @settings(max_examples=15, deadline=None)
 @given(
     topology=st.lists(st.integers(min_value=1, max_value=3), min_size=1, max_size=3),
@@ -139,9 +171,121 @@ def test_random_specs_bit_identical(topology, pcpus, scheduler, seed):
 
 
 def test_engine_flag_reaches_the_simulator():
-    from repro.core.framework import Simulation
+    for engine in ENGINES:
+        sim = Simulation(small_spec("rrs"), engine=engine)
+        assert sim.simulator.engine == engine
+    # Legacy spelling still works and loses to the explicit name.
+    assert Simulation(small_spec("rrs"), incremental=False).simulator.engine == "rescan"
+    assert (
+        Simulation(small_spec("rrs"), incremental=False, engine="compiled")
+        .simulator.engine
+        == "compiled"
+    )
 
-    fast = Simulation(small_spec("rrs"), incremental=True)
-    reference = Simulation(small_spec("rrs"), incremental=False)
-    assert fast.simulator.engine == "incremental"
-    assert reference.simulator.engine == "rescan"
+
+def test_resolve_engine_rejects_unknown_names():
+    with pytest.raises(ConfigurationError):
+        resolve_engine("vectorized")
+    with pytest.raises(ConfigurationError):
+        simulate_once(small_spec("rrs"), engine="vectorized")
+
+
+# -- compiled-engine specifics: clock-tick fast-forward -----------------------
+
+
+def _compiled_stats(spec, fast_forward=True, **kwargs):
+    sim = Simulation(spec, root_seed=7, engine="compiled", **kwargs)
+    sim.simulator.fast_forward = fast_forward
+    result = sim.run()
+    return result, sim.simulator.stats()
+
+
+def test_fast_forward_skips_ticks_and_counts_them():
+    result_on, stats_on = _compiled_stats(small_spec("rrs"))
+    result_off, stats_off = _compiled_stats(small_spec("rrs"), fast_forward=False)
+    # The ablation must not change a single bit of the outcome...
+    assert result_on.metrics == result_off.metrics
+    assert result_on.completions == result_off.completions
+    # ...only how many clock ticks were individually dispatched.
+    assert stats_off["ticks_fast_forwarded"] == 0
+    assert stats_on["ticks_fast_forwarded"] > 0
+    assert (
+        stats_on["ticks_fired"] + stats_on["ticks_fast_forwarded"]
+        == stats_off["ticks_fired"]
+    )
+
+
+def test_fast_forward_off_for_unsafe_schedulers():
+    # sedf does per-tick deadline bookkeeping, so it never certifies a skip.
+    _result, stats = _compiled_stats(small_spec("sedf"))
+    assert stats["ticks_fast_forwarded"] == 0
+
+
+def test_fast_forward_off_under_guard_and_chaos():
+    # Wrappers hide the algorithm's tick_skip_safe flag by design: a
+    # guarded or sabotaged scheduler must be consulted every tick.
+    _result, stats = _compiled_stats(
+        small_spec("rrs"), guard=GuardPolicy(mode="degrade")
+    )
+    assert stats["ticks_fast_forwarded"] == 0
+
+
+def test_fast_forward_off_with_impulse_rewards():
+    # Impulse rewards observe individual completions, which a skipped
+    # span would never report; the engine must notice and stay exact.
+    _result, stats = _compiled_stats(small_spec("rrs"), extra_probes=True)
+    assert stats["ticks_fast_forwarded"] == 0
+
+
+# -- cross-replication model reuse --------------------------------------------
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_reuse_is_bit_identical_to_fresh_builds(engine):
+    spec = small_spec("scs")
+    clear_model_cache()
+    fresh = [
+        simulate_once(spec, replication=rep, root_seed=7, engine=engine)
+        for rep in range(3)
+    ]
+    clear_model_cache()
+    reused = [
+        simulate_once(spec, replication=rep, root_seed=7, engine=engine, reuse=True)
+        for rep in range(3)
+    ]
+    clear_model_cache()
+    for fresh_run, reused_run in zip(fresh, reused):
+        assert fresh_run.metrics == reused_run.metrics
+        assert fresh_run.completions == reused_run.completions
+
+
+def test_reuse_shares_one_model_per_spec():
+    from repro.core import framework
+
+    spec = small_spec("rrs")
+    clear_model_cache()
+    first = Simulation(spec, replication=0, engine="compiled", reuse=True)
+    first.run()
+    second = Simulation(spec, replication=1, engine="compiled", reuse=True)
+    assert second.simulator is first.simulator
+    assert second.system is first.system
+    second.run()
+    assert len(framework._MODEL_CACHE) == 1
+    clear_model_cache()
+
+
+def test_reuse_reseeds_captured_streams_in_place():
+    # The VM builder closures capture stream objects at construction;
+    # reuse must re-arm those same objects (a fresh factory would split
+    # the closure's stream from the simulator's).
+    spec = small_spec("rrs")
+    clear_model_cache()
+    sim = Simulation(spec, replication=0, engine="compiled", reuse=True)
+    for key, rng in sim.system.stream_bindings:
+        assert sim.streams.stream(key) is rng
+    sim.run()
+    again = Simulation(spec, replication=1, engine="compiled", reuse=True)
+    for key, rng in again.system.stream_bindings:
+        assert again.streams.stream(key) is rng
+    again.run()
+    clear_model_cache()
