@@ -49,14 +49,23 @@ def _cmd_list_schedulers(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cache_dir_from_args(args: argparse.Namespace) -> Optional[str]:
+    """``--cache-dir`` unless ``--no-cache`` vetoes it."""
+    if getattr(args, "no_cache", False):
+        return None
+    return getattr(args, "cache_dir", None)
+
+
 def _resilience_from_args(args: argparse.Namespace) -> Optional[ResilienceConfig]:
     """Build the executor config from CLI flags; None when all defaults."""
+    cache_dir = _cache_dir_from_args(args)
     if (
         args.jobs == 1
         and args.timeout is None
         and args.retries == 0
         and args.checkpoint is None
         and not args.resume
+        and cache_dir is None
     ):
         return None
     config = ResilienceConfig(
@@ -67,6 +76,7 @@ def _resilience_from_args(args: argparse.Namespace) -> Optional[ResilienceConfig
         resume=args.resume,
         incremental=args.engine != "rescan",
         engine=args.engine,
+        cache_dir=cache_dir,
     )
     config.validate()
     return config
@@ -158,6 +168,12 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     if "REPRO_FIGURES_REPS" in os.environ:
         reps = int(os.environ["REPRO_FIGURES_REPS"])
         knobs["replications"] = (reps, reps)
+    cache_dir = _cache_dir_from_args(args)
+    if args.sweep_jobs is not None or cache_dir is not None:
+        knobs["sweep_engine"] = "interleaved"
+        knobs["sweep_jobs"] = args.sweep_jobs
+        if cache_dir is not None:
+            knobs["resilience"] = ResilienceConfig(cache_dir=cache_dir)
     runners = {"8": run_figure8, "9": run_figure9, "10": run_figure10}
     wanted = list(runners) if args.figure == "all" else [args.figure]
     for key in wanted:
@@ -229,6 +245,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="reuse replications already in --checkpoint instead of recomputing",
     )
     run_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        dest="cache_dir",
+        help="persistent result-cache directory: finished replications are "
+        "memoized across invocations (invalidated on any code change)",
+    )
+    run_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        dest="no_cache",
+        help="ignore --cache-dir (read nothing, write nothing)",
+    )
+    run_parser.add_argument(
         "--engine",
         choices=("incremental", "rescan", "compiled"),
         default="incremental",
@@ -268,6 +297,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     figures_parser.add_argument(
         "--full", action="store_true", help="bench-grade fidelity (slower)"
+    )
+    figures_parser.add_argument(
+        "--sweep-jobs",
+        type=int,
+        default=None,
+        dest="sweep_jobs",
+        help="run each figure through the interleaved sweep engine with "
+        "this many shared-pool workers (1 = in-process scheduling)",
+    )
+    figures_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        dest="cache_dir",
+        help="persistent result cache for the sweep (implies the "
+        "interleaved engine); reruns skip finished replications",
+    )
+    figures_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        dest="no_cache",
+        help="ignore --cache-dir (read nothing, write nothing)",
     )
     figures_parser.set_defaults(handler=_cmd_figures)
     return parser

@@ -21,6 +21,8 @@ from .config import SystemSpec, VMSpec, WorkloadSpec
 from .experiment import (
     DEFAULT_CONFIDENCE,
     DEFAULT_TARGET_HALF_WIDTH,
+    SWEEP_ENGINES,
+    resolve_sweep_points,
     run_experiment,
     run_sweep,
 )
@@ -34,6 +36,7 @@ from .registry import (
     register_scheduler,
 )
 from .results import ExperimentResult, MetricEstimate, render_table, results_to_csv
+from .sweeps import SweepOutcome, SweepStats, run_interleaved_sweep
 
 __all__ = [
     "SystemSpec",
@@ -41,6 +44,11 @@ __all__ = [
     "WorkloadSpec",
     "run_experiment",
     "run_sweep",
+    "run_interleaved_sweep",
+    "resolve_sweep_points",
+    "SweepOutcome",
+    "SweepStats",
+    "SWEEP_ENGINES",
     "DEFAULT_CONFIDENCE",
     "DEFAULT_TARGET_HALF_WIDTH",
     "Simulation",

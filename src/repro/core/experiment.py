@@ -22,16 +22,28 @@ figure benches express "PCPUs from 1 to 4" or "sync ratio 1:5 to 1:2".
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError
-from ..resilience.executor import ResilienceConfig, run_replications
+from ..metrics.stats import ConvergenceMonitor
+from ..resilience.executor import (
+    ExecutionOutcome,
+    ResilienceConfig,
+    run_replications,
+)
 from .config import SystemSpec
 from .results import ExperimentResult, MetricEstimate
 
 # The paper's reporting protocol.
 DEFAULT_CONFIDENCE = 0.95
 DEFAULT_TARGET_HALF_WIDTH = 0.1
+
+#: The three paper metrics every experiment watches by default.
+DEFAULT_WATCH_METRICS = (
+    "vcpu_availability",
+    "pcpu_utilization",
+    "vcpu_utilization",
+)
 
 
 def run_experiment(
@@ -88,6 +100,35 @@ def run_experiment(
             does not allow partial results.
         CheckpointError: resuming against a mismatched checkpoint.
     """
+    validate_protocol(min_replications, max_replications)
+    spec.validate()
+    if watch_metrics is None:
+        watch_metrics = list(DEFAULT_WATCH_METRICS)
+    if resilience is None:
+        # Legacy protocol: in-process, one attempt, fail on first error.
+        resilience = ResilienceConfig(
+            jobs=1, timeout=None, retries=0, incremental=incremental, engine=engine
+        )
+
+    execution = run_replications(
+        spec,
+        root_seed=root_seed,
+        extra_probes=extra_probes,
+        min_replications=min_replications,
+        max_replications=max_replications,
+        config=resilience,
+        monitor=ConvergenceMonitor(
+            watch_metrics,
+            confidence=confidence,
+            target_half_width=target_half_width,
+            min_replications=min_replications,
+        ),
+    )
+    return result_from_execution(spec, label, execution, confidence)
+
+
+def validate_protocol(min_replications: int, max_replications: int) -> None:
+    """Reject malformed replication budgets (shared with the sweep engine)."""
     if min_replications < 2:
         raise ConfigurationError(
             f"min_replications must be >= 2, got {min_replications}"
@@ -97,32 +138,20 @@ def run_experiment(
             f"max_replications ({max_replications}) below "
             f"min_replications ({min_replications})"
         )
-    spec.validate()
-    if watch_metrics is None:
-        watch_metrics = ["vcpu_availability", "pcpu_utilization", "vcpu_utilization"]
-    if resilience is None:
-        # Legacy protocol: in-process, one attempt, fail on first error.
-        resilience = ResilienceConfig(
-            jobs=1, timeout=None, retries=0, incremental=incremental, engine=engine
-        )
 
-    def _prefix_converged(ordered_samples: List[Dict[str, float]]) -> bool:
-        samples: Dict[str, List[float]] = {}
-        for metrics in ordered_samples:
-            for name, value in metrics.items():
-                samples.setdefault(name, []).append(value)
-        return _converged(samples, watch_metrics, confidence, target_half_width)
 
-    execution = run_replications(
-        spec,
-        root_seed=root_seed,
-        extra_probes=extra_probes,
-        min_replications=min_replications,
-        max_replications=max_replications,
-        converged=_prefix_converged,
-        config=resilience,
-    )
+def result_from_execution(
+    spec: SystemSpec,
+    label: Optional[str],
+    execution: ExecutionOutcome,
+    confidence: float,
+) -> ExperimentResult:
+    """Assemble the result table from an executor outcome.
 
+    The single assembly path for both the serial runner and the
+    interleaved sweep engine — identical samples in, identical
+    :class:`ExperimentResult` out.
+    """
     samples: Dict[str, List[float]] = {}
     for metrics in execution.samples:
         for name, value in metrics.items():
@@ -175,35 +204,22 @@ def _default_label(spec: SystemSpec) -> str:
 # over a method silently shadows it on the instance.
 _SPEC_FIELD_NAMES = frozenset(f.name for f in dataclasses.fields(SystemSpec))
 
+SWEEP_ENGINES = ("serial", "interleaved")
 
-def run_sweep(
+
+def resolve_sweep_points(
     base_spec: SystemSpec,
     sweep: Iterable[Dict[str, Any]],
     mutate: Optional[Callable[[SystemSpec, Dict[str, Any]], SystemSpec]] = None,
-    **experiment_kwargs,
-) -> List[ExperimentResult]:
-    """Run one experiment per parameter point.
+) -> List[Tuple[Dict[str, Any], SystemSpec]]:
+    """Materialize a sweep into ``(point overrides, concrete spec)`` pairs.
 
-    Args:
-        base_spec: the spec every point starts from.
-        sweep: an iterable of override dicts.  Keys that are
-            :class:`SystemSpec` dataclass fields are applied with
-            ``with_overrides``; anything else (including spec *method*
-            names such as ``topology``) must be handled by ``mutate``.
-        mutate: optional ``(spec, point) -> spec`` hook for overrides
-            beyond plain fields (e.g. changing every VM's sync ratio).
-        **experiment_kwargs: forwarded to :func:`run_experiment`.  A
-            ``resilience`` config with a checkpoint is automatically
-            re-scoped per sweep point, so one checkpoint file resumes
-            the whole sweep.
-
-    Returns:
-        One :class:`ExperimentResult` per sweep point, in order; each
-        result's ``parameters`` records the point's overrides.
+    Field keys are applied with ``with_overrides``; any other key needs
+    the ``mutate`` hook.  Shared by the serial loop and the interleaved
+    engine so both see byte-identical specs per point.
     """
-    base_resilience = experiment_kwargs.pop("resilience", None)
-    results = []
-    for index, point in enumerate(sweep):
+    points: List[Tuple[Dict[str, Any], SystemSpec]] = []
+    for point in sweep:
         field_overrides = {
             key: value for key, value in point.items() if key in _SPEC_FIELD_NAMES
         }
@@ -216,6 +232,58 @@ def run_sweep(
                     "mutate hook was given"
                 )
             spec = mutate(spec, other)
+        points.append((dict(point), spec))
+    return points
+
+
+def run_sweep(
+    base_spec: SystemSpec,
+    sweep: Iterable[Dict[str, Any]],
+    mutate: Optional[Callable[[SystemSpec, Dict[str, Any]], SystemSpec]] = None,
+    sweep_engine: str = "serial",
+    sweep_jobs: Optional[int] = None,
+    **experiment_kwargs,
+) -> List[ExperimentResult]:
+    """Run one experiment per parameter point.
+
+    Args:
+        base_spec: the spec every point starts from.
+        sweep: an iterable of override dicts.  Keys that are
+            :class:`SystemSpec` dataclass fields are applied with
+            ``with_overrides``; anything else (including spec *method*
+            names such as ``topology``) must be handled by ``mutate``.
+        mutate: optional ``(spec, point) -> spec`` hook for overrides
+            beyond plain fields (e.g. changing every VM's sync ratio).
+        sweep_engine: ``"serial"`` — one :func:`run_experiment` per
+            point, in order; ``"interleaved"`` — the shared-pool
+            adaptive engine (:mod:`repro.core.sweeps`), which produces
+            metric values exactly ``==`` the serial path for any fixed
+            replication set.
+        sweep_jobs: worker-process count for the interleaved engine's
+            shared pool (default: the resilience config's ``jobs``).
+        **experiment_kwargs: forwarded to :func:`run_experiment`.  A
+            ``resilience`` config with a checkpoint is automatically
+            re-scoped per sweep point, so one checkpoint file resumes
+            the whole sweep.
+
+    Returns:
+        One :class:`ExperimentResult` per sweep point, in order; each
+        result's ``parameters`` records the point's overrides.
+    """
+    if sweep_engine not in SWEEP_ENGINES:
+        raise ConfigurationError(
+            f"sweep_engine must be one of {SWEEP_ENGINES}, got {sweep_engine!r}"
+        )
+    points = resolve_sweep_points(base_spec, sweep, mutate)
+    if sweep_engine == "interleaved":
+        from .sweeps import run_interleaved_sweep  # local: sweeps imports us
+
+        return run_interleaved_sweep(
+            points, sweep_jobs=sweep_jobs, **experiment_kwargs
+        ).results
+    base_resilience = experiment_kwargs.pop("resilience", None)
+    results = []
+    for index, (point, spec) in enumerate(points):
         resilience = base_resilience
         if resilience is not None and resilience.checkpoint:
             # Later points must append to the file the first point opened

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, StatisticsError
 from ..metrics.stats import confidence_interval
 from .config import SystemSpec
 from .framework import simulate_once
@@ -34,10 +34,18 @@ class PairedDifference:
 
     @property
     def mean(self) -> float:
+        if not self.differences:
+            raise StatisticsError(
+                f"paired difference for {self.metric!r} has no replications"
+            )
         return sum(self.differences) / len(self.differences)
 
     @property
     def half_width(self) -> float:
+        if not self.differences:
+            raise StatisticsError(
+                f"paired difference for {self.metric!r} has no replications"
+            )
         if len(self.differences) < 2:
             return 0.0
         _, half = confidence_interval(self.differences, self.confidence)

@@ -1,0 +1,648 @@
+"""The sweep-scale execution engine: one pool, all points, no waste.
+
+The paper's whole evaluation is sweep-shaped — every figure is a
+parameter sweep whose points replicate until their 95% CI half-width
+drops below 0.1 — yet the serial :func:`~repro.core.experiment.run_sweep`
+loop runs each point as its own island: its own process-pool spin-up,
+its own blind parallel over-run past the convergence cut.  This module
+replaces the loop with a campaign scheduler built from three pieces:
+
+* **Shared-pool interleaved scheduling** — one long-lived worker pool
+  serves the entire sweep.  Replication tasks from *all* points share a
+  single dispatch path with spec-affinity placement: replications of
+  the same spec prefer workers that already hold its compiled model in
+  the per-process :data:`~repro.core.framework._MODEL_CACHE`, so the
+  build/lower cost is paid once per (spec, worker) instead of once per
+  task.
+* **Adaptive cross-point budget allocation** — after every completed
+  replication the point's CI half-widths are recomputed incrementally
+  (one-pass :class:`~repro.metrics.stats.ConvergenceMonitor`), and the
+  next grant goes to the point *furthest* from the half-width target.
+  Converged points stop at their ``min_replications``-respecting floor
+  instead of burning budget; beyond the floor each point keeps at most
+  one speculative replication in flight, so on a clean run the engine
+  executes exactly the convergence cut — no parallel over-run at all.
+* **Reproducible stopping** — each grant is appended to an allocation
+  log (and emitted as a ``sweep.dispatch`` trace record), so the
+  scheduling decisions behind a result table can be replayed and
+  audited.
+
+Determinism: a replication's value depends only on (spec, replication
+index, root seed, attempt) — never on which worker ran it or when — and
+convergence is judged over the same contiguous resolved prefixes as the
+serial path, so for any fixed replication set the interleaved engine's
+metric tables are exactly ``==`` the serial ones (asserted by
+``tests/core/test_sweeps.py``).  The persistent result cache
+(:mod:`repro.resilience.result_cache`) and the PR-1 checkpoint both
+plug in underneath: a warm rerun of a finished sweep executes zero
+replications.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import queue as _queue
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..metrics.stats import ConvergenceMonitor
+from ..observability import trace as _trace
+from ..resilience.checkpoint import CheckpointStore
+from ..resilience.executor import (
+    ReplicationOutcome,
+    ResilienceConfig,
+    _execute_task,
+    _Run,
+    _Task,
+    bind_cache,
+    scope_fingerprint,
+    spec_payload,
+)
+from ..resilience.failures import FailureKind, ReplicationFailure
+from .config import SystemSpec
+from .results import ExperimentResult
+
+# Dispatch reasons recorded in the allocation log.
+REASON_FLOOR = "floor"
+REASON_ADAPTIVE = "adaptive"
+REASON_RETRY = "retry"
+
+#: Per-worker warm-spec LRU size — mirrors the model cache's _REUSE_CAP.
+_WARM_CAP = 8
+
+
+@dataclass
+class SweepStats:
+    """What the engine did, beyond the result tables."""
+
+    points: int
+    executed: int  # replication attempts actually simulated
+    cache_hits: int  # replications satisfied from the result cache
+    dispatches: int  # grants issued (== allocation log length)
+    executed_per_point: List[int] = field(default_factory=list)
+    allocation_log: List[Dict[str, Any]] = field(default_factory=list)
+
+
+@dataclass
+class SweepOutcome:
+    """Results (point order) plus the engine's accounting."""
+
+    results: List[ExperimentResult]
+    stats: SweepStats
+
+
+# -- the shared worker pool ------------------------------------------------
+
+
+def _worker_main(task_queue: Any, result_queue: Any) -> None:
+    """Worker loop: execute tasks until the ``None`` sentinel arrives.
+
+    ``_execute_task`` never raises, so every dequeued task produces
+    exactly one result tuple; the per-process model cache inside
+    ``simulate_once`` is what spec-affinity placement banks on.
+    """
+    while True:
+        item = task_queue.get()
+        if item is None:
+            return
+        dispatch_id, task = item
+        result_queue.put((dispatch_id, _execute_task(task)))
+
+
+class _WorkerSlot:
+    def __init__(self, process: Any, tasks: Any) -> None:
+        self.process = process
+        self.tasks = tasks
+        self.busy: Optional[int] = None  # dispatch id in flight
+        self.warm: "OrderedDict[str, None]" = OrderedDict()
+
+
+class _AffinityPool:
+    """A process pool with per-worker queues for affinity placement.
+
+    ``ProcessPoolExecutor`` feeds one shared queue, so a task cannot be
+    routed to the worker whose model cache is already warm; this pool
+    gives every worker its own task queue and a parent-side mirror of
+    which specs it has recently executed.  Workers are daemonic: a
+    stalled worker is *abandoned* (replaced, its late result dropped by
+    dispatch-id dedup) rather than killed mid-write, which could corrupt
+    the shared result pipe.
+    """
+
+    def __init__(self, jobs: int) -> None:
+        self._ctx = multiprocessing.get_context()
+        self._results = self._ctx.Queue()
+        self._slots: Dict[int, _WorkerSlot] = {}
+        self._abandoned: List[_WorkerSlot] = []
+        self._next_worker = 0
+        for _ in range(jobs):
+            self._spawn()
+
+    def _spawn(self) -> int:
+        worker = self._next_worker
+        self._next_worker += 1
+        tasks = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=_worker_main, args=(tasks, self._results), daemon=True
+        )
+        process.start()
+        self._slots[worker] = _WorkerSlot(process, tasks)
+        return worker
+
+    def idle_workers(self) -> List[int]:
+        return [w for w, slot in self._slots.items() if slot.busy is None]
+
+    def submit(self, dispatch_id: int, task: _Task, affinity_key: str) -> int:
+        """Hand the task to an idle worker, warm one preferred."""
+        idle = self.idle_workers()
+        worker = next(
+            (w for w in idle if affinity_key in self._slots[w].warm), idle[0]
+        )
+        slot = self._slots[worker]
+        slot.busy = dispatch_id
+        slot.warm[affinity_key] = None
+        slot.warm.move_to_end(affinity_key)
+        while len(slot.warm) > _WARM_CAP:
+            slot.warm.popitem(last=False)
+        slot.tasks.put((dispatch_id, task))
+        return worker
+
+    def release(self, worker: int) -> None:
+        slot = self._slots.get(worker)
+        if slot is not None:
+            slot.busy = None
+
+    def poll(self, timeout: Optional[float]) -> Optional[Tuple[int, Dict[str, Any]]]:
+        try:
+            return self._results.get(timeout=timeout)
+        except _queue.Empty:
+            return None
+
+    def abandon(self, worker: int) -> None:
+        """Stop using a stalled worker; spawn its replacement."""
+        slot = self._slots.pop(worker, None)
+        if slot is not None:
+            self._abandoned.append(slot)
+        self._spawn()
+
+    def dead_workers(self) -> List[int]:
+        """Workers that died while holding a dispatch (result never comes)."""
+        return [
+            w
+            for w, slot in self._slots.items()
+            if slot.busy is not None and not slot.process.is_alive()
+        ]
+
+    def replace_dead(self, worker: int) -> None:
+        slot = self._slots.pop(worker, None)
+        if slot is not None:
+            self._abandoned.append(slot)
+        self._spawn()
+
+    def close(self) -> None:
+        for slot in self._slots.values():
+            try:
+                slot.tasks.put(None)
+            except Exception:  # noqa: BLE001 — shutdown is best-effort
+                pass
+        deadline = time.monotonic() + 1.0
+        for slot in self._slots.values():
+            slot.process.join(timeout=max(0.0, deadline - time.monotonic()))
+        for slot in list(self._slots.values()) + self._abandoned:
+            if slot.process.is_alive():
+                # Safe now: nothing reads the result queue after close().
+                slot.process.terminate()
+
+
+class _InlineExecutor:
+    """Same interface as :class:`_AffinityPool`, zero processes.
+
+    ``jobs=1`` without a timeout runs replications in-process — the
+    scheduling and allocation logic is identical, only the transport
+    differs, so the differential tests exercise the real scheduler
+    without fork overhead.
+    """
+
+    def __init__(self) -> None:
+        self._buffer: Deque[Tuple[int, Dict[str, Any]]] = deque()
+        self._busy = False
+
+    def idle_workers(self) -> List[int]:
+        return [] if self._busy else [0]
+
+    def submit(self, dispatch_id: int, task: _Task, affinity_key: str) -> int:
+        self._busy = True
+        self._buffer.append((dispatch_id, _execute_task(task)))
+        return 0
+
+    def release(self, worker: int) -> None:
+        self._busy = False
+
+    def poll(self, timeout: Optional[float]) -> Optional[Tuple[int, Dict[str, Any]]]:
+        return self._buffer.popleft() if self._buffer else None
+
+    def abandon(self, worker: int) -> None:  # pragma: no cover — no timeouts inline
+        self._busy = False
+
+    def dead_workers(self) -> List[int]:
+        return []
+
+    def replace_dead(self, worker: int) -> None:  # pragma: no cover
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+# -- per-point scheduling state -------------------------------------------
+
+
+class _PointState:
+    """One sweep point: its executor run plus the scheduler's view of it."""
+
+    def __init__(
+        self,
+        index: int,
+        point: Dict[str, Any],
+        spec: SystemSpec,
+        run: _Run,
+        min_replications: int,
+        max_replications: int,
+    ) -> None:
+        self.index = index
+        self.point = point
+        self.spec = spec
+        self.run = run
+        self.min_replications = min_replications
+        self.max_replications = max_replications
+        self.next_index = 0
+        self.inflight = 0
+        self.ready: Deque[_Task] = deque()  # retry tasks owed to this point
+        self.done = False
+        self.affinity_key = f"{spec_payload(spec)!r}|{run.config.engine!r}"
+
+    def peek_fresh(self) -> Optional[int]:
+        """Next never-dispatched replication index, skipping resolved ones."""
+        while (
+            self.next_index < self.max_replications
+            and self.next_index in self.run.resolved
+        ):
+            self.next_index += 1
+        if self.next_index >= self.max_replications:
+            return None
+        return self.next_index
+
+    def take_fresh(self) -> _Task:
+        index = self.peek_fresh()
+        assert index is not None
+        self.next_index += 1
+        return self.run.task(index)
+
+    def distance(self) -> float:
+        return self.run.monitor.distance() if self.run.monitor else float("inf")
+
+    def refresh_done(self) -> None:
+        """Re-derive the finished flag from the run's current state."""
+        if self.done:
+            return
+        if self.run.converged_cut() is not None:
+            self.done = True
+        elif not self.ready and self.inflight == 0 and self.peek_fresh() is None:
+            self.done = True  # budget exhausted
+
+
+# -- the engine ------------------------------------------------------------
+
+
+class _SweepScheduler:
+    def __init__(
+        self,
+        states: List[_PointState],
+        pool: Any,
+        timeout: Optional[float],
+    ) -> None:
+        self.states = states
+        self.pool = pool
+        self.timeout = timeout
+        self.outstanding: Dict[int, Tuple[_PointState, _Task, int, Optional[float]]] = {}
+        self.allocation_log: List[Dict[str, Any]] = []
+        self._next_dispatch = 0
+
+    # -- admission ---------------------------------------------------------
+
+    def _next_choice(self) -> Optional[Tuple[_PointState, _Task, str]]:
+        # 1. Retries are owed work: point order, oldest first.
+        for state in self.states:
+            if state.ready:
+                return state, state.ready.popleft(), REASON_RETRY
+        # 2. Floors: every point is entitled to min_replications
+        #    concurrently (the serial path executes those regardless),
+        #    interleaved lowest-replication-first across points.
+        floors = [
+            state
+            for state in self.states
+            if not state.done
+            and state.peek_fresh() is not None
+            and state.peek_fresh() < state.min_replications
+        ]
+        if floors:
+            state = min(floors, key=lambda s: (s.peek_fresh(), s.index))
+            return state, state.take_fresh(), REASON_FLOOR
+        # 3. Adaptive: one speculative grant at a time per unconverged
+        #    point, to whichever is furthest from the half-width target.
+        #    The one-in-flight cap is what makes executed == cut.
+        candidates = [
+            state
+            for state in self.states
+            if not state.done
+            and state.inflight == 0
+            and state.peek_fresh() is not None
+        ]
+        if candidates:
+            state = max(candidates, key=lambda s: (s.distance(), -s.index))
+            return state, state.take_fresh(), REASON_ADAPTIVE
+        return None
+
+    def _dispatch(self, state: _PointState, task: _Task, reason: str) -> None:
+        dispatch_id = self._next_dispatch
+        self._next_dispatch += 1
+        worker = self.pool.submit(dispatch_id, task, state.affinity_key)
+        deadline = (
+            time.monotonic() + self.timeout if self.timeout is not None else None
+        )
+        self.outstanding[dispatch_id] = (state, task, worker, deadline)
+        state.inflight += 1
+        distance = state.distance()
+        entry = {
+            "seq": dispatch_id,
+            "point": state.index,
+            "replication": task.replication,
+            "attempt": task.attempt,
+            "worker": worker,
+            "reason": reason,
+            "distance": None if distance == float("inf") else distance,
+        }
+        self.allocation_log.append(entry)
+        tracer = _trace._ACTIVE
+        if tracer is not None:
+            # Not **entry: the log's "seq" would shadow the tracer's own
+            # sequence number in the flat JSONL form.
+            tracer.emit(
+                _trace.SWEEP_DISPATCH,
+                **{k: v for k, v in entry.items() if k != "seq"},
+            )
+
+    def _fill(self) -> None:
+        while self.pool.idle_workers():
+            choice = self._next_choice()
+            if choice is None:
+                return
+            self._dispatch(*choice)
+
+    # -- result handling ----------------------------------------------------
+
+    def _handle_result(self, dispatch_id: int, payload: Dict[str, Any]) -> None:
+        dispatch = self.outstanding.pop(dispatch_id, None)
+        if dispatch is None:
+            return  # late result from an abandoned worker: dropped
+        state, task, worker, _deadline = dispatch
+        self.pool.release(worker)
+        state.inflight -= 1
+        if payload["ok"]:
+            state.run.resolve_success(task, payload)
+        else:
+            self._fail(state, task, payload)
+        state.refresh_done()
+
+    def _fail(
+        self,
+        state: _PointState,
+        task: _Task,
+        payload: Dict[str, Any],
+        kind: Optional[str] = None,
+    ) -> None:
+        retry = state.run.fail_attempt(
+            task,
+            ReplicationFailure(
+                kind=kind or payload.get("kind", FailureKind.EXCEPTION),
+                message=payload["error"],
+                scheduler=getattr(state.spec, "scheduler", ""),
+            ),
+        )
+        if retry is not None:
+            state.ready.append(retry)
+
+    def _expire_timeouts(self) -> None:
+        now = time.monotonic()
+        expired = [
+            (dispatch_id, entry)
+            for dispatch_id, entry in self.outstanding.items()
+            if entry[3] is not None and now >= entry[3]
+        ]
+        for dispatch_id, (state, task, worker, _deadline) in expired:
+            del self.outstanding[dispatch_id]
+            self.pool.abandon(worker)
+            state.inflight -= 1
+            self._fail(
+                state,
+                task,
+                {
+                    "error": (
+                        f"replication attempt exceeded the "
+                        f"{self.timeout:g}s wall-clock timeout"
+                    )
+                },
+                kind=FailureKind.TIMEOUT,
+            )
+            state.refresh_done()
+
+    def _reap_dead(self) -> None:
+        for worker in self.pool.dead_workers():
+            lost = [
+                (dispatch_id, entry)
+                for dispatch_id, entry in self.outstanding.items()
+                if entry[2] == worker
+            ]
+            self.pool.replace_dead(worker)
+            for dispatch_id, (state, task, _worker, _deadline) in lost:
+                del self.outstanding[dispatch_id]
+                state.inflight -= 1
+                self._fail(
+                    state,
+                    task,
+                    {"error": "worker process died"},
+                    kind=FailureKind.WORKER_CRASH,
+                )
+                state.refresh_done()
+
+    # -- main loop ----------------------------------------------------------
+
+    def drive(self) -> None:
+        for state in self.states:
+            state.refresh_done()  # warm cache/checkpoint may finish points
+        while not all(state.done for state in self.states):
+            self._fill()
+            if not self.outstanding:
+                # Nothing in flight and nothing dispatchable: every
+                # remaining point must be finishable right now (a point
+                # is only non-done while it has retries, fresh budget,
+                # or work in flight).
+                for state in self.states:
+                    state.refresh_done()
+                if not all(state.done for state in self.states):
+                    raise RuntimeError(
+                        "sweep scheduler stalled with undispatchable points"
+                    )
+                break
+            deadlines = [
+                entry[3] for entry in self.outstanding.values() if entry[3] is not None
+            ]
+            if deadlines:
+                budget = max(0.0, min(deadlines) - time.monotonic())
+            else:
+                budget = 0.2  # bounded, to notice dead workers promptly
+            result = self.pool.poll(budget)
+            if result is not None:
+                self._handle_result(*result)
+                # Drain whatever else is already buffered, without blocking.
+                while True:
+                    more = self.pool.poll(0)
+                    if more is None:
+                        break
+                    self._handle_result(*more)
+            self._expire_timeouts()
+            self._reap_dead()
+
+
+def run_interleaved_sweep(
+    points: Sequence[Tuple[Dict[str, Any], SystemSpec]],
+    label: Optional[str] = None,
+    watch_metrics: Optional[Sequence[str]] = None,
+    min_replications: int = 5,
+    max_replications: int = 30,
+    confidence: float = None,  # type: ignore[assignment]
+    target_half_width: float = None,  # type: ignore[assignment]
+    root_seed: int = 0,
+    extra_probes: bool = False,
+    resilience: Optional[ResilienceConfig] = None,
+    incremental: bool = True,
+    engine: Optional[str] = None,
+    sweep_jobs: Optional[int] = None,
+) -> SweepOutcome:
+    """Run a resolved sweep through the shared-pool adaptive engine.
+
+    Same parameters and semantics as
+    :func:`~repro.core.experiment.run_experiment`, applied across every
+    point at once; ``points`` comes from
+    :func:`~repro.core.experiment.resolve_sweep_points`.  Returns the
+    per-point results (point order — order is preserved no matter how
+    execution interleaved) plus the engine's accounting.
+    """
+    from .experiment import (  # local: experiment imports us lazily too
+        DEFAULT_CONFIDENCE,
+        DEFAULT_TARGET_HALF_WIDTH,
+        DEFAULT_WATCH_METRICS,
+        result_from_execution,
+        validate_protocol,
+    )
+
+    if confidence is None:
+        confidence = DEFAULT_CONFIDENCE
+    if target_half_width is None:
+        target_half_width = DEFAULT_TARGET_HALF_WIDTH
+    validate_protocol(min_replications, max_replications)
+    if watch_metrics is None:
+        watch_metrics = list(DEFAULT_WATCH_METRICS)
+    if resilience is None:
+        resilience = ResilienceConfig(
+            jobs=1, timeout=None, retries=0, incremental=incremental, engine=engine
+        )
+    resilience.validate()
+    jobs = sweep_jobs if sweep_jobs is not None else resilience.jobs
+    if jobs < 1:
+        raise ConfigurationError(f"sweep_jobs must be >= 1, got {jobs}")
+
+    checkpoint: Optional[CheckpointStore] = None
+    if resilience.checkpoint:
+        checkpoint = CheckpointStore(resilience.checkpoint, resume=resilience.resume)
+
+    states: List[_PointState] = []
+    try:
+        for index, (point, spec) in enumerate(points):
+            spec.validate()
+            point_config = dataclasses.replace(
+                resilience, checkpoint_scope=f"point{index}"
+            )
+            run = _Run(
+                spec=spec,
+                root_seed=root_seed,
+                extra_probes=extra_probes,
+                min_replications=min_replications,
+                max_replications=max_replications,
+                converged=None,
+                config=point_config,
+                checkpoint=checkpoint,
+                monitor=ConvergenceMonitor(
+                    watch_metrics,
+                    confidence=confidence,
+                    target_half_width=target_half_width,
+                    min_replications=min_replications,
+                ),
+                cache=bind_cache(spec, point_config, root_seed, extra_probes),
+            )
+            if checkpoint is not None:
+                checkpoint.begin_scope(
+                    point_config.checkpoint_scope,
+                    scope_fingerprint(spec, root_seed, extra_probes, point_config),
+                )
+                for rep, record in checkpoint.replications(
+                    point_config.checkpoint_scope
+                ).items():
+                    if rep < max_replications:
+                        run.resolved[rep] = ReplicationOutcome.from_record(record)
+            run.preload_cache()
+            states.append(
+                _PointState(
+                    index=index,
+                    point=point,
+                    spec=spec,
+                    run=run,
+                    min_replications=min_replications,
+                    max_replications=max_replications,
+                )
+            )
+
+        if jobs == 1 and resilience.timeout is None:
+            pool: Any = _InlineExecutor()
+        else:
+            pool = _AffinityPool(jobs)
+        scheduler = _SweepScheduler(states, pool, resilience.timeout)
+        try:
+            scheduler.drive()
+        finally:
+            pool.close()
+    finally:
+        if checkpoint is not None:
+            checkpoint.close()
+
+    results: List[ExperimentResult] = []
+    executed_per_point: List[int] = []
+    for state in states:
+        execution = state.run.assemble()
+        result = result_from_execution(state.spec, label, execution, confidence)
+        result.parameters.update(state.point)
+        results.append(result)
+        executed_per_point.append(state.run.executed)
+    stats = SweepStats(
+        points=len(states),
+        executed=sum(executed_per_point),
+        cache_hits=sum(state.run.cache_hits for state in states),
+        dispatches=len(scheduler.allocation_log),
+        executed_per_point=executed_per_point,
+        allocation_log=scheduler.allocation_log,
+    )
+    return SweepOutcome(results=results, stats=stats)

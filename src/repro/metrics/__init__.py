@@ -29,6 +29,7 @@ from .rewards import (
     standard_rewards,
 )
 from .stats import (
+    ConvergenceMonitor,
     ReplicationEstimator,
     RunningStats,
     confidence_interval,
@@ -62,6 +63,7 @@ __all__ = [
     "effective_warmup_for",
     "confidence_interval",
     "t_quantile",
+    "ConvergenceMonitor",
     "ReplicationEstimator",
     "jain_fairness",
 ]

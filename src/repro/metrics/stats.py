@@ -10,6 +10,9 @@ provides the estimators:
 * :func:`confidence_interval` — Student-t interval over a sample;
 * :class:`ReplicationEstimator` — feeds replications in one at a time
   and answers "is the half-width small enough yet?";
+* :class:`ConvergenceMonitor` — the one-pass (Welford) multi-metric
+  stopping rule the experiment runner and sweep scheduler use; exact
+  same values as :func:`confidence_interval` over every prefix;
 * :func:`jain_fairness` — Jain's fairness index, used by the fairness
   analyses around Figure 8.
 """
@@ -17,11 +20,12 @@ provides the estimators:
 from __future__ import annotations
 
 import math
-from typing import List, Sequence, Tuple
+from functools import lru_cache
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from scipy import stats as _scipy_stats
 
-from ..errors import StatisticsError
+from ..errors import ConfigurationError, StatisticsError
 
 
 class RunningStats:
@@ -84,6 +88,14 @@ def t_quantile(confidence: float, df: int) -> float:
     return float(_scipy_stats.t.ppf(0.5 + confidence / 2.0, df))
 
 
+@lru_cache(maxsize=256)
+def _t_quantile_cached(confidence: float, df: int) -> float:
+    """Memoized :func:`t_quantile` — the stopping rule asks for the same
+    (confidence, df) pairs over and over, and ``scipy.stats.t.ppf`` is
+    by far the most expensive term of a half-width."""
+    return t_quantile(confidence, df)
+
+
 def confidence_interval(
     values: Sequence[float], confidence: float = 0.95
 ) -> Tuple[float, float]:
@@ -103,8 +115,108 @@ def confidence_interval(
     rs = RunningStats()
     for value in values:
         rs.push(value)
-    half_width = t_quantile(confidence, rs.n - 1) * rs.standard_error()
+    half_width = _t_quantile_cached(confidence, rs.n - 1) * rs.standard_error()
     return rs.mean, half_width
+
+
+class ConvergenceMonitor:
+    """Single-pass replication stopping rule over many metrics at once.
+
+    The experiment runner used to recompute :func:`confidence_interval`
+    from scratch over *all* samples after every replication — an O(n²)
+    stopping check.  This monitor is the one-pass replacement: one
+    Welford :class:`RunningStats` per watched metric, fed each
+    replication's metrics exactly once, in replication order.  Because
+    :func:`confidence_interval` itself is Welford-based, the half-width
+    the monitor sees at prefix length *k* is bit-identical to
+    ``confidence_interval(values[:k])`` — the stopping decisions (and
+    therefore the included sample sets) cannot drift.
+
+    ``cut`` is the smallest prefix length >= ``min_replications`` whose
+    watched half-widths all drop below the target; each prefix length
+    is judged exactly once, when its last sample arrives, which is
+    sound because a prefix's samples never change after the fact.
+
+    The sweep scheduler also reads :meth:`distance` — how far the
+    worst watched metric currently is from the half-width target — to
+    rank unconverged points for the next replication grant.
+    """
+
+    def __init__(
+        self,
+        watch_metrics: Sequence[str],
+        confidence: float = 0.95,
+        target_half_width: float = 0.1,
+        min_replications: int = 2,
+    ) -> None:
+        if not 0 < confidence < 1:
+            raise StatisticsError(f"confidence must be in (0, 1), got {confidence}")
+        if target_half_width <= 0:
+            raise StatisticsError(
+                f"target_half_width must be > 0, got {target_half_width}"
+            )
+        self.watch_metrics = list(watch_metrics)
+        self.confidence = confidence
+        self.target_half_width = target_half_width
+        self.min_replications = max(2, min_replications)
+        self._stats: Dict[str, RunningStats] = {
+            name: RunningStats() for name in self.watch_metrics
+        }
+        self._n = 0
+        self._cut: Optional[int] = None
+
+    @property
+    def n(self) -> int:
+        """Samples consumed so far."""
+        return self._n
+
+    @property
+    def cut(self) -> Optional[int]:
+        """Smallest converged prefix length, or None if none yet."""
+        return self._cut
+
+    def push(self, metrics: Mapping[str, float]) -> Optional[int]:
+        """Consume one replication's metrics; returns the cut, if any."""
+        for name in self.watch_metrics:
+            if name not in metrics:
+                raise ConfigurationError(
+                    f"watched metric {name!r} is not produced by this system; "
+                    f"available: {sorted(metrics)}"
+                )
+            self._stats[name].push(metrics[name])
+        self._n += 1
+        if self._cut is None and self._n >= self.min_replications:
+            if all(
+                half_width < self.target_half_width
+                for half_width in self.half_widths().values()
+            ):
+                self._cut = self._n
+        return self._cut
+
+    def half_widths(self) -> Dict[str, float]:
+        """Current CI half-width per watched metric (inf below 2 samples)."""
+        if self._n < 2:
+            return {name: math.inf for name in self.watch_metrics}
+        t = _t_quantile_cached(self.confidence, self._n - 1)
+        return {
+            name: t * rs.standard_error() for name, rs in self._stats.items()
+        }
+
+    def distance(self) -> float:
+        """How far the worst watched metric is from the target (>= 0).
+
+        Infinite until a variance estimate exists; 0.0 once converged.
+        The sweep scheduler dispatches the next replication to the point
+        with the largest distance.
+        """
+        if self._cut is not None:
+            return 0.0
+        if self._n < 2:
+            return math.inf
+        return max(
+            max(half_width - self.target_half_width, 0.0)
+            for half_width in self.half_widths().values()
+        )
 
 
 class ReplicationEstimator:

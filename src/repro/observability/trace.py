@@ -61,6 +61,8 @@ CHAOS_CRASH = "chaos.crash"
 CHAOS_STALL = "chaos.stall"
 CHAOS_CORRUPT = "chaos.corrupt"
 EXECUTOR_RETRY = "executor.retry"
+SWEEP_DISPATCH = "sweep.dispatch"
+CACHE_HIT = "cache.hit"
 
 #: Every kind -> the data fields its records carry (beyond kind/t/seq).
 RECORD_FIELDS: Dict[str, tuple] = {
@@ -87,6 +89,10 @@ RECORD_FIELDS: Dict[str, tuple] = {
     CHAOS_STALL: ("replication", "seconds"),
     CHAOS_CORRUPT: ("replication", "corrupt_kind"),
     EXECUTOR_RETRY: ("replication", "attempt", "seed"),
+    # One record per sweep-engine grant: which point got the next
+    # replication, why (floor/adaptive/retry), and on which worker.
+    SWEEP_DISPATCH: ("point", "replication", "attempt", "worker", "reason", "distance"),
+    CACHE_HIT: ("scope", "replication", "key"),
 }
 
 #: Schedule-out reasons the hypervisor model distinguishes.
@@ -284,7 +290,8 @@ def chrome_trace_events(records: Iterable[RecordLike]) -> List[Dict[str, Any]]:
                 "args": dict(record.data),
             })
         elif record.kind in (GUARD_FAULT, GUARD_QUARANTINE, CHAOS_CRASH,
-                             CHAOS_STALL, CHAOS_CORRUPT, EXECUTOR_RETRY):
+                             CHAOS_STALL, CHAOS_CORRUPT, EXECUTOR_RETRY,
+                             SWEEP_DISPATCH, CACHE_HIT):
             events.append({
                 "ph": "i", "s": "p", "pid": 1, "tid": _RESILIENCE_TID,
                 "ts": ts, "cat": "resilience", "name": record.kind,

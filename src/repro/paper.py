@@ -27,8 +27,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from .analysis.tables import figure_series_table
 from .core.config import SystemSpec, VMSpec, WorkloadSpec
-from .core.experiment import run_experiment
+from .core.experiment import run_sweep
 from .core.results import ExperimentResult, render_table
+from .resilience import ResilienceConfig
 from .vmm.system import build_virtual_system
 from .vmm.virtual_machine import build_vm_model
 from .schedulers import RoundRobinScheduler
@@ -77,17 +78,27 @@ def _spec(
     )
 
 
-def _estimate(
-    spec: SystemSpec,
+def _sweep(
+    base_spec: SystemSpec,
+    points: List[Dict],
+    mutate,
     replications: Tuple[int, int],
     root_seed: int,
-) -> ExperimentResult:
+    resilience: Optional[ResilienceConfig],
+    sweep_engine: str,
+    sweep_jobs: Optional[int],
+) -> List[ExperimentResult]:
     min_reps, max_reps = replications
-    return run_experiment(
-        spec,
+    return run_sweep(
+        base_spec,
+        points,
+        mutate=mutate,
+        sweep_engine=sweep_engine,
+        sweep_jobs=sweep_jobs,
         min_replications=min_reps,
         max_replications=max_reps,
         root_seed=root_seed,
+        resilience=resilience,
     )
 
 
@@ -139,6 +150,29 @@ def table2(vms: Sequence[int] = (2, 2), pcpus: int = 2) -> str:
 # ---------------------------------------------------------------------------
 
 
+def figure8_sweep(
+    schedulers: Sequence[str] = PAPER_SCHEDULERS,
+    pcpu_range: Sequence[int] = FIG8_PCPU_RANGE,
+    sim_time: int = 2000,
+    warmup: int = 200,
+) -> Tuple[SystemSpec, List[Dict]]:
+    """The Figure-8 campaign as a ``run_sweep`` input: base spec + points.
+
+    Shared by :func:`run_figure8`, the sweep-engine differential tests,
+    and ``benchmarks/bench_sweep_engine.py`` — all three must benchmark
+    and verify the *same* sweep.
+    """
+    base = _spec(
+        FIG8_TOPOLOGY, pcpu_range[0], schedulers[0], PAPER_SYNC_RATIO, sim_time, warmup
+    )
+    points = [
+        {"pcpus": pcpus, "scheduler": scheduler}
+        for pcpus in pcpu_range
+        for scheduler in schedulers
+    ]
+    return base, points
+
+
 def run_figure8(
     schedulers: Sequence[str] = PAPER_SCHEDULERS,
     pcpu_range: Sequence[int] = FIG8_PCPU_RANGE,
@@ -146,6 +180,9 @@ def run_figure8(
     warmup: int = 200,
     replications: Tuple[int, int] = (5, 30),
     root_seed: int = 0,
+    resilience: Optional[ResilienceConfig] = None,
+    sweep_engine: str = "serial",
+    sweep_jobs: Optional[int] = None,
 ) -> FigureResult:
     """Reproduce Figure 8: per-VCPU availability, VMs 2+1+1, sync 1:5.
 
@@ -153,19 +190,17 @@ def run_figure8(
     one column per VCPU (paper labels VCPU1.1 .. VCPU3.1).
     """
     labels = ["VCPU1.1", "VCPU1.2", "VCPU2.1", "VCPU3.1"]
-    results = []
+    base, points = figure8_sweep(schedulers, pcpu_range, sim_time, warmup)
+    results = _sweep(
+        base, points, None, replications, root_seed, resilience, sweep_engine, sweep_jobs
+    )
     rows = []
-    for pcpus in pcpu_range:
-        for scheduler in schedulers:
-            spec = _spec(FIG8_TOPOLOGY, pcpus, scheduler, PAPER_SYNC_RATIO, sim_time, warmup)
-            result = _estimate(spec, replications, root_seed)
-            result.parameters.update({"pcpus": pcpus, "scheduler": scheduler})
-            results.append(result)
-            row = [pcpus, scheduler]
-            for label in labels:
-                metric = f"vcpu_availability[{label}]"
-                row.append(f"{result.mean(metric):.3f} ±{result.half_width(metric):.3f}")
-            rows.append(row)
+    for result in results:
+        row = [result.parameters["pcpus"], result.parameters["scheduler"]]
+        for label in labels:
+            metric = f"vcpu_availability[{label}]"
+            row.append(f"{result.mean(metric):.3f} ±{result.half_width(metric):.3f}")
+        rows.append(row)
     table = render_table(
         ["pcpus", "scheduler"] + labels,
         rows,
@@ -189,20 +224,36 @@ def run_figure9(
     warmup: int = 200,
     replications: Tuple[int, int] = (5, 30),
     root_seed: int = 0,
+    resilience: Optional[ResilienceConfig] = None,
+    sweep_engine: str = "serial",
+    sweep_jobs: Optional[int] = None,
 ) -> FigureResult:
     """Reproduce Figure 9: averaged PCPU utilization, 4 PCPUs, sync 1:5."""
     vm_sets = vm_sets if vm_sets is not None else dict(FIG9_VM_SETS)
-    results = []
+    first_topology = next(iter(vm_sets.values()))
+    base = _spec(
+        first_topology, PAPER_PCPUS, schedulers[0], PAPER_SYNC_RATIO, sim_time, warmup
+    )
+    points = [
+        {"vm_set": set_label, "scheduler": scheduler}
+        for set_label in vm_sets
+        for scheduler in schedulers
+    ]
+
+    def mutate(spec: SystemSpec, other: Dict) -> SystemSpec:
+        topology = vm_sets[other["vm_set"]]
+        return spec.with_overrides(
+            vms=[VMSpec(n, WorkloadSpec(sync_ratio=PAPER_SYNC_RATIO)) for n in topology]
+        )
+
+    results = _sweep(
+        base, points, mutate, replications, root_seed, resilience, sweep_engine, sweep_jobs
+    )
     series: Dict[str, List[Tuple[float, float]]] = {s: [] for s in schedulers}
-    for set_label, topology in vm_sets.items():
-        for scheduler in schedulers:
-            spec = _spec(topology, PAPER_PCPUS, scheduler, PAPER_SYNC_RATIO, sim_time, warmup)
-            result = _estimate(spec, replications, root_seed)
-            result.parameters.update({"vm_set": set_label, "scheduler": scheduler})
-            results.append(result)
-            series[scheduler].append(
-                (result.mean("pcpu_utilization"), result.half_width("pcpu_utilization"))
-            )
+    for result in results:
+        series[result.parameters["scheduler"]].append(
+            (result.mean("pcpu_utilization"), result.half_width("pcpu_utilization"))
+        )
     table = figure_series_table(
         "Figure 9: averaged PCPU utilization of four PCPUs, sync 1:5, 95% confidence",
         "vm_set",
@@ -225,22 +276,41 @@ def run_figure10(
     warmup: int = 200,
     replications: Tuple[int, int] = (5, 30),
     root_seed: int = 0,
+    resilience: Optional[ResilienceConfig] = None,
+    sweep_engine: str = "serial",
+    sweep_jobs: Optional[int] = None,
 ) -> FigureResult:
     """Reproduce Figure 10: averaged VCPU utilization, 4 PCPUs,
     sync ratio varied 1:5 -> 1:2."""
     vm_sets = vm_sets if vm_sets is not None else dict(FIG9_VM_SETS)
-    results = []
+    first_topology = next(iter(vm_sets.values()))
+    base = _spec(
+        first_topology, PAPER_PCPUS, schedulers[0], sync_ratios[0], sim_time, warmup
+    )
+    points = [
+        {"vm_set": set_label, "scheduler": scheduler, "sync_ratio": ratio}
+        for ratio in sync_ratios
+        for set_label in vm_sets
+        for scheduler in schedulers
+    ]
+
+    def mutate(spec: SystemSpec, other: Dict) -> SystemSpec:
+        topology = vm_sets[other["vm_set"]]
+        ratio = other["sync_ratio"]
+        return spec.with_overrides(
+            vms=[VMSpec(n, WorkloadSpec(sync_ratio=ratio)) for n in topology]
+        )
+
+    results = _sweep(
+        base, points, mutate, replications, root_seed, resilience, sweep_engine, sweep_jobs
+    )
     rows = []
+    cursor = iter(results)
     for ratio in sync_ratios:
-        for set_label, topology in vm_sets.items():
+        for set_label in vm_sets:
             row = [f"1:{ratio}", set_label]
-            for scheduler in schedulers:
-                spec = _spec(topology, PAPER_PCPUS, scheduler, ratio, sim_time, warmup)
-                result = _estimate(spec, replications, root_seed)
-                result.parameters.update(
-                    {"vm_set": set_label, "scheduler": scheduler, "sync_ratio": ratio}
-                )
-                results.append(result)
+            for _scheduler in schedulers:
+                result = next(cursor)
                 row.append(
                     f"{result.mean('vcpu_utilization'):.3f} "
                     f"±{result.half_width('vcpu_utilization'):.3f}"

@@ -14,7 +14,10 @@ sweep down with it.  This package makes the runner survive all three:
 * :mod:`~repro.resilience.chaos` — deterministic, seeded fault
   injection so the machinery above is itself tested end-to-end;
 * :mod:`~repro.resilience.failures` — the structured
-  :class:`ReplicationFailure` records everything else emits.
+  :class:`ReplicationFailure` records everything else emits;
+* :mod:`~repro.resilience.result_cache` — the persistent
+  content-addressed replication result cache (memoize across
+  invocations, invalidated by code fingerprint).
 """
 
 from .chaos import CORRUPT_KINDS, ChaosScheduler, ChaosSpec, InjectedFault
@@ -28,6 +31,7 @@ from .executor import (
 )
 from .failures import FailureKind, ReplicationFailure, failure_summary
 from .guard import GUARD_MODES, GuardedScheduler, GuardPolicy
+from .result_cache import ResultCache, code_fingerprint
 
 __all__ = [
     "ChaosScheduler",
@@ -43,6 +47,8 @@ __all__ = [
     "ReplicationFailure",
     "ReplicationOutcome",
     "ResilienceConfig",
+    "ResultCache",
+    "code_fingerprint",
     "failure_summary",
     "fingerprint",
     "retry_seed",

@@ -35,11 +35,13 @@ from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from ..des.random_streams import derive_seed
 from ..errors import ConfigurationError, ReplicationError
+from ..metrics.stats import ConvergenceMonitor
 from ..observability import trace as _trace
 from .chaos import ChaosSpec
 from .checkpoint import CheckpointStore, fingerprint
 from .failures import FailureKind, ReplicationFailure, failure_summary
 from .guard import GuardPolicy
+from .result_cache import ResultCache, cacheable_spec_payload
 
 ConvergenceCheck = Callable[[List[Dict[str, float]]], bool]
 
@@ -75,6 +77,11 @@ class ResilienceConfig:
         reuse: reuse the built (and, for compiled, lowered) model across
             replications of the same spec — once per process, so each
             pool worker compiles once and resets thereafter.
+        cache_dir: persistent result-cache directory (``None`` disables).
+            Clean replication results are memoized across invocations,
+            keyed by (spec JSON, engine, root seed, replication index)
+            under the current code fingerprint; guard/chaos runs and
+            non-serializable specs are never cached.
     """
 
     jobs: int = 1
@@ -90,6 +97,7 @@ class ResilienceConfig:
     incremental: bool = True
     engine: Optional[str] = None
     reuse: bool = True
+    cache_dir: Optional[str] = None
 
     def validate(self) -> None:
         if self.jobs < 1:
@@ -179,6 +187,8 @@ class ExecutionOutcome:
     replications: int  # number of included samples
     failures: List[ReplicationFailure]
     degraded: bool
+    executed: int = 0  # replication attempts actually simulated
+    cache_hits: int = 0  # replications satisfied from the result cache
 
 
 @dataclass
@@ -233,6 +243,85 @@ def spec_payload(spec: Any) -> Any:
         return repr(spec)
 
 
+def scope_fingerprint(
+    spec: Any, root_seed: int, extra_probes: bool, config: ResilienceConfig
+) -> str:
+    """The checkpoint-scope fingerprint of one experiment.
+
+    Shared by the per-experiment executor and the sweep engine so a
+    checkpoint written by either resumes under the other.
+    """
+    return fingerprint(
+        {
+            "spec": spec_payload(spec),
+            "root_seed": root_seed,
+            "extra_probes": extra_probes,
+            "guard": config.guard.to_dict() if config.guard else None,
+            "chaos": config.chaos.to_dict() if config.chaos else None,
+            "version": 1,
+        }
+    )
+
+
+class CacheBinding:
+    """A :class:`ResultCache` bound to one experiment's identity.
+
+    Collapses the five-part cache key down to "which replication index",
+    which is all the executor and the sweep engine ever vary.
+    """
+
+    def __init__(
+        self,
+        cache: ResultCache,
+        spec_payload: Any,
+        engine: str,
+        root_seed: int,
+        extra_probes: bool,
+    ) -> None:
+        self.cache = cache
+        self._spec_payload = spec_payload
+        self._engine = engine
+        self._root_seed = root_seed
+        self._extra_probes = extra_probes
+
+    def key(self, replication: int) -> str:
+        return self.cache.key(
+            self._spec_payload,
+            self._engine,
+            self._root_seed,
+            replication,
+            self._extra_probes,
+        )
+
+    def load(self, replication: int) -> Optional[Dict[str, Any]]:
+        return self.cache.load(self.key(replication))
+
+    def store(self, replication: int, payload: Dict[str, Any]) -> None:
+        self.cache.store(self.key(replication), payload)
+
+
+def bind_cache(
+    spec: Any, config: ResilienceConfig, root_seed: int, extra_probes: bool
+) -> Optional[CacheBinding]:
+    """The result cache for one experiment, or None when ineligible.
+
+    Caching silently disables when no ``cache_dir`` is configured, when
+    a guard or chaos plan makes results not a function of the cache key,
+    or when the spec has no canonical JSON form.
+    """
+    if not config.cache_dir:
+        return None
+    if config.guard is not None or config.chaos is not None:
+        return None
+    payload = cacheable_spec_payload(spec)
+    if payload is None:
+        return None
+    engine = config.engine or ("incremental" if config.incremental else "rescan")
+    return CacheBinding(
+        ResultCache(config.cache_dir), payload, engine, root_seed, extra_probes
+    )
+
+
 class _Run:
     """State of one run_replications call (serial or pooled)."""
 
@@ -243,9 +332,11 @@ class _Run:
         extra_probes: bool,
         min_replications: int,
         max_replications: int,
-        converged: ConvergenceCheck,
+        converged: Optional[ConvergenceCheck],
         config: ResilienceConfig,
         checkpoint: Optional[CheckpointStore],
+        monitor: Optional[ConvergenceMonitor] = None,
+        cache: Optional[CacheBinding] = None,
     ) -> None:
         self.spec = spec
         self.root_seed = root_seed
@@ -255,6 +346,10 @@ class _Run:
         self.converged = converged
         self.config = config
         self.checkpoint = checkpoint
+        self.monitor = monitor
+        self.cache = cache
+        self.executed = 0
+        self.cache_hits = 0
         self.resolved: Dict[int, ReplicationOutcome] = {}
         self._attempt_failures: Dict[int, List[ReplicationFailure]] = {}
 
@@ -281,12 +376,13 @@ class _Run:
                 failure.attempt = task.attempt
 
     def resolve_success(self, task: _Task, payload: Dict[str, Any]) -> None:
+        self.executed += 1
         tick_failures = [
             ReplicationFailure.from_dict(f) for f in payload.get("failures", [])
         ]
         self._stamp(tick_failures, task)
         earlier = self._attempt_failures.pop(task.replication, [])
-        self.resolved[task.replication] = ReplicationOutcome(
+        outcome = ReplicationOutcome(
             replication=task.replication,
             metrics=dict(payload["metrics"]),
             attempt=task.attempt,
@@ -294,10 +390,21 @@ class _Run:
             degraded=bool(payload.get("degraded", False)),
             failures=earlier + tick_failures,
         )
+        self.resolved[task.replication] = outcome
         self._record(task.replication)
+        if (
+            self.cache is not None
+            and task.attempt == 0
+            and not outcome.degraded
+            and not outcome.failures
+        ):
+            # Only clean first-attempt results are memoized — a hit must
+            # be exactly what the legacy serial runner would compute.
+            self.cache.store(task.replication, outcome.to_payload())
 
     def fail_attempt(self, task: _Task, failure: ReplicationFailure) -> Optional[_Task]:
         """Register a failed attempt; return the retry task, if any."""
+        self.executed += 1
         self._stamp([failure], task)
         bucket = self._attempt_failures.setdefault(task.replication, [])
         bucket.append(failure)
@@ -351,6 +458,30 @@ class _Run:
                 self.resolved[replication].to_payload(),
             )
 
+    def preload_cache(self) -> None:
+        """Fill unresolved replications from the persistent result cache."""
+        if self.cache is None:
+            return
+        for replication in range(self.max_replications):
+            if replication in self.resolved:
+                continue
+            payload = self.cache.load(replication)
+            if payload is None:
+                continue
+            self.resolved[replication] = ReplicationOutcome.from_record(
+                {**payload, "replication": replication}
+            )
+            self.cache_hits += 1
+            self._record(replication)
+            tracer = _trace._ACTIVE
+            if tracer is not None:
+                tracer.emit(
+                    _trace.CACHE_HIT,
+                    scope=self.config.checkpoint_scope,
+                    replication=replication,
+                    key=self.cache.key(replication),
+                )
+
     # -- convergence over the contiguous resolved prefix --------------------
 
     def _contiguous_prefix(self) -> int:
@@ -366,6 +497,14 @@ class _Run:
         """Smallest sample count >= min that converges, scanning the
         resolved prefix in replication order; None if not converged yet."""
         surviving = self._surviving(self._contiguous_prefix())
+        if self.monitor is not None:
+            # One-pass path: feed the monitor only the samples it has not
+            # seen.  Each prefix is judged exactly once, which is sound
+            # because a prefix's samples never change after the fact —
+            # bit-identical stopping decisions to the rescan below.
+            for outcome in surviving[self.monitor.n :]:
+                self.monitor.push(outcome.metrics)
+            return self.monitor.cut
         for count in range(self.min_replications, len(surviving) + 1):
             if self.converged([o.metrics for o in surviving[:count]]):
                 return count
@@ -391,6 +530,8 @@ class _Run:
             replications=len(included),
             failures=failures,
             degraded=any(o.degraded for o in included),
+            executed=self.executed,
+            cache_hits=self.cache_hits,
         )
 
     # -- serial driver -------------------------------------------------------
@@ -557,8 +698,9 @@ def run_replications(
     extra_probes: bool,
     min_replications: int,
     max_replications: int,
-    converged: ConvergenceCheck,
+    converged: Optional[ConvergenceCheck] = None,
     config: ResilienceConfig,
+    monitor: Optional[ConvergenceMonitor] = None,
 ) -> ExecutionOutcome:
     """Resolve replications until convergence or budget, resiliently.
 
@@ -571,7 +713,11 @@ def run_replications(
         converged: callback receiving the ordered list of per-replication
             metric dicts collected so far; True stops the run.
         config: executor knobs (parallelism, timeout, retries,
-            checkpointing, guard, chaos).
+            checkpointing, guard, chaos, result cache).
+        monitor: one-pass :class:`ConvergenceMonitor` stopping rule —
+            the O(n) alternative to the ``converged`` rescan callback.
+            Exactly one of ``converged`` / ``monitor`` must be given,
+            and a monitor must be fresh (never fed) per call.
 
     Returns:
         An :class:`ExecutionOutcome` with the included samples (in
@@ -584,6 +730,10 @@ def run_replications(
         CheckpointError: resuming against a mismatched checkpoint.
     """
     config.validate()
+    if (converged is None) == (monitor is None):
+        raise ConfigurationError(
+            "exactly one of converged= / monitor= must be given"
+        )
     checkpoint: Optional[CheckpointStore] = None
     if config.checkpoint:
         checkpoint = CheckpointStore(config.checkpoint, resume=config.resume)
@@ -596,25 +746,21 @@ def run_replications(
         converged=converged,
         config=config,
         checkpoint=checkpoint,
+        monitor=monitor,
+        cache=bind_cache(spec, config, root_seed, extra_probes),
     )
     try:
         if checkpoint is not None:
-            scope_fp = fingerprint(
-                {
-                    "spec": spec_payload(spec),
-                    "root_seed": root_seed,
-                    "extra_probes": extra_probes,
-                    "guard": config.guard.to_dict() if config.guard else None,
-                    "chaos": config.chaos.to_dict() if config.chaos else None,
-                    "version": 1,
-                }
+            checkpoint.begin_scope(
+                config.checkpoint_scope,
+                scope_fingerprint(spec, root_seed, extra_probes, config),
             )
-            checkpoint.begin_scope(config.checkpoint_scope, scope_fp)
             for rep, record in checkpoint.replications(
                 config.checkpoint_scope
             ).items():
                 if rep < max_replications:
                     run.resolved[rep] = ReplicationOutcome.from_record(record)
+        run.preload_cache()
         if config.jobs > 1 or config.timeout is not None:
             run.run_pool()
         else:

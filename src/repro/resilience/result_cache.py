@@ -1,0 +1,174 @@
+"""Persistent content-addressed replication result cache.
+
+The PR-1 checkpoint answers "resume *this* run"; this store answers
+"never recompute a replication any run has already finished".  Every
+completed replication is written to an on-disk JSON file keyed by the
+blake2b digest of its full identity:
+
+* the canonical spec JSON (``SystemSpec.to_dict()``, sorted keys),
+* the enablement engine name,
+* the root seed and the replication index,
+* whether extra probes were collected,
+
+with the **code fingerprint** — a digest over every ``.py`` file of the
+``repro`` package — as a directory level above the entries.  Because a
+replication is a pure function of exactly those inputs (the determinism
+contract the differential suites assert), a hit can be trusted without
+re-running anything; and because any code change moves the fingerprint
+directory, stale results can never leak across versions — invalidation
+is free and total.
+
+Safety rules (enforced by the executor, documented here):
+
+* only clean results are stored — attempt 0, not degraded, no failure
+  records — so a cache hit is always the value the legacy serial
+  runner would produce;
+* caching is disabled entirely when a guard or chaos plan is active
+  (their outputs are not a function of the key), and for specs whose
+  ``to_dict`` does not round-trip to JSON (a ``repr`` fallback could
+  embed memory addresses and collide across processes);
+* writes are atomic (temp file + ``os.replace``), so a killed process
+  leaves no torn entries; a corrupt or unreadable entry reads as a
+  miss, never as an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, Optional
+
+#: Directory-name prefix length for the two fan-out levels.
+_FINGERPRINT_CHARS = 12
+_SHARD_CHARS = 2
+
+_code_fingerprint: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """Digest of every ``.py`` file in the ``repro`` package.
+
+    Computed once per process (the package does not change under a
+    running interpreter) and used as a cache-directory level: any code
+    change — engine, scheduler, metrics — silently retires every cached
+    result from the previous version.
+    """
+    global _code_fingerprint
+    if _code_fingerprint is None:
+        package_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        digest = hashlib.blake2b(digest_size=16)
+        for dirpath, dirnames, filenames in os.walk(package_root):
+            dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+            for name in sorted(filenames):
+                if not name.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, name)
+                relative = os.path.relpath(path, package_root)
+                digest.update(relative.encode("utf-8"))
+                digest.update(b"\0")
+                with open(path, "rb") as handle:
+                    digest.update(handle.read())
+                digest.update(b"\0")
+        _code_fingerprint = digest.hexdigest()
+    return _code_fingerprint
+
+
+def cacheable_spec_payload(spec: Any) -> Optional[Any]:
+    """The spec's canonical JSON identity, or None if it has none.
+
+    A spec that does not serialize (live ``Distribution`` instances,
+    user subclasses) would fall back to ``repr``, which may embed
+    memory addresses — deterministic within a process but colliding
+    *across* processes.  Such specs simply cannot be cached.
+    """
+    try:
+        payload = spec.to_dict()
+        json.dumps(payload, sort_keys=True)
+    except Exception:  # noqa: BLE001 — any serialization trouble = no cache
+        return None
+    return payload
+
+
+class ResultCache:
+    """On-disk content-addressed store of replication results.
+
+    Args:
+        root: cache directory; created lazily on the first write.
+            Entries live at ``root/<code_fp>/<shard>/<key>.json``.
+
+    Example:
+        >>> import tempfile
+        >>> cache = ResultCache(tempfile.mkdtemp())
+        >>> key = cache.key({"scheduler": "rrs"}, "compiled", 0, 3)
+        >>> cache.load(key) is None
+        True
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = str(root)
+        self.fingerprint = code_fingerprint()
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    def key(
+        self,
+        spec_payload: Any,
+        engine: str,
+        root_seed: int,
+        replication: int,
+        extra_probes: bool = False,
+    ) -> str:
+        """The content digest of one replication's full identity."""
+        text = json.dumps(
+            {
+                "spec": spec_payload,
+                "engine": engine,
+                "root_seed": root_seed,
+                "replication": replication,
+                "extra_probes": extra_probes,
+            },
+            sort_keys=True,
+        )
+        return hashlib.blake2b(text.encode("utf-8"), digest_size=16).hexdigest()
+
+    def _path(self, key: str) -> str:
+        return os.path.join(
+            self.root,
+            self.fingerprint[:_FINGERPRINT_CHARS],
+            key[:_SHARD_CHARS],
+            f"{key}.json",
+        )
+
+    def load(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored result payload, or None (miss / unreadable entry)."""
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if not isinstance(payload, dict) or not payload.get("ok"):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def store(self, key: str, payload: Dict[str, Any]) -> None:
+        """Atomically persist one result (last writer wins, all equal)."""
+        path = self._path(key)
+        temp = f"{path}.tmp.{os.getpid()}"
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(temp, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(temp, path)
+        except OSError:
+            # A full or read-only disk degrades to "no cache", never an error.
+            try:
+                os.remove(temp)
+            except OSError:
+                pass
+            return
+        self.writes += 1

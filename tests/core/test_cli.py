@@ -110,6 +110,31 @@ class TestRun:
                      "--retries", "1", "--timeout", "60"]) == 0
         assert capsys.readouterr().out
 
+    def test_cache_dir_memoizes_across_invocations(self, spec_file, tmp_path,
+                                                   capsys):
+        import os
+
+        cache = str(tmp_path / "cache")
+        base = ["run", "--spec", spec_file, "--csv",
+                "--min-replications", "2", "--max-replications", "2",
+                "--cache-dir", cache]
+        assert main(base) == 0
+        first = capsys.readouterr().out
+        entries = [name for _, _, names in os.walk(cache) for name in names]
+        assert entries, "no cache entries were written"
+        assert main(base) == 0
+        assert capsys.readouterr().out == first
+
+    def test_no_cache_vetoes_cache_dir(self, spec_file, tmp_path, capsys):
+        import os
+
+        cache = str(tmp_path / "cache")
+        assert main(["run", "--spec", spec_file, "--csv",
+                     "--min-replications", "2", "--max-replications", "2",
+                     "--cache-dir", cache, "--no-cache"]) == 0
+        capsys.readouterr()
+        assert not os.path.exists(cache)
+
     def test_seed_changes_results(self, tmp_path, capsys):
         # A 2-VCPU VM makes barrier stalls (and thus utilization) depend
         # on the sampled workloads, so the seed must matter.
@@ -260,3 +285,23 @@ class TestFigures:
         out = capsys.readouterr().out
         assert "Figure 9" in out
         assert "PCPU utilization" in out
+
+    def test_sweep_jobs_flag_matches_serial(self, capsys, monkeypatch):
+        # --sweep-jobs routes the figure through the interleaved engine,
+        # whose tables must be identical to the serial default.
+        monkeypatch.setenv("REPRO_FIGURES_SIM_TIME", "300")
+        monkeypatch.setenv("REPRO_FIGURES_REPS", "2")
+        assert main(["figures", "--figure", "9"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["figures", "--figure", "9", "--sweep-jobs", "1"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_cache_dir_warms_figures(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_FIGURES_SIM_TIME", "300")
+        monkeypatch.setenv("REPRO_FIGURES_REPS", "2")
+        cache = str(tmp_path / "cache")
+        args = ["figures", "--figure", "9", "--cache-dir", cache]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first

@@ -70,6 +70,18 @@ class TestCompareSchedulers:
         assert "scs vs rrs" in text
         assert "vcpu_utilization" in text
 
+    def test_empty_differences_raise_statistics_error(self):
+        # An empty PairedDifference must fail as a diagnosable
+        # StatisticsError, not a bare ZeroDivisionError.
+        from repro.core import PairedDifference
+        from repro.errors import StatisticsError
+
+        empty = PairedDifference(metric="vcpu_utilization")
+        with pytest.raises(StatisticsError, match="vcpu_utilization"):
+            empty.mean
+        with pytest.raises(StatisticsError, match="no replications"):
+            empty.half_width
+
     def test_validation(self, spec):
         with pytest.raises(ConfigurationError):
             compare_schedulers(spec, "rrs", "scs", replications=1)

@@ -1,0 +1,296 @@
+"""Tests for the interleaved sweep engine (shared pool, adaptive budget).
+
+The engine's core contract: for any fixed replication set, the metric
+estimates are exactly ``==`` the serial per-point path — scheduling
+order, worker placement, caching, and resume must never change a
+number.  The differential tests here assert that equality on the
+paper's Figure 8 sweep across all three schedulers, with and without a
+warm result cache, plus the accounting the engine reports on top.
+"""
+
+import pytest
+
+from repro.core import SystemSpec, VMSpec, run_sweep
+from repro.core.experiment import resolve_sweep_points
+from repro.core.sweeps import (
+    REASON_ADAPTIVE,
+    REASON_FLOOR,
+    REASON_RETRY,
+    run_interleaved_sweep,
+)
+from repro.errors import ConfigurationError
+from repro.observability import SimTracer, tracing
+from repro.observability import trace as trace_mod
+from repro.paper import figure8_sweep
+from repro.resilience import ChaosSpec, ResilienceConfig
+
+
+def extract(results):
+    """Canonical per-point view: exact values, not approx comparisons."""
+    return [
+        {
+            "replications": r.replications,
+            "values": {name: est.values for name, est in r.estimates.items()},
+        }
+        for r in results
+    ]
+
+
+@pytest.fixture
+def base():
+    return SystemSpec(
+        vms=[VMSpec(2), VMSpec(1)],
+        pcpus=1,
+        scheduler="rrs",
+        sim_time=250,
+        warmup=50,
+    )
+
+
+@pytest.fixture
+def points():
+    return [
+        {"pcpus": pcpus, "scheduler": scheduler}
+        for pcpus in (1, 2)
+        for scheduler in ("rrs", "scs", "rcs")
+    ]
+
+
+ARGS = {"min_replications": 2, "max_replications": 4, "root_seed": 0}
+
+
+class TestDifferential:
+    def test_interleaved_equals_serial(self, base, points):
+        serial = run_sweep(base, points, sweep_engine="serial", **ARGS)
+        interleaved = run_sweep(base, points, sweep_engine="interleaved", **ARGS)
+        assert extract(interleaved) == extract(serial)
+
+    def test_figure8_sweep_with_and_without_warm_cache(self, tmp_path):
+        # The acceptance differential: the Figure 8 campaign (rrs, scs,
+        # rcs across the PCPU range), serial vs interleaved, cold cache
+        # vs warm cache — every variant exactly equal.
+        fig_base, fig_points = figure8_sweep(sim_time=200, warmup=40)
+        fig_points = fig_points[:6]  # 1 and 2 PCPUs x three schedulers
+        serial = run_sweep(fig_base, fig_points, sweep_engine="serial", **ARGS)
+        resolved = resolve_sweep_points(fig_base, fig_points)
+        plain = run_interleaved_sweep(resolved, **ARGS)
+        cache = ResilienceConfig(cache_dir=str(tmp_path / "cache"))
+        cold = run_interleaved_sweep(resolved, resilience=cache, **ARGS)
+        warm = run_interleaved_sweep(resolved, resilience=cache, **ARGS)
+        reference = extract(serial)
+        assert extract(plain.results) == reference
+        assert extract(cold.results) == reference
+        assert extract(warm.results) == reference
+        assert cold.stats.cache_hits == 0
+        assert warm.stats.executed == 0
+        assert warm.stats.cache_hits == cold.stats.executed
+
+    def test_chaos_retry_equals_serial(self, base, points):
+        # A crashed attempt retried under a reseeded stream must leave
+        # the surviving samples — and thus every estimate — untouched.
+        config = ResilienceConfig(
+            retries=1,
+            chaos=ChaosSpec(crash_replications=(1,), inject_after=100.0),
+        )
+        serial = run_sweep(
+            base, points[:3], sweep_engine="serial", resilience=config, **ARGS
+        )
+        interleaved = run_sweep(
+            base, points[:3], sweep_engine="interleaved", resilience=config, **ARGS
+        )
+        assert extract(interleaved) == extract(serial)
+
+    @pytest.mark.slow
+    def test_shared_pool_equals_serial(self, base, points):
+        serial = run_sweep(base, points[:4], sweep_engine="serial", **ARGS)
+        pooled = run_sweep(
+            base, points[:4], sweep_engine="interleaved", sweep_jobs=2, **ARGS
+        )
+        assert extract(pooled) == extract(serial)
+
+
+class TestRunSweepPlumbing:
+    def test_order_preserved_and_parameters_recorded(self, base, points):
+        results = run_sweep(base, points, sweep_engine="interleaved", **ARGS)
+        assert [
+            (r.parameters["pcpus"], r.parameters["scheduler"]) for r in results
+        ] == [(p["pcpus"], p["scheduler"]) for p in points]
+
+    def test_non_field_key_without_mutate_rejected(self, base):
+        with pytest.raises(ConfigurationError, match="mutate"):
+            run_sweep(
+                base, [{"sync_ratio": 2}], sweep_engine="interleaved", **ARGS
+            )
+
+    def test_unknown_engine_rejected(self, base, points):
+        with pytest.raises(ConfigurationError, match="sweep_engine"):
+            run_sweep(base, points, sweep_engine="pipelined", **ARGS)
+
+    def test_bad_jobs_rejected(self, base, points):
+        with pytest.raises(ConfigurationError, match="sweep_jobs"):
+            run_sweep(
+                base, points, sweep_engine="interleaved", sweep_jobs=0, **ARGS
+            )
+
+    def test_budget_validation_shared_with_runner(self, base, points):
+        with pytest.raises(ConfigurationError, match="min_replications"):
+            run_sweep(
+                base, points, sweep_engine="interleaved",
+                min_replications=1, max_replications=4,
+            )
+
+
+class TestCheckpointInterop:
+    """One checkpoint file spans the sweep; either engine resumes it."""
+
+    def test_serial_checkpoint_resumed_by_interleaved(self, base, points, tmp_path):
+        ckpt = str(tmp_path / "sweep.jsonl")
+        serial = run_sweep(
+            base,
+            points[:3],
+            sweep_engine="serial",
+            resilience=ResilienceConfig(checkpoint=ckpt),
+            **ARGS,
+        )
+        resumed = run_interleaved_sweep(
+            resolve_sweep_points(base, points[:3]),
+            resilience=ResilienceConfig(checkpoint=ckpt, resume=True),
+            **ARGS,
+        )
+        assert resumed.stats.executed == 0
+        assert extract(resumed.results) == extract(serial)
+
+    def test_interleaved_checkpoint_resumed_by_serial(self, base, points, tmp_path):
+        ckpt = str(tmp_path / "sweep.jsonl")
+        first = run_sweep(
+            base,
+            points[:3],
+            sweep_engine="interleaved",
+            resilience=ResilienceConfig(checkpoint=ckpt),
+            **ARGS,
+        )
+        resumed = run_sweep(
+            base,
+            points[:3],
+            sweep_engine="serial",
+            resilience=ResilienceConfig(checkpoint=ckpt, resume=True),
+            **ARGS,
+        )
+        assert extract(resumed) == extract(first)
+
+    def test_each_point_gets_its_own_scope(self, base, points, tmp_path):
+        ckpt = str(tmp_path / "sweep.jsonl")
+        run_sweep(
+            base,
+            points[:2],
+            sweep_engine="interleaved",
+            resilience=ResilienceConfig(checkpoint=ckpt),
+            **ARGS,
+        )
+        import json
+
+        scopes = set()
+        with open(ckpt, encoding="utf-8") as handle:
+            for line in handle:
+                record = json.loads(line)
+                if record.get("kind") == "scope":
+                    scopes.add(record["scope"])
+        assert scopes == {"point0", "point1"}
+
+
+class TestAccounting:
+    def test_allocation_log_schema(self, base, points):
+        outcome = run_interleaved_sweep(
+            resolve_sweep_points(base, points[:3]), **ARGS
+        )
+        log = outcome.stats.allocation_log
+        assert log, "no dispatches were recorded"
+        assert [entry["seq"] for entry in log] == list(range(len(log)))
+        for entry in log:
+            assert set(entry) == {
+                "seq", "point", "replication", "attempt", "worker",
+                "reason", "distance",
+            }
+            assert entry["reason"] in (REASON_FLOOR, REASON_ADAPTIVE, REASON_RETRY)
+        # Every point draws its floor entitlement, and the per-point
+        # execution counts reconcile with the returned results.
+        floors = [e for e in log if e["reason"] == REASON_FLOOR]
+        assert {e["point"] for e in floors} == {0, 1, 2}
+        per_point = {index: 0 for index in range(3)}
+        for entry in log:
+            per_point[entry["point"]] += 1
+        for index, result in enumerate(outcome.results):
+            assert per_point[index] >= ARGS["min_replications"]
+            assert outcome.stats.executed_per_point[index] == result.replications
+
+    def test_executed_matches_dispatches_on_clean_run(self, base, points):
+        outcome = run_interleaved_sweep(
+            resolve_sweep_points(base, points[:3]), **ARGS
+        )
+        assert outcome.stats.points == 3
+        assert outcome.stats.dispatches == outcome.stats.executed
+        assert outcome.stats.executed == sum(
+            r.replications for r in outcome.results
+        )
+
+    def test_retry_reason_recorded(self, base):
+        config = ResilienceConfig(
+            retries=1,
+            chaos=ChaosSpec(crash_replications=(0,), inject_after=100.0),
+        )
+        outcome = run_interleaved_sweep(
+            resolve_sweep_points(base, [{"pcpus": 1}]),
+            resilience=config,
+            **ARGS,
+        )
+        reasons = {e["reason"] for e in outcome.stats.allocation_log}
+        assert REASON_RETRY in reasons
+
+    def test_trace_records_dispatch_and_cache_hits(self, base, points, tmp_path):
+        cache = ResilienceConfig(cache_dir=str(tmp_path / "cache"))
+        resolved = resolve_sweep_points(base, points[:2])
+        run_interleaved_sweep(resolved, resilience=cache, **ARGS)
+        tracer = SimTracer()
+        with tracing(tracer):
+            run_interleaved_sweep(resolved, resilience=cache, **ARGS)
+        kinds = [record.kind for record in tracer.records]
+        assert trace_mod.CACHE_HIT in kinds
+        hits = [r for r in tracer.records if r.kind == trace_mod.CACHE_HIT]
+        assert {h.data["scope"] for h in hits} == {"point0", "point1"}
+        # The warm rerun resolves everything from cache: no dispatches.
+        assert trace_mod.SWEEP_DISPATCH not in kinds
+        tracer = SimTracer()
+        with tracing(tracer):
+            run_interleaved_sweep(resolved, **ARGS)
+        dispatches = [
+            r for r in tracer.records if r.kind == trace_mod.SWEEP_DISPATCH
+        ]
+        assert dispatches
+        assert set(dispatches[0].data) == {
+            "point", "replication", "attempt", "worker", "reason", "distance",
+        }
+
+
+class TestAdaptiveAllocation:
+    def test_noisy_point_gets_the_budget(self, base):
+        # Point 0 is deterministic (1 VCPU per PCPU twice over: converges
+        # at the floor); point 1 is the noisy SMP config.  The adaptive
+        # allocator must spend the extra replications on point 1 only.
+        quiet = {"pcpus": 2, "vms": [VMSpec(1), VMSpec(1)]}
+        noisy = {"pcpus": 1, "vms": [VMSpec(2), VMSpec(1)]}
+        outcome = run_interleaved_sweep(
+            resolve_sweep_points(base, [quiet, noisy]),
+            min_replications=2,
+            max_replications=8,
+            target_half_width=1e-9,  # unreachable: run noisy to budget
+            root_seed=0,
+        )
+        executed = outcome.stats.executed_per_point
+        assert executed[1] == 8
+        adaptive = [
+            e for e in outcome.stats.allocation_log
+            if e["reason"] == REASON_ADAPTIVE
+        ]
+        assert adaptive, "budget never escalated past the floors"
+        for entry in adaptive:
+            assert entry["distance"] is None or entry["distance"] >= 0.0

@@ -5,8 +5,9 @@ import random
 
 import pytest
 
-from repro.errors import StatisticsError
+from repro.errors import ConfigurationError, StatisticsError
 from repro.metrics import (
+    ConvergenceMonitor,
     ReplicationEstimator,
     RunningStats,
     confidence_interval,
@@ -116,6 +117,84 @@ class TestReplicationEstimator:
             ReplicationEstimator(confidence=0)
         with pytest.raises(StatisticsError):
             ReplicationEstimator(target_half_width=0)
+
+
+class TestConvergenceMonitor:
+    """The one-pass stopping rule must be *bit-identical* to rescanning."""
+
+    def test_half_widths_match_confidence_interval_exactly(self):
+        rng = random.Random(3)
+        values = [rng.gauss(0.5, 0.2) for _ in range(40)]
+        monitor = ConvergenceMonitor(
+            ["m"], target_half_width=1e-12, min_replications=2
+        )
+        for k, value in enumerate(values, start=1):
+            monitor.push({"m": value})
+            if k >= 2:
+                _, half = confidence_interval(values[:k])
+                assert monitor.half_widths()["m"] == half  # exact, not approx
+
+    def test_cut_matches_prefix_rescan(self):
+        rng = random.Random(7)
+        values = [rng.gauss(0.5, 0.3) for _ in range(60)]
+        target = 0.15
+        monitor = ConvergenceMonitor(["m"], target_half_width=target)
+        for value in values:
+            monitor.push({"m": value})
+        expected = None
+        for k in range(2, len(values) + 1):
+            if confidence_interval(values[:k])[1] < target:
+                expected = k
+                break
+        assert monitor.cut == expected
+
+    def test_cut_is_sticky(self):
+        monitor = ConvergenceMonitor(["m"], target_half_width=0.5)
+        for value in (1.0, 1.0, 100.0, -100.0):
+            monitor.push({"m": value})
+        assert monitor.cut == 2  # later noise never reopens the decision
+
+    def test_watches_every_metric(self):
+        monitor = ConvergenceMonitor(["a", "b"], target_half_width=0.5)
+        monitor.push({"a": 1.0, "b": 0.0})
+        assert monitor.push({"a": 1.0, "b": 50.0}) is None  # b still wide
+        assert monitor.distance() > 0
+
+    def test_missing_watched_metric_rejected(self):
+        monitor = ConvergenceMonitor(["tail_latency"])
+        with pytest.raises(ConfigurationError, match="not produced"):
+            monitor.push({"pcpu_utilization": 0.5})
+
+    def test_min_replications_floor(self):
+        monitor = ConvergenceMonitor(
+            ["m"], target_half_width=10.0, min_replications=4
+        )
+        monitor.push({"m": 1.0})
+        assert monitor.push({"m": 1.0}) is None  # converged but below floor
+        monitor.push({"m": 1.0})
+        assert monitor.push({"m": 1.0}) == 4
+
+    def test_min_replications_clamped_to_two(self):
+        monitor = ConvergenceMonitor(["m"], min_replications=0)
+        assert monitor.min_replications == 2
+
+    def test_distance_semantics(self):
+        monitor = ConvergenceMonitor(["m"], target_half_width=0.1)
+        assert monitor.distance() == math.inf
+        monitor.push({"m": 0.0})
+        assert monitor.distance() == math.inf
+        monitor.push({"m": 10.0})
+        assert monitor.distance() > 0
+        for _ in range(30):
+            monitor.push({"m": 5.0})
+        if monitor.cut is not None:
+            assert monitor.distance() == 0.0
+
+    def test_validation(self):
+        with pytest.raises(StatisticsError):
+            ConvergenceMonitor(["m"], confidence=1.5)
+        with pytest.raises(StatisticsError):
+            ConvergenceMonitor(["m"], target_half_width=0.0)
 
 
 class TestJainFairness:

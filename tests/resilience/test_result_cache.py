@@ -1,0 +1,249 @@
+"""Tests for the persistent content-addressed result cache."""
+
+import json
+import os
+
+import pytest
+
+from repro.core import SystemSpec, VMSpec
+from repro.metrics import ConvergenceMonitor
+from repro.resilience import (
+    ChaosSpec,
+    ResilienceConfig,
+    ResultCache,
+    code_fingerprint,
+    run_replications,
+)
+from repro.resilience.executor import bind_cache
+from repro.resilience.result_cache import cacheable_spec_payload
+
+
+@pytest.fixture
+def spec():
+    return SystemSpec(
+        vms=[VMSpec(1), VMSpec(1)],
+        pcpus=1,
+        scheduler="rrs",
+        sim_time=250,
+        warmup=50,
+    )
+
+
+class TestCodeFingerprint:
+    def test_stable_within_process(self):
+        assert code_fingerprint() == code_fingerprint()
+
+    def test_hex_digest(self):
+        fingerprint = code_fingerprint()
+        assert len(fingerprint) == 32
+        int(fingerprint, 16)
+
+
+class TestKey:
+    def test_deterministic(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        payload = {"scheduler": "rrs", "pcpus": 2}
+        assert cache.key(payload, "compiled", 0, 3) == cache.key(
+            payload, "compiled", 0, 3
+        )
+
+    def test_every_component_is_identity(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        base = cache.key({"scheduler": "rrs"}, "compiled", 0, 3, False)
+        assert cache.key({"scheduler": "scs"}, "compiled", 0, 3, False) != base
+        assert cache.key({"scheduler": "rrs"}, "rescan", 0, 3, False) != base
+        assert cache.key({"scheduler": "rrs"}, "compiled", 1, 3, False) != base
+        assert cache.key({"scheduler": "rrs"}, "compiled", 0, 4, False) != base
+        assert cache.key({"scheduler": "rrs"}, "compiled", 0, 3, True) != base
+
+    def test_key_order_insensitive(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        assert cache.key({"a": 1, "b": 2}, "compiled", 0, 0) == cache.key(
+            {"b": 2, "a": 1}, "compiled", 0, 0
+        )
+
+
+class TestStoreLoad:
+    def test_miss_on_empty_cache(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        key = cache.key({"scheduler": "rrs"}, "compiled", 0, 0)
+        assert cache.load(key) is None
+        assert cache.misses == 1
+
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        key = cache.key({"scheduler": "rrs"}, "compiled", 0, 0)
+        payload = {"ok": True, "metrics": {"pcpu_utilization": 0.5}}
+        cache.store(key, payload)
+        assert cache.writes == 1
+        assert cache.load(key) == payload
+        assert cache.hits == 1
+
+    def test_not_ok_payload_is_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        key = cache.key({}, "compiled", 0, 0)
+        cache.store(key, {"ok": False, "metrics": {}})
+        assert cache.load(key) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        key = cache.key({}, "compiled", 0, 0)
+        cache.store(key, {"ok": True, "metrics": {}})
+        with open(cache._path(key), "w", encoding="utf-8") as handle:
+            handle.write("{torn write")
+        assert cache.load(key) is None
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        for replication in range(5):
+            cache.store(cache.key({}, "compiled", 0, replication), {"ok": True})
+        leftovers = [
+            name
+            for _, _, names in os.walk(str(tmp_path))
+            for name in names
+            if not name.endswith(".json")
+        ]
+        assert leftovers == []
+
+    def test_unwritable_root_degrades_silently(self, tmp_path):
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("occupied")
+        cache = ResultCache(str(blocker))
+        cache.store(cache.key({}, "compiled", 0, 0), {"ok": True})
+        assert cache.writes == 0
+
+    def test_fingerprint_namespaces_entries(self, tmp_path):
+        # A code change moves the fingerprint directory, so every entry
+        # of the previous version reads as a miss.
+        cache = ResultCache(str(tmp_path))
+        key = cache.key({}, "compiled", 0, 0)
+        cache.store(key, {"ok": True, "metrics": {}})
+        stale = ResultCache(str(tmp_path))
+        stale.fingerprint = "0" * 32
+        assert stale._path(key) != cache._path(key)
+        assert stale.load(key) is None
+
+
+class TestCacheableSpecPayload:
+    def test_real_spec_round_trips(self, spec):
+        payload = cacheable_spec_payload(spec)
+        assert payload is not None
+        json.loads(json.dumps(payload, sort_keys=True))
+
+    def test_unserializable_spec_is_rejected(self):
+        class Opaque:
+            def to_dict(self):
+                return {"stream": object()}
+
+        assert cacheable_spec_payload(Opaque()) is None
+
+    def test_to_dict_failure_is_rejected(self):
+        class Broken:
+            def to_dict(self):
+                raise RuntimeError("no canonical form")
+
+        assert cacheable_spec_payload(Broken()) is None
+
+
+class TestBindCache:
+    def test_disabled_without_cache_dir(self, spec):
+        assert bind_cache(spec, ResilienceConfig(), 0, False) is None
+
+    def test_disabled_under_chaos(self, spec, tmp_path):
+        config = ResilienceConfig(
+            cache_dir=str(tmp_path), chaos=ChaosSpec(crash_replications=(0,))
+        )
+        assert bind_cache(spec, config, 0, False) is None
+
+    def test_engine_distinguishes_keys(self, spec, tmp_path):
+        compiled = bind_cache(
+            spec, ResilienceConfig(cache_dir=str(tmp_path), engine="compiled"), 0, False
+        )
+        rescan = bind_cache(
+            spec, ResilienceConfig(cache_dir=str(tmp_path), engine="rescan"), 0, False
+        )
+        assert compiled.key(0) != rescan.key(0)
+
+
+def _monitor():
+    return ConvergenceMonitor(
+        ["vcpu_availability", "pcpu_utilization", "vcpu_utilization"],
+        confidence=0.95,
+        target_half_width=0.1,
+        min_replications=2,
+    )
+
+
+class TestExecutorIntegration:
+    def test_warm_rerun_executes_nothing(self, spec, tmp_path):
+        config = ResilienceConfig(cache_dir=str(tmp_path / "cache"))
+        cold = run_replications(
+            spec,
+            root_seed=0,
+            extra_probes=False,
+            min_replications=2,
+            max_replications=4,
+            config=config,
+            monitor=_monitor(),
+        )
+        assert cold.executed == cold.replications
+        assert cold.cache_hits == 0
+        warm = run_replications(
+            spec,
+            root_seed=0,
+            extra_probes=False,
+            min_replications=2,
+            max_replications=4,
+            config=config,
+            monitor=_monitor(),
+        )
+        assert warm.executed == 0
+        assert warm.cache_hits == cold.replications
+        assert warm.samples == cold.samples
+
+    def test_cached_results_equal_uncached(self, spec, tmp_path):
+        plain = run_replications(
+            spec,
+            root_seed=0,
+            extra_probes=False,
+            min_replications=2,
+            max_replications=4,
+            config=ResilienceConfig(),
+            monitor=_monitor(),
+        )
+        config = ResilienceConfig(cache_dir=str(tmp_path / "cache"))
+        for _ in range(2):  # cold, then warm
+            cached = run_replications(
+                spec,
+                root_seed=0,
+                extra_probes=False,
+                min_replications=2,
+                max_replications=4,
+                config=config,
+                monitor=_monitor(),
+            )
+            assert cached.samples == plain.samples
+            assert cached.replications == plain.replications
+
+    def test_root_seed_misses(self, spec, tmp_path):
+        config = ResilienceConfig(cache_dir=str(tmp_path / "cache"))
+        run_replications(
+            spec,
+            root_seed=0,
+            extra_probes=False,
+            min_replications=2,
+            max_replications=4,
+            config=config,
+            monitor=_monitor(),
+        )
+        other = run_replications(
+            spec,
+            root_seed=7,
+            extra_probes=False,
+            min_replications=2,
+            max_replications=4,
+            config=config,
+            monitor=_monitor(),
+        )
+        assert other.cache_hits == 0
+        assert other.executed == other.replications
