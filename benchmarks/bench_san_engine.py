@@ -372,6 +372,164 @@ def compare_engines(sim_time=2000, reps=3, schedulers=FIG8_SCHEDULERS):
     }
 
 
+# -- degradation overhead (the PR 6 acceptance bench) ------------------------
+#
+# The health layer must be pay-for-what-you-use: a run with degradation
+# enabled swaps in the gated tick fan-out (per-tick capacity
+# withholding + hv-debt burn) and conservatively narrows the compiled
+# engine's fast-forward certificate, but with a moderate event rate and
+# a condition-based crew repairing any non-pristine core the host is
+# healthy most of the time, so spans still skip.  The gate bounds the
+# end-to-end wall-clock ratio over the plain compiled run on the same
+# configuration.  (Without maintenance the first degradation sticks
+# forever and fast-forward stays off for the rest of the run — that
+# regime costs whatever per-tick capacity withholding costs, ~2x, and
+# is deliberately not the gated configuration.)
+
+DEGRADATION_SPEC = {"p": 0.2, "h_max": 4, "mtbe": 500.0}
+MAINTENANCE_SPEC = {"policy": "condition_based", "crews": 1, "mttr": 10.0,
+                    "threshold": 1}
+
+_DEGRADATION_VARIANTS = ("plain", "degraded", "full")
+
+
+def _degraded_fig8_spec(variant, scheduler, sim_time):
+    spec = _fig8_spec(scheduler, sim_time)
+    if variant == "plain":
+        return spec
+    overrides = {
+        "degradation": dict(DEGRADATION_SPEC),
+        "maintenance": dict(MAINTENANCE_SPEC),
+    }
+    if variant == "full":
+        overrides["hv_overhead"] = {"cost": 1}
+    return spec.with_overrides(**overrides)
+
+
+def _run_degradation_once(variant, scheduler, sim_time, engine="compiled"):
+    sim = Simulation(
+        _degraded_fig8_spec(variant, scheduler, sim_time),
+        replication=0,
+        root_seed=0,
+        engine=engine,
+    )
+    start = time.perf_counter()
+    result = sim.run()
+    elapsed = time.perf_counter() - start
+    stats = sim.simulator.stats()
+    return {
+        "wall_seconds": elapsed,
+        "completions": result.completions,
+        "ticks_fired": stats["ticks_fired"],
+        "ticks_fast_forwarded": stats["ticks_fast_forwarded"],
+        "metrics": result.metrics,
+    }
+
+
+def compare_degradation(sim_time=2000, reps=3, schedulers=("rrs", "scs")):
+    """Wall-clock cost of the health layer on the compiled engine.
+
+    Measures plain vs degraded (degradation + condition-based
+    maintenance) vs the full stack (+ hv overhead), interleaved
+    best-of-``reps``, plus a compiled-vs-rescan bit-identical
+    cross-check of the full stack.
+    """
+    results = {}
+    for scheduler in schedulers:
+        best = {}
+        for _ in range(max(1, reps)):
+            for variant in _DEGRADATION_VARIANTS:
+                sample = _run_degradation_once(variant, scheduler, sim_time)
+                if (
+                    variant not in best
+                    or sample["wall_seconds"] < best[variant]["wall_seconds"]
+                ):
+                    best[variant] = sample
+        reference = _run_degradation_once(
+            "full", scheduler, sim_time, engine="rescan"
+        )
+        entry = {
+            variant: {k: v for k, v in best[variant].items() if k != "metrics"}
+            for variant in _DEGRADATION_VARIANTS
+        }
+        plain = best["plain"]["wall_seconds"]
+        entry.update(
+            degraded_over_plain=best["degraded"]["wall_seconds"] / plain,
+            full_over_plain=best["full"]["wall_seconds"] / plain,
+            fast_forward_still_engaged=(
+                best["full"]["ticks_fast_forwarded"] > 0
+            ),
+            bit_identical=(
+                best["full"]["metrics"] == reference["metrics"]
+                and best["full"]["completions"] == reference["completions"]
+            ),
+        )
+        results[scheduler] = entry
+    return {
+        "benchmark": "pcpu-health-degradation-overhead",
+        "config": {
+            "topology": list(FIG8_TOPOLOGY),
+            "pcpus": FIG8_PCPUS,
+            "sim_time": sim_time,
+            "reps": reps,
+            "schedulers": list(schedulers),
+            "degradation": dict(DEGRADATION_SPEC),
+            "maintenance": dict(MAINTENANCE_SPEC),
+            "hv_overhead": {"cost": 1},
+            "root_seed": 0,
+            "replication": 0,
+        },
+        "results": results,
+        "summary": {
+            "max_degraded_over_plain": max(
+                r["degraded_over_plain"] for r in results.values()
+            ),
+            "max_full_over_plain": max(
+                r["full_over_plain"] for r in results.values()
+            ),
+            "all_bit_identical": all(
+                r["bit_identical"] for r in results.values()
+            ),
+        },
+    }
+
+
+def run_degradation_bench(args):
+    report = compare_degradation(sim_time=args.sim_time, reps=args.reps)
+    with open(args.degradation_out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    for scheduler, entry in report["results"].items():
+        print(
+            f"{scheduler}: degraded {entry['degraded_over_plain']:.2f}x, "
+            f"full stack {entry['full_over_plain']:.2f}x over plain compiled "
+            f"(full: ticks fired {entry['full']['ticks_fired']}, "
+            f"fast-forwarded {entry['full']['ticks_fast_forwarded']}), "
+            f"bit_identical={entry['bit_identical']}"
+        )
+    summary = report["summary"]
+    print(
+        f"max degraded/plain {summary['max_degraded_over_plain']:.2f}x, "
+        f"max full/plain {summary['max_full_over_plain']:.2f}x, "
+        f"wrote {args.degradation_out}"
+    )
+    if not summary["all_bit_identical"]:
+        print("FAIL: engines diverged under degradation", file=sys.stderr)
+        return 1
+    ceiling = args.degradation_fail_over
+    worst = max(
+        summary["max_degraded_over_plain"], summary["max_full_over_plain"]
+    )
+    if ceiling is not None and worst > ceiling:
+        print(
+            f"FAIL: degradation overhead {worst:.2f}x "
+            f"exceeds --degradation-fail-over {ceiling}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         description="Compare the compiled, incremental, and rescan engines"
@@ -386,7 +544,30 @@ def main(argv=None):
         help="exit 1 if compiled-over-incremental falls below this on any "
         "scheduler where tick fast-forward engages",
     )
+    parser.add_argument(
+        "--degradation",
+        action="store_true",
+        help="run the PCPU-health overhead bench instead of the engine "
+        "comparison, writing --degradation-out",
+    )
+    parser.add_argument(
+        "--degradation-out",
+        default="BENCH_pr6.json",
+        dest="degradation_out",
+        help="report path for the degradation bench",
+    )
+    parser.add_argument(
+        "--degradation-fail-over",
+        type=float,
+        default=None,
+        dest="degradation_fail_over",
+        help="exit 1 if the full health stack costs more than this ratio "
+        "over the plain compiled run (e.g. 1.25 = 25%% overhead budget)",
+    )
     args = parser.parse_args(argv)
+
+    if args.degradation:
+        return run_degradation_bench(args)
 
     report = compare_engines(sim_time=args.sim_time, reps=args.reps)
     with open(args.out, "w", encoding="utf-8") as handle:

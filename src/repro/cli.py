@@ -31,7 +31,7 @@ import argparse
 import contextlib
 import json
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from .core.config import SystemSpec
 from .core.experiment import run_experiment
@@ -47,6 +47,50 @@ def _cmd_list_schedulers(args: argparse.Namespace) -> int:
     for name in list_schedulers():
         print(name)
     return 0
+
+
+def _parse_kv(text: str, flag: str) -> Dict[str, Any]:
+    """Parse ``k=v,k=v`` flag payloads, coercing values int -> float -> str.
+
+    Used by ``--degradation`` and ``--maintenance``; the resulting dict
+    feeds the same ``from_dict`` validators the JSON spec path uses, so
+    unknown keys and bad values fail with the same messages.
+    """
+    out: Dict[str, Any] = {}
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        key, sep, value = chunk.partition("=")
+        if not sep or not key.strip():
+            raise ConfigurationError(
+                f"{flag} expects comma-separated k=v pairs, got {chunk!r}"
+            )
+        value = value.strip()
+        coerced: Any
+        try:
+            coerced = int(value)
+        except ValueError:
+            try:
+                coerced = float(value)
+            except ValueError:
+                coerced = value
+        out[key.strip()] = coerced
+    return out
+
+
+def _spec_overrides_from_args(
+    spec: SystemSpec, args: argparse.Namespace
+) -> SystemSpec:
+    """Apply ``--degradation`` / ``--maintenance`` / ``--hv-overhead``."""
+    overrides: Dict[str, Any] = {}
+    if args.degradation is not None:
+        overrides["degradation"] = _parse_kv(args.degradation, "--degradation")
+    if args.maintenance is not None:
+        overrides["maintenance"] = _parse_kv(args.maintenance, "--maintenance")
+    if args.hv_overhead is not None:
+        overrides["hv_overhead"] = {"cost": args.hv_overhead}
+    return spec.with_overrides(**overrides) if overrides else spec
 
 
 def _cache_dir_from_args(args: argparse.Namespace) -> Optional[str]:
@@ -85,7 +129,7 @@ def _resilience_from_args(args: argparse.Namespace) -> Optional[ResilienceConfig
 def _cmd_run(args: argparse.Namespace) -> int:
     with open(args.spec, "r", encoding="utf-8") as handle:
         payload = json.load(handle)
-    spec = SystemSpec.from_dict(payload)
+    spec = _spec_overrides_from_args(SystemSpec.from_dict(payload), args)
     if args.trace is not None and (args.jobs != 1 or args.timeout is not None):
         raise ConfigurationError(
             "--trace records in-process and needs serial execution: "
@@ -264,6 +308,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="enablement engine: incremental (cached, default), rescan "
         "(full re-evaluation reference), or compiled (flat-array lowering "
         "with clock-tick fast-forward); results are bit-identical",
+    )
+    run_parser.add_argument(
+        "--degradation",
+        default=None,
+        metavar="K=V,...",
+        help="enable the multi-state PCPU health model, overriding the "
+        "spec: comma-separated DegradationModel fields, e.g. "
+        "'p=0.1,h_max=4,mtbe=50'",
+    )
+    run_parser.add_argument(
+        "--maintenance",
+        default=None,
+        metavar="K=V,...",
+        help="enable maintenance (requires degradation): comma-separated "
+        "MaintenancePolicy fields, e.g. "
+        "'policy=condition_based,crews=1,mttr=20,threshold=2'",
+    )
+    run_parser.add_argument(
+        "--hv-overhead",
+        type=int,
+        default=None,
+        dest="hv_overhead",
+        metavar="TICKS",
+        help="charge this many ticks of hypervisor overhead on every "
+        "world switch (schedule-in)",
     )
     run_parser.add_argument(
         "--trace",

@@ -24,6 +24,11 @@ from typing import Any, Dict, List, Optional, Union
 
 from ..des.distributions import Distribution, UniformInt, from_spec
 from ..errors import ConfigurationError
+from ..resilience.degradation import (
+    DegradationModel,
+    HVOverheadModel,
+    MaintenancePolicy,
+)
 from ..workloads.generators import (
     BernoulliRatio,
     DeterministicRatio,
@@ -155,6 +160,15 @@ class SystemSpec:
         pcpu_failures: optional ``{"mtbf": ..., "mttr": ...}`` attaching
             an exponential fail/repair process to every PCPU (the
             dependability extension).
+        degradation: optional dict form of a
+            :class:`repro.resilience.degradation.DegradationModel` —
+            the multi-state Markov health extension (mutually
+            exclusive with ``pcpu_failures``).
+        maintenance: optional dict form of a
+            :class:`repro.resilience.degradation.MaintenancePolicy`
+            (requires ``degradation``).
+        hv_overhead: optional ``{"cost": n}`` charging ``n``
+            hypervisor ticks per world switch.
     """
 
     vms: List[VMSpec]
@@ -166,6 +180,9 @@ class SystemSpec:
     vm_slots: int = 8
     scheduler_slots: int = 16
     pcpu_failures: Optional[Dict[str, float]] = None
+    degradation: Optional[Dict[str, Any]] = None
+    maintenance: Optional[Dict[str, Any]] = None
+    hv_overhead: Optional[Dict[str, Any]] = None
 
     def validate(self) -> None:
         """Check every field; raises :class:`ConfigurationError` on the
@@ -211,6 +228,48 @@ class SystemSpec:
                     "pcpu_failures mtbf/mttr must be > 0, got "
                     f"{self.pcpu_failures}"
                 )
+        if self.degradation is not None and self.pcpu_failures is not None:
+            raise ConfigurationError(
+                "degradation and pcpu_failures are mutually exclusive "
+                "(terminal health *is* failure)"
+            )
+        if self.maintenance is not None and self.degradation is None:
+            raise ConfigurationError(
+                "maintenance requires a degradation model to repair"
+            )
+        degradation_model = None
+        if self.degradation is not None:
+            try:
+                degradation_model = DegradationModel.from_dict(self.degradation)
+            except ConfigurationError as exc:
+                raise ConfigurationError(f"degradation: {exc}") from exc
+            if (
+                degradation_model.initial_health is not None
+                and len(degradation_model.initial_health) != self.pcpus
+            ):
+                raise ConfigurationError(
+                    "degradation: initial_health lists "
+                    f"{len(degradation_model.initial_health)} entries for "
+                    f"{self.pcpus} PCPUs"
+                )
+        if self.maintenance is not None:
+            try:
+                policy = MaintenancePolicy.from_dict(self.maintenance)
+            except ConfigurationError as exc:
+                raise ConfigurationError(f"maintenance: {exc}") from exc
+            if (
+                policy.policy == "condition_based"
+                and policy.threshold > degradation_model.h_max
+            ):
+                raise ConfigurationError(
+                    f"maintenance: condition_based threshold {policy.threshold} "
+                    f"exceeds h_max {degradation_model.h_max}"
+                )
+        if self.hv_overhead is not None:
+            try:
+                HVOverheadModel.from_dict(self.hv_overhead)
+            except ConfigurationError as exc:
+                raise ConfigurationError(f"hv_overhead: {exc}") from exc
         # The paper: "at most the same number of VCPUs as ... physical
         # cores" per VM.  We keep that constraint advisory rather than
         # fatal: SCS's zero-availability result at 1 PCPU depends on
@@ -236,6 +295,9 @@ class SystemSpec:
             "vm_slots": self.vm_slots,
             "scheduler_slots": self.scheduler_slots,
             "pcpu_failures": dict(self.pcpu_failures) if self.pcpu_failures else None,
+            "degradation": dict(self.degradation) if self.degradation else None,
+            "maintenance": dict(self.maintenance) if self.maintenance else None,
+            "hv_overhead": dict(self.hv_overhead) if self.hv_overhead else None,
         }
 
     @classmethod
@@ -251,6 +313,9 @@ class SystemSpec:
                 vm_slots=int(payload.get("vm_slots", 8)),
                 scheduler_slots=int(payload.get("scheduler_slots", 16)),
                 pcpu_failures=payload.get("pcpu_failures"),
+                degradation=payload.get("degradation"),
+                maintenance=payload.get("maintenance"),
+                hv_overhead=payload.get("hv_overhead"),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ConfigurationError(f"malformed system spec: {exc}") from exc
@@ -275,6 +340,9 @@ class SystemSpec:
                 vm_slots=self.vm_slots,
                 scheduler_slots=self.scheduler_slots,
                 pcpu_failures=dict(self.pcpu_failures) if self.pcpu_failures else None,
+                degradation=dict(self.degradation) if self.degradation else None,
+                maintenance=dict(self.maintenance) if self.maintenance else None,
+                hv_overhead=dict(self.hv_overhead) if self.hv_overhead else None,
             )
         else:
             copied = SystemSpec.from_dict(payload)

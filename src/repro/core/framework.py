@@ -30,6 +30,11 @@ from ..observability import trace as _trace
 from ..observability.profile import SimProfiler, profiling
 from ..observability.trace import SimTracer, tracing
 from ..resilience.chaos import ChaosScheduler, ChaosSpec
+from ..resilience.degradation import (
+    DegradationModel,
+    HVOverheadModel,
+    MaintenancePolicy,
+)
 from ..resilience.failures import ReplicationFailure
 from ..resilience.guard import GuardedScheduler, GuardPolicy
 from ..san import ComposedModel, SANSimulator, build_simulator, resolve_engine
@@ -44,6 +49,26 @@ def _failure_model(spec: "SystemSpec"):
     if spec.pcpu_failures is None:
         return None
     return PCPUFailureModel(**spec.pcpu_failures)
+
+
+def _degradation_models(spec: "SystemSpec"):
+    """Materialize the spec's degradation/maintenance/hv_overhead dicts."""
+    degradation = (
+        DegradationModel.from_dict(spec.degradation)
+        if spec.degradation is not None
+        else None
+    )
+    maintenance = (
+        MaintenancePolicy.from_dict(spec.maintenance)
+        if spec.maintenance is not None
+        else None
+    )
+    hv_overhead = (
+        HVOverheadModel.from_dict(spec.hv_overhead)
+        if spec.hv_overhead is not None
+        else None
+    )
+    return degradation, maintenance, hv_overhead
 
 
 # -- cross-replication model reuse -------------------------------------------
@@ -202,6 +227,7 @@ class Simulation:
             vm_configs = [
                 (vm.vcpus, vm.workload.build(), vm.dispatch) for vm in spec.vms
             ]
+            degradation, maintenance, hv_overhead = _degradation_models(spec)
             self.system = build_virtual_system(
                 vm_configs,
                 algorithm,
@@ -210,6 +236,9 @@ class Simulation:
                 vm_slots=spec.vm_slots,
                 scheduler_slots=spec.scheduler_slots,
                 failures=_failure_model(spec),
+                degradation=degradation,
+                maintenance=maintenance,
+                hv_overhead=hv_overhead,
             )
             self.simulator = build_simulator(
                 self.system, self.streams, engine=engine_name
@@ -231,6 +260,13 @@ class Simulation:
                 _cache_register(cache_key, self._cache_entry)
         self._ran = False
 
+    def _degradation_header(self) -> Optional[Dict[str, Any]]:
+        """The ``run.start`` degradation payload the checker configures from."""
+        if self.spec.degradation is None:
+            return None
+        model = DegradationModel.from_dict(self.spec.degradation)
+        return {"h_max": model.h_max, "capacity": model.effective_capacity()}
+
     def _run_header(self) -> Dict[str, Any]:
         """The ``run.start`` payload: everything needed to re-run the trace."""
         params: Dict[str, Any] = {"timeslice": self._algorithm_root.timeslice}
@@ -248,6 +284,20 @@ class Simulation:
             "guard": self._guard_policy.mode if self._guard_policy else None,
             "chaos": self._chaos_spec is not None,
             "engine": self.simulator.engine,
+            "degradation": self._degradation_header(),
+            "maintenance": (
+                {
+                    "policy": self.spec.maintenance.get("policy", "corrective"),
+                    "crews": int(self.spec.maintenance.get("crews", 1)),
+                }
+                if self.spec.maintenance is not None
+                else None
+            ),
+            "hv_overhead": (
+                int(self.spec.hv_overhead["cost"])
+                if self.spec.hv_overhead is not None
+                else None
+            ),
         }
 
     def run(self) -> RunResult:
@@ -376,6 +426,7 @@ def build_system(
     streams = StreamFactory(root_seed=root_seed, replication=replication)
     algorithm = create_scheduler(spec.scheduler, **spec.scheduler_params)
     vm_configs = [(vm.vcpus, vm.workload.build(), vm.dispatch) for vm in spec.vms]
+    degradation, maintenance, hv_overhead = _degradation_models(spec)
     return build_virtual_system(
         vm_configs,
         algorithm,
@@ -384,4 +435,7 @@ def build_system(
         vm_slots=spec.vm_slots,
         scheduler_slots=spec.scheduler_slots,
         failures=_failure_model(spec),
+        degradation=degradation,
+        maintenance=maintenance,
+        hv_overhead=hv_overhead,
     )

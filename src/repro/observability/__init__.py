@@ -17,6 +17,8 @@ Three layers on top of the simulation core:
 """
 
 from .checker import (
+    CrewExclusivity,
+    DegradationAccounting,
     ExclusivePCPU,
     Invariant,
     MonotoneTime,
@@ -55,6 +57,8 @@ __all__ = [
     "Invariant",
     "MonotoneTime",
     "ExclusivePCPU",
+    "CrewExclusivity",
+    "DegradationAccounting",
     "StrictCoScheduling",
     "SkewBound",
     "TimesliceAccounting",

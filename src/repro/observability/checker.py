@@ -106,6 +106,7 @@ class ExclusivePCPU(Invariant):
         self._holder: Dict[int, int] = {}   # pcpu -> vcpu
         self._held: Dict[int, int] = {}     # vcpu -> pcpu
         self._failed: set = set()
+        self._maint: set = set()
 
     def on_record(self, record: TraceRecord) -> None:
         kind = record.kind
@@ -120,6 +121,10 @@ class ExclusivePCPU(Invariant):
             if pcpu in self._failed:
                 self.violation(record.t,
                                f"VCPU {vcpu} scheduled onto FAILED PCPU {pcpu}")
+            if pcpu in self._maint:
+                self.violation(record.t,
+                               f"VCPU {vcpu} scheduled onto PCPU {pcpu}, "
+                               f"which is under maintenance")
             if vcpu in self._held:
                 self.violation(record.t,
                                f"VCPU {vcpu} scheduled in while already on "
@@ -147,6 +152,15 @@ class ExclusivePCPU(Invariant):
             if pcpu not in self._failed:
                 self.violation(record.t, f"repair of PCPU {pcpu}, which is not FAILED")
             self._failed.discard(pcpu)
+        elif kind == _trace.MAINT_START:
+            pcpu = record.get("pcpu")
+            if pcpu in self._holder:
+                self.violation(record.t,
+                               f"maintenance started on PCPU {pcpu} while it "
+                               f"still hosts VCPU {self._holder[pcpu]}")
+            self._maint.add(pcpu)
+        elif kind == _trace.MAINT_DONE:
+            self._maint.discard(record.get("pcpu"))
 
 
 class StrictCoScheduling(Invariant):
@@ -301,6 +315,111 @@ class TimesliceAccounting(Invariant):
         self._close_segment()
 
 
+class CrewExclusivity(Invariant):
+    """Maintenance jobs never exceed the bounded repair-crew pool.
+
+    Every ``maint.start`` must pair with a later ``maint.done`` on the
+    same PCPU, a PCPU is serviced by at most one crew at a time, and
+    the number of concurrently open jobs never exceeds the configured
+    crew count.
+    """
+
+    name = "crew-exclusivity"
+
+    def __init__(self, crews: int) -> None:
+        super().__init__()
+        self.crews = int(crews)
+        self._in_maint: set = set()
+
+    def on_record(self, record: TraceRecord) -> None:
+        kind = record.kind
+        if kind == _trace.RUN_START:
+            self._in_maint = set()
+        elif kind == _trace.MAINT_START:
+            pcpu = record.get("pcpu")
+            if pcpu in self._in_maint:
+                self.violation(record.t,
+                               f"maintenance started on PCPU {pcpu}, "
+                               f"which is already under maintenance")
+            self._in_maint.add(pcpu)
+            if len(self._in_maint) > self.crews:
+                self.violation(
+                    record.t,
+                    f"{len(self._in_maint)} concurrent maintenance jobs "
+                    f"exceed the {self.crews}-crew pool",
+                )
+        elif kind == _trace.MAINT_DONE:
+            pcpu = record.get("pcpu")
+            if pcpu not in self._in_maint:
+                self.violation(record.t,
+                               f"maintenance done on PCPU {pcpu} without "
+                               f"a matching start")
+            self._in_maint.discard(pcpu)
+
+
+class DegradationAccounting(Invariant):
+    """Health transitions are consistent with the degradation model.
+
+    * every ``pcpu.degrade`` departs from the health the trace last
+      established for that PCPU and lands inside ``[0, h_max]``;
+    * the advertised ``capacity`` matches the model's capacity ladder
+      at the new health state;
+    * ``pcpu.fail`` only happens at terminal health (``h_max``) while a
+      degradation process runs;
+    * ``maint.done`` restores the PCPU to pristine health (0).
+
+    The initial health of each PCPU is not in the trace header (it may
+    be non-zero via ``initial_health``), so the first transition of a
+    PCPU pins its tracked state instead of being checked.
+    """
+
+    name = "degradation-accounting"
+
+    def __init__(self, h_max: int, capacity: List[float]) -> None:
+        super().__init__()
+        self.h_max = int(h_max)
+        self.capacity = [float(c) for c in capacity]
+        self._health: Dict[int, int] = {}
+
+    def on_record(self, record: TraceRecord) -> None:
+        kind = record.kind
+        if kind == _trace.RUN_START:
+            self._health = {}
+        elif kind == _trace.PCPU_DEGRADE:
+            pcpu = record.get("pcpu")
+            from_h = record.get("from_health")
+            to_h = record.get("to_health")
+            known = self._health.get(pcpu)
+            if known is not None and from_h != known:
+                self.violation(record.t,
+                               f"PCPU {pcpu} degrades from health {from_h}, "
+                               f"but the trace last left it at {known}")
+            if not 0 <= to_h <= self.h_max:
+                self.violation(record.t,
+                               f"PCPU {pcpu} degraded to health {to_h}, "
+                               f"outside [0, {self.h_max}]")
+            elif to_h < len(self.capacity):
+                advertised = record.get("capacity")
+                if (advertised is not None
+                        and abs(float(advertised) - self.capacity[to_h]) > _EPS):
+                    self.violation(
+                        record.t,
+                        f"PCPU {pcpu} advertises capacity {advertised:g} at "
+                        f"health {to_h}, model says {self.capacity[to_h]:g}",
+                    )
+            self._health[pcpu] = to_h
+        elif kind == _trace.PCPU_FAIL:
+            pcpu = record.get("pcpu")
+            if self._health.get(pcpu) != self.h_max:
+                self.violation(
+                    record.t,
+                    f"PCPU {pcpu} failed at health "
+                    f"{self._health.get(pcpu)}, not terminal ({self.h_max})",
+                )
+        elif kind == _trace.MAINT_DONE:
+            self._health[record.get("pcpu")] = 0
+
+
 class TraceChecker:
     """Runs a set of invariants over a trace.
 
@@ -332,9 +451,11 @@ def standard_invariants(records: Iterable[RecordLike]) -> List[Invariant]:
 
     Always: monotone time, exclusive PCPU occupancy, timeslice
     accounting.  Scheduler-specific invariants switch on by registry
-    name: gang all-or-none for ``scs`` (skipped when a PCPU failure
-    process runs — a mid-slice failure legitimately breaks a gang) and
-    the skew bound for ``rcs``.
+    name: gang all-or-none for ``scs`` (skipped when a PCPU failure or
+    degradation process runs — a mid-slice failure legitimately breaks
+    a gang) and the skew bound for ``rcs``.  When the ``run.start``
+    header declares a degradation model, health/capacity accounting is
+    checked; a maintenance policy adds repair-crew exclusivity.
     """
     start: Optional[TraceRecord] = None
     for raw in records:
@@ -348,7 +469,17 @@ def standard_invariants(records: Iterable[RecordLike]) -> List[Invariant]:
         return invariants
     scheduler = start.get("scheduler")
     params: Dict[str, Any] = start.get("params") or {}
-    if scheduler == "scs" and not start.get("pcpu_failures"):
+    degradation = start.get("degradation")
+    maintenance = start.get("maintenance")
+    if degradation:
+        invariants.append(DegradationAccounting(
+            h_max=degradation.get("h_max", 1),
+            capacity=degradation.get("capacity") or [1.0, 0.0],
+        ))
+    if maintenance:
+        invariants.append(CrewExclusivity(crews=maintenance.get("crews", 1)))
+    if (scheduler == "scs" and not start.get("pcpu_failures")
+            and not degradation):
         invariants.append(StrictCoScheduling(start.get("topology") or []))
     if scheduler == "rcs":
         invariants.append(SkewBound(

@@ -46,6 +46,10 @@ GOLDEN_KINDS = (
     _trace.SCHED_SKEW,
     _trace.PCPU_FAIL,
     _trace.PCPU_REPAIR,
+    _trace.PCPU_DEGRADE,
+    _trace.MAINT_START,
+    _trace.MAINT_DONE,
+    _trace.HV_OVERHEAD,
 )
 
 #: The exact fields each golden kind asserts on, in fixture key order.
@@ -55,6 +59,10 @@ GOLDEN_SCHEMA: Dict[str, tuple] = {
     _trace.SCHED_SKEW: ("vm", "max_lag", "catching_up"),
     _trace.PCPU_FAIL: ("pcpu", "victim"),
     _trace.PCPU_REPAIR: ("pcpu",),
+    _trace.PCPU_DEGRADE: ("pcpu", "from_health", "to_health", "capacity"),
+    _trace.MAINT_START: ("pcpu", "policy", "health", "victim"),
+    _trace.MAINT_DONE: ("pcpu", "policy"),
+    _trace.HV_OVERHEAD: ("vcpu", "pcpu", "cost"),
 }
 
 

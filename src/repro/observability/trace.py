@@ -55,6 +55,10 @@ SCHED_OUT = "sched.out"
 SCHED_SKEW = "sched.skew"
 PCPU_FAIL = "pcpu.fail"
 PCPU_REPAIR = "pcpu.repair"
+PCPU_DEGRADE = "pcpu.degrade"
+MAINT_START = "maint.start"
+MAINT_DONE = "maint.done"
+HV_OVERHEAD = "hv.overhead"
 GUARD_FAULT = "guard.fault"
 GUARD_QUARANTINE = "guard.quarantine"
 CHAOS_CRASH = "chaos.crash"
@@ -69,7 +73,7 @@ RECORD_FIELDS: Dict[str, tuple] = {
     RUN_START: (
         "scheduler", "topology", "pcpus", "replication", "root_seed",
         "sim_time", "warmup", "params", "pcpu_failures", "guard", "chaos",
-        "engine",
+        "engine", "degradation", "maintenance", "hv_overhead",
     ),
     RUN_END: ("completions", "degraded"),
     ACTIVITY_FIRE: ("activity", "timed", "writes"),
@@ -83,6 +87,10 @@ RECORD_FIELDS: Dict[str, tuple] = {
     SCHED_SKEW: ("vm", "max_lag", "catching_up"),
     PCPU_FAIL: ("pcpu", "victim"),
     PCPU_REPAIR: ("pcpu",),
+    PCPU_DEGRADE: ("pcpu", "from_health", "to_health", "capacity"),
+    MAINT_START: ("pcpu", "policy", "health", "victim"),
+    MAINT_DONE: ("pcpu", "policy"),
+    HV_OVERHEAD: ("vcpu", "pcpu", "cost"),
     GUARD_FAULT: ("scheduler", "fault_kind", "message"),
     GUARD_QUARANTINE: ("scheduler",),
     CHAOS_CRASH: ("replication",),
@@ -99,6 +107,7 @@ RECORD_FIELDS: Dict[str, tuple] = {
 OUT_DECISION = "decision"
 OUT_EXPIRE = "expire"
 OUT_PCPU_FAILURE = "pcpu_failure"
+OUT_MAINTENANCE = "maintenance"
 
 TRACE_FORMATS = ("jsonl", "chrome")
 
@@ -282,7 +291,8 @@ def chrome_trace_events(records: Iterable[RecordLike]) -> List[Dict[str, Any]]:
                 "name": f"skew VM{record.get('vm')}",
                 "args": {"max_lag": record.get("max_lag")},
             })
-        elif record.kind in (PCPU_FAIL, PCPU_REPAIR):
+        elif record.kind in (PCPU_FAIL, PCPU_REPAIR, PCPU_DEGRADE,
+                             MAINT_START, MAINT_DONE):
             seen_pcpus.add(record.get("pcpu"))
             events.append({
                 "ph": "i", "s": "t", "pid": 1, "tid": record.get("pcpu"),

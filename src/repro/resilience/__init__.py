@@ -17,11 +17,22 @@ sweep down with it.  This package makes the runner survive all three:
   :class:`ReplicationFailure` records everything else emits;
 * :mod:`~repro.resilience.result_cache` — the persistent
   content-addressed replication result cache (memoize across
-  invocations, invalidated by code fingerprint).
+  invocations, invalidated by code fingerprint);
+* :mod:`~repro.resilience.degradation` — multi-state PCPU health
+  (Markov degradation matrices), maintenance policies with bounded
+  repair crews, and per-world-switch hypervisor overhead.
 """
 
 from .chaos import CORRUPT_KINDS, ChaosScheduler, ChaosSpec, InjectedFault
 from .checkpoint import CheckpointStore, fingerprint
+from .degradation import (
+    MAINTENANCE_POLICIES,
+    DegradationModel,
+    HVOverheadModel,
+    MaintenancePolicy,
+    generate_degradation_matrix,
+    validate_degradation_matrix,
+)
 from .executor import (
     ExecutionOutcome,
     ReplicationOutcome,
@@ -38,8 +49,12 @@ __all__ = [
     "ChaosSpec",
     "CheckpointStore",
     "CORRUPT_KINDS",
+    "DegradationModel",
     "ExecutionOutcome",
     "FailureKind",
+    "HVOverheadModel",
+    "MAINTENANCE_POLICIES",
+    "MaintenancePolicy",
     "GUARD_MODES",
     "GuardedScheduler",
     "GuardPolicy",
@@ -51,6 +66,8 @@ __all__ = [
     "code_fingerprint",
     "failure_summary",
     "fingerprint",
+    "generate_degradation_matrix",
     "retry_seed",
     "run_replications",
+    "validate_degradation_matrix",
 ]

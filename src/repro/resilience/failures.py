@@ -15,7 +15,7 @@ JSONL checkpoints and survive process boundaries.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Iterable, Optional
 
 
 class FailureKind:
@@ -26,8 +26,20 @@ class FailureKind:
     TIMEOUT = "timeout"  # replication exceeded its wall-clock budget
     WORKER_CRASH = "worker-crash"  # the worker process died
     RETRIES_EXHAUSTED = "retries-exhausted"  # every attempt failed
+    DEGRADATION = "degradation"  # degradation layer misconfiguration
+    MAINTENANCE = "maintenance"  # maintenance policy misconfiguration
+    UNKNOWN = "unknown"  # deserialized kind outside the closed set
 
-    ALL = (EXCEPTION, INVALID_DECISION, TIMEOUT, WORKER_CRASH, RETRIES_EXHAUSTED)
+    ALL = (
+        EXCEPTION,
+        INVALID_DECISION,
+        TIMEOUT,
+        WORKER_CRASH,
+        RETRIES_EXHAUSTED,
+        DEGRADATION,
+        MAINTENANCE,
+        UNKNOWN,
+    )
 
 
 @dataclass
@@ -66,8 +78,14 @@ class ReplicationFailure:
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "ReplicationFailure":
+        # Checkpoints from other versions may carry kinds this version
+        # never emits; fold them into UNKNOWN instead of letting free
+        # strings leak into the closed set downstream code sorts on.
+        kind = str(payload["kind"])
+        if kind not in FailureKind.ALL:
+            kind = FailureKind.UNKNOWN
         return cls(
-            kind=str(payload["kind"]),
+            kind=kind,
             message=str(payload["message"]),
             replication=int(payload.get("replication", -1)),
             attempt=int(payload.get("attempt", 0)),
@@ -84,9 +102,15 @@ class ReplicationFailure:
         return f"[{self.kind}] {where}: {self.message}"
 
 
-def failure_summary(failures) -> str:
-    """Compact ``kind xN`` summary of a failure list (for CLI output)."""
+def failure_summary(failures: Iterable[ReplicationFailure]) -> str:
+    """Compact ``kind xN`` summary of a failure list (for CLI output).
+
+    Never returns an empty string: a clean run reads ``"no failures"``
+    so CLI tables and logs have no blank fields.
+    """
     counts: Dict[str, int] = {}
     for failure in failures:
         counts[failure.kind] = counts.get(failure.kind, 0) + 1
+    if not counts:
+        return "no failures"
     return ", ".join(f"{kind} x{n}" for kind, n in sorted(counts.items()))

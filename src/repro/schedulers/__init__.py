@@ -18,6 +18,8 @@ Built-in algorithms:
 ``hybrid``            Weng et al.'s hybrid framework [7]: gangs for
                       declared-concurrent VMs, shares for the rest
 ``fifo``              Run-to-completion FIFO (ablation baseline)
+``health_aware``      Wrapper routing default placements onto the
+                      healthiest free core (degradation extension)
 ====================  =====================================================
 """
 
@@ -25,6 +27,7 @@ from .balance import BalanceScheduler
 from .credit import CreditScheduler
 from .fifo import FifoScheduler
 from .harness import SchedulerHarness
+from .health_aware import HealthAwareScheduler
 from .hybrid import HybridScheduler
 from .sedf import SEDFScheduler
 from .interface import (
@@ -49,6 +52,7 @@ BUILTIN_ALGORITHMS = {
     SEDFScheduler.name: SEDFScheduler,
     HybridScheduler.name: HybridScheduler,
     FifoScheduler.name: FifoScheduler,
+    HealthAwareScheduler.name: HealthAwareScheduler,
 }
 
 __all__ = [
@@ -66,6 +70,7 @@ __all__ = [
     "SEDFScheduler",
     "HybridScheduler",
     "FifoScheduler",
+    "HealthAwareScheduler",
     "SchedulerHarness",
     "BUILTIN_ALGORITHMS",
     "validate_decisions",

@@ -111,15 +111,29 @@ class VCPUHostView:
 
 @dataclass
 class PCPUView:
-    """One element of the ``pcpus`` in/out array (``PCPU_external``)."""
+    """One element of the ``pcpus`` in/out array (``PCPU_external``).
+
+    ``health`` and ``capacity`` carry the degradation extension's
+    scheduler-visible signals: health 0 is pristine and ``capacity`` is
+    the fraction of clock ticks the core currently delivers to its
+    guest (1.0 on an undegraded host, so algorithms written against the
+    paper's idealized model keep working unchanged).
+    """
 
     pcpu_id: int
     state: str = PCPUState.IDLE
     vcpu: Optional[int] = None
+    health: int = 0
+    capacity: float = 1.0
 
     @property
     def idle(self) -> bool:
         return self.state == PCPUState.IDLE
+
+    @property
+    def degraded(self) -> bool:
+        """True when the core is delivering less than full capacity."""
+        return self.health > 0
 
 
 class SchedulingAlgorithm:

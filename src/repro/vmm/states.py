@@ -40,6 +40,7 @@ PRIORITY_PROCESS = 10  # Processing_load / Spin_tick / Discard_tick
 PRIORITY_UNBLOCK = 20  # barrier release
 PRIORITY_GENERATE = 30  # workload generation
 PRIORITY_DISPATCH = 31  # job scheduler dispatch
+PRIORITY_MAINT = 39  # maintenance crew dispatch (before Scheduling_Func)
 PRIORITY_SCHEDULER = 40  # hypervisor Scheduling_Func
 
 

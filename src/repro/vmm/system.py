@@ -24,6 +24,11 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..des.random_streams import StreamFactory
 from ..errors import ModelError
+from ..resilience.degradation import (
+    DegradationModel,
+    HVOverheadModel,
+    MaintenancePolicy,
+)
 from ..san import ComposedModel, ExtendedPlace, SharedVariable, join
 from ..schedulers.interface import SchedulingAlgorithm
 from ..workloads.generators import WorkloadModel
@@ -53,6 +58,9 @@ def build_virtual_system(
     scheduler_slots: int = DEFAULT_SCHEDULER_SLOTS,
     name: str = SYSTEM_NAME,
     failures: Optional[PCPUFailureModel] = None,
+    degradation: Optional[DegradationModel] = None,
+    maintenance: Optional[MaintenancePolicy] = None,
+    hv_overhead: Optional[HVOverheadModel] = None,
 ) -> ComposedModel:
     """Assemble a complete virtualization system.
 
@@ -85,16 +93,25 @@ def build_virtual_system(
     ]
     topology = [num_vcpus for num_vcpus, _, _ in normalized]
     scheduler = build_vcpu_scheduler(
-        algorithm, num_pcpus, topology, num_slots=scheduler_slots, failures=failures
+        algorithm,
+        num_pcpus,
+        topology,
+        num_slots=scheduler_slots,
+        failures=failures,
+        degradation=degradation,
+        maintenance=maintenance,
+        hv_overhead=hv_overhead,
+        streams=streams,
     )
 
     submodels = {SCHEDULER_NAME: scheduler}
     vm_names: List[str] = []
-    # (stream key, rng) pairs captured by VM closures.  Cross-replication
-    # reuse re-arms them via StreamFactory.reseed (same objects, new
-    # seeds); this list lets tests verify the captured objects really are
-    # the factory's memoized streams.
-    stream_bindings: List[Tuple[str, object]] = []
+    # (stream key, rng) pairs captured by builder closures — the VM
+    # generators below plus the scheduler's degradation case streams.
+    # Cross-replication reuse re-arms them via StreamFactory.reseed
+    # (same objects, new seeds); this list lets tests verify the
+    # captured objects really are the factory's memoized streams.
+    stream_bindings: List[Tuple[str, object]] = list(scheduler.stream_bindings)
     for position, (num_vcpus, workload_model, dispatch) in enumerate(
         normalized, start=1
     ):
@@ -167,9 +184,12 @@ def build_virtual_system(
     system.topology = topology
     system.num_pcpus = num_pcpus
     system.algorithm = algorithm
-    # Forward the scheduler's tick fast-forward certificate and the VM
-    # stream bindings so the compiled engine and the reuse path find
-    # them on the composed model.
+    system.degradation = degradation
+    system.maintenance = maintenance
+    system.hv_overhead = hv_overhead
+    # Forward the scheduler's tick fast-forward certificate and the
+    # builder stream bindings so the compiled engine and the reuse path
+    # find them on the composed model.
     system.tick_fast_forward = scheduler.tick_fast_forward
     system.stream_bindings = stream_bindings
     return system

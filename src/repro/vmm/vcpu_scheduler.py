@@ -37,6 +37,21 @@ exactly such models).  A failing ASSIGNED PCPU forcibly deschedules
 its VCPU; a FAILED PCPU is never assignable; repair returns it to
 IDLE.  Schedulers need no changes: they only ever dispatch onto IDLE
 PCPUs.
+
+**Degradation extension.**  Passing a
+:class:`~repro.resilience.degradation.DegradationModel` replaces the
+binary fail/repair process with a multi-state Markov health chain per
+PCPU.  A core at health ``h`` withholds clock ticks from its hosted
+VCPU so that only a ``capacity[h]`` fraction reach the guest (leaky
+bucket: the withheld fraction accumulates and one whole tick is
+dropped each time it reaches 1).  Terminal health feeds the same
+``pcpu.fail``/``pcpu.repair`` trace machinery as the binary model.  A
+:class:`~repro.resilience.degradation.MaintenancePolicy` adds repair:
+PCPUs compete for a token-bounded crew pool, and a PCPU under
+maintenance is out of service until its repair restores pristine
+health.  An :class:`~repro.resilience.degradation.HVOverheadModel`
+charges every world switch: the first ``cost`` ticks after a
+schedule-in are consumed by the hypervisor instead of the guest.
 """
 
 from __future__ import annotations
@@ -45,9 +60,15 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..des.distributions import Deterministic, Exponential
+from ..des.random_streams import StreamFactory
 from ..errors import ConfigurationError, ModelError, SchedulingError
 from ..observability import profile as _profile
 from ..observability import trace as _trace
+from ..resilience.degradation import (
+    DegradationModel,
+    HVOverheadModel,
+    MaintenancePolicy,
+)
 from ..san import (
     ExtendedPlace,
     InputGate,
@@ -64,7 +85,7 @@ from ..schedulers.interface import (
     VCPUHostView,
     VCPUStatus,
 )
-from .states import PRIORITY_SCHEDULER, new_pcpu_entry, new_slot
+from .states import PRIORITY_MAINT, PRIORITY_SCHEDULER, new_pcpu_entry, new_slot
 
 DEFAULT_NUM_SLOTS = 16  # the paper's Figure 6 statically defines sixteen
 
@@ -120,7 +141,14 @@ class ClockFastForward:
       for the whole span: ``Processing_load`` for assigned slots,
       ``Discard_tick`` otherwise);
     * no timeslice expires and no load completes strictly inside the
-      span — the returned bound is the smallest distance to either.
+      span — the returned bound is the smallest distance to either;
+    * no degradation-layer state can change delivery inside the span:
+      every PCPU is at pristine health with no maintenance pending and
+      no hypervisor-overhead debt outstanding.  A degraded core
+      withholds ticks data-dependently (the leaky-bucket accumulator),
+      so any nonzero health disables coalescing outright; *pending*
+      degradation/maintenance timed events need no check here — the
+      engine already bounds spans by the earliest other pending event.
 
     Under those conditions every per-tick firing has a single case (no
     RNG draw) and the span's net marking change is arithmetic:
@@ -135,6 +163,8 @@ class ClockFastForward:
         "_slot_values",
         "_timeslices",
         "_pcpu_refs",
+        "_health",
+        "_hv_debts",
         "_total",
         "_span",
         "clock",
@@ -151,6 +181,8 @@ class ClockFastForward:
         timeslice_places: Sequence[Place],
         pcpu_places: Sequence[ExtendedPlace],
         total_vcpus: int,
+        health: Optional[ExtendedPlace] = None,
+        hv_debts: Optional[ExtendedPlace] = None,
     ) -> None:
         self._model = model
         #: The Clock activity *object* — the engine matches the queue
@@ -161,6 +193,8 @@ class ClockFastForward:
         self._slot_values = list(slot_value_places[:total_vcpus])
         self._timeslices = list(timeslice_places[:total_vcpus])
         self._pcpu_refs = list(pcpu_places[:total_vcpus])
+        self._health = health
+        self._hv_debts = hv_debts
         self._total = total_vcpus
         #: Completions per coalesced tick: Clock + Scheduling_Func +
         #: exactly one tick consumer per plugged slot.
@@ -179,6 +213,14 @@ class ClockFastForward:
         for entry in self._pcpus.value:
             if entry["state"] != PCPUState.ASSIGNED:
                 return 0
+        if self._health is not None:
+            for entry in self._health.value:
+                if entry["health"] or entry["maint"] or entry["due"]:
+                    return 0
+        if self._hv_debts is not None:
+            for debt in self._hv_debts.value:
+                if debt:
+                    return 0
         span = self._span
         del span[:]
         bound: Optional[int] = None
@@ -240,6 +282,10 @@ def build_vcpu_scheduler(
     num_slots: int = DEFAULT_NUM_SLOTS,
     name: str = SCHEDULER_NAME,
     failures: Optional[PCPUFailureModel] = None,
+    degradation: Optional[DegradationModel] = None,
+    maintenance: Optional[MaintenancePolicy] = None,
+    hv_overhead: Optional[HVOverheadModel] = None,
+    streams: Optional[StreamFactory] = None,
 ) -> SANModel:
     """Construct the hypervisor VCPU-scheduler model.
 
@@ -251,7 +297,16 @@ def build_vcpu_scheduler(
             assigned to VMs in order (VM 0 takes slots 1..2, ...).
         num_slots: statically defined VCPU slots (paper default: 16).
         name: model name (``"VCPU_Scheduler"`` by convention).
-        failures: optional per-PCPU exponential fail/repair process.
+        failures: optional per-PCPU exponential fail/repair process
+            (mutually exclusive with ``degradation``, which subsumes
+            it: terminal health is failure).
+        degradation: optional multi-state Markov health model.
+        maintenance: optional repair policy (requires ``degradation``).
+        hv_overhead: optional per-world-switch hypervisor cost.
+        streams: random streams for the degradation case draws (the
+            which-state-next choice is a *case* decision made in an
+            output gate, outside the simulator's per-activity delay
+            streams); default: seed 0, replication 0.
 
     Returns:
         A :class:`repro.san.SANModel` exposing, per plugged slot *g*,
@@ -275,14 +330,90 @@ def build_vcpu_scheduler(
             "algorithm must be a SchedulingAlgorithm, got "
             f"{type(algorithm).__name__}"
         )
+    if degradation is not None and failures is not None:
+        raise ConfigurationError(
+            "degradation and pcpu failures are mutually exclusive: the "
+            "health model's terminal state *is* failure (binary "
+            "fail/repair is the h_max=1 special case)"
+        )
+    if maintenance is not None and degradation is None:
+        raise ConfigurationError(
+            "a maintenance policy needs a degradation model to repair"
+        )
+    if degradation is not None and degradation.initial_health is not None:
+        if len(degradation.initial_health) != num_pcpus:
+            raise ConfigurationError(
+                f"initial_health lists {len(degradation.initial_health)} "
+                f"entries for {num_pcpus} PCPUs"
+            )
+    if (
+        maintenance is not None
+        and maintenance.policy == "condition_based"
+        and maintenance.threshold > degradation.h_max
+    ):
+        raise ConfigurationError(
+            f"condition_based threshold {maintenance.threshold} exceeds "
+            f"h_max {degradation.h_max}; the trigger would never fire "
+            "below terminal failure"
+        )
+    if hv_overhead is not None and not hv_overhead.enabled:
+        hv_overhead = None
 
     model = SANModel(name)
     timestamp = model.add_place(Place("Timestamp"))
     sched_tick = model.add_place(Place("Sched_tick"))
     model.add_place(Place("Num_PCPUs", initial=num_pcpus))
+
+    def initial_pcpu_entry(i: int) -> Dict[str, Optional[str]]:
+        # A PCPU configured to start at terminal health is out of
+        # service from t=0 (the forced-degradation test hook).
+        if degradation is not None and degradation.health_at(i) >= degradation.h_max:
+            return {"state": PCPUState.FAILED, "vcpu": None}
+        return new_pcpu_entry()
+
     pcpus = model.add_place(
-        ExtendedPlace("PCPUs", [new_pcpu_entry() for _ in range(num_pcpus)])
+        ExtendedPlace("PCPUs", [initial_pcpu_entry(i) for i in range(num_pcpus)])
     )
+
+    # -- degradation-extension state ----------------------------------------
+    # One health record per PCPU: current Markov state, the leaky-bucket
+    # accumulator of withheld capacity, the in-maintenance and
+    # periodic-overhaul-due flags, and whether a *runtime* terminal
+    # failure was announced (so maintenance knows to announce the
+    # matching repair; initially-terminal PCPUs never announced a fail).
+    health: Optional[ExtendedPlace] = None
+    capacity: List[float] = []
+    matrix: List[List[float]] = []
+    if degradation is not None:
+        capacity = degradation.effective_capacity()
+        matrix = degradation.effective_matrix()
+        health = model.add_place(
+            ExtendedPlace(
+                "PCPU_Health",
+                [
+                    {
+                        "health": degradation.health_at(i),
+                        "acc": 0.0,
+                        "maint": 0,
+                        "due": 0,
+                        "failed": 0,
+                    }
+                    for i in range(num_pcpus)
+                ],
+            )
+        )
+    # Outstanding hypervisor ticks per slot: set to the world-switch
+    # cost at every schedule-in, burned down before guest ticks flow.
+    hv_debts: Optional[ExtendedPlace] = None
+    hv_cost = 0
+    if hv_overhead is not None:
+        hv_cost = hv_overhead.cost
+        hv_debts = model.add_place(
+            ExtendedPlace("HV_Debts", [0] * total_vcpus)
+        )
+    crews: Optional[Place] = None
+    if maintenance is not None:
+        crews = model.add_place(Place("Repair_Crews", initial=maintenance.crews))
 
     # Global slot map: slot index (1-based) -> (vm_id, vcpu_index).
     slot_map: List[Tuple[int, int]] = []
@@ -315,11 +446,48 @@ def build_vcpu_scheduler(
 
     # -- Clock: the unit-time heartbeat -------------------------------------
 
-    def tick_fanout() -> None:
-        timestamp.add()
-        for g in range(total_vcpus):
-            tick_places[g].add()
-        sched_tick.add()
+    if health is None and hv_debts is None:
+
+        def tick_fanout() -> None:
+            timestamp.add()
+            for g in range(total_vcpus):
+                tick_places[g].add()
+            sched_tick.add()
+
+    else:
+        # Degradation/overhead-aware fan-out.  A slot holding a PCPU
+        # only receives its tick when (a) no hypervisor world-switch
+        # debt is outstanding for it and (b) the host core's leaky
+        # bucket delivers: per tick the bucket gains ``capacity[h]``
+        # and a whole tick flows to the guest each time it reaches 1.
+        # Unassigned slots always get their tick (their consumer is
+        # Discard_tick, exactly as in the plain fan-out).  Timeslice
+        # accounting in Scheduling_Func still runs on *wall-clock*
+        # ticks, so a degraded tenure does strictly less guest work.
+
+        def tick_fanout() -> None:
+            timestamp.add()
+            health_entries = health.value if health is not None else None
+            debts = hv_debts.value if hv_debts is not None else None
+            for g in range(total_vcpus):
+                pcpu_index = pcpu_places[g].value
+                if pcpu_index is None:
+                    tick_places[g].add()
+                    continue
+                if debts is not None and debts[g] > 0:
+                    debts[g] -= 1
+                    continue
+                if health_entries is not None:
+                    entry = health_entries[pcpu_index]
+                    h = entry["health"]
+                    if h:
+                        acc = entry["acc"] + capacity[h]
+                        if acc < 1.0:
+                            entry["acc"] = acc
+                            continue
+                        entry["acc"] = acc - 1.0
+                tick_places[g].add()
+            sched_tick.add()
 
     clock = model.add_activity(
         TimedActivity(
@@ -338,6 +506,8 @@ def build_vcpu_scheduler(
         pcpus.value[pcpu_index] = new_pcpu_entry()
         pcpu_places[g].value = None
         timeslice_places[g].tokens = 0
+        if hv_debts is not None:
+            hv_debts.value[g] = 0
         schedule_out_places[g].add()
         tracer = _trace._ACTIVE
         if tracer is not None:
@@ -351,6 +521,8 @@ def build_vcpu_scheduler(
         pcpu_places[g].value = pcpu_index
         timeslice_places[g].tokens = timeslice
         last_in_places[g].value = now
+        if hv_debts is not None:
+            hv_debts.value[g] = hv_cost
         schedule_in_places[g].add()
         tracer = _trace._ACTIVE
         if tracer is not None:
@@ -358,6 +530,9 @@ def build_vcpu_scheduler(
             tracer.emit(_trace.SCHED_IN, vcpu=g, vm=vm_id,
                         vcpu_index=vcpu_index, pcpu=pcpu_index,
                         timeslice=timeslice)
+            if hv_debts is not None:
+                tracer.emit(_trace.HV_OVERHEAD, vcpu=g, pcpu=pcpu_index,
+                            cost=hv_cost)
 
     # -- optional dependability process: PCPU fail/repair --------------------
 
@@ -409,6 +584,183 @@ def build_vcpu_scheduler(
                     output_gates=[OutputGate(f"Repair_gate{pcpu_index}", repair)],
                 )
             )
+
+    # -- degradation extension: Markov health, maintenance, crews -----------
+
+    if degradation is not None:
+        h_max = degradation.h_max
+        case_streams = streams if streams is not None else StreamFactory()
+        stream_bindings: List[Tuple[str, object]] = []
+
+        for pcpu_index in range(num_pcpus):
+            # The which-state-next draw is a *case* decision in the
+            # output gate; it gets its own named stream (separate from
+            # the activity's delay stream, which the simulator binds by
+            # qualified name) so trajectories survive model reuse.
+            case_key = f"{name}.Degrade_case{pcpu_index}"
+            case_rng = case_streams.stream(case_key)
+            stream_bindings.append((case_key, case_rng))
+
+            def degrade(i: int = pcpu_index, rng=case_rng) -> None:
+                entry = health.value[i]
+                h = entry["health"]
+                row = matrix[h]
+                draw = rng.random()
+                cumulative = 0.0
+                new_h = h
+                for state, probability in enumerate(row):
+                    cumulative += probability
+                    if draw < cumulative:
+                        new_h = state
+                        break
+                if new_h == h:
+                    return
+                entry["health"] = new_h
+                entry["acc"] = 0.0
+                tracer = _trace._ACTIVE
+                if tracer is not None:
+                    tracer.emit(_trace.PCPU_DEGRADE, pcpu=i, from_health=h,
+                                to_health=new_h, capacity=capacity[new_h])
+                if new_h >= h_max:
+                    # Terminal: feed the existing fail machinery.
+                    pcpu_entry = pcpus.value[i]
+                    victim = None
+                    if pcpu_entry["state"] == PCPUState.ASSIGNED:
+                        victim = pcpu_entry["vcpu"]
+                        _deschedule(victim, reason=_trace.OUT_PCPU_FAILURE)
+                    pcpus.value[i] = {"state": PCPUState.FAILED, "vcpu": None}
+                    entry["failed"] = 1
+                    if tracer is not None:
+                        tracer.emit(_trace.PCPU_FAIL, pcpu=i, victim=victim)
+
+            model.add_activity(
+                TimedActivity(
+                    f"Degrade_PCPU{pcpu_index}",
+                    Exponential(1.0 / degradation.mtbe),
+                    input_gates=[
+                        InputGate(
+                            f"Degradable{pcpu_index}",
+                            lambda i=pcpu_index: (
+                                health.value[i]["health"] < h_max
+                                and not health.value[i]["maint"]
+                            ),
+                        )
+                    ],
+                    output_gates=[OutputGate(f"Degrade_gate{pcpu_index}", degrade)],
+                )
+            )
+
+        model.stream_bindings = stream_bindings
+
+    if maintenance is not None:
+        policy = maintenance.policy
+        threshold = maintenance.threshold
+        h_max = degradation.h_max
+
+        def maint_needed(i: int) -> bool:
+            entry = health.value[i]
+            if entry["maint"]:
+                return False
+            h = entry["health"]
+            if h >= h_max:
+                # Every policy repairs a dead core: corrective repair
+                # of terminal failures is the baseline all policies
+                # build on.
+                return True
+            if policy == "condition_based":
+                return h >= threshold
+            if policy == "periodic":
+                return bool(entry["due"])
+            return False
+
+        for pcpu_index in range(num_pcpus):
+
+            def maint_start(i: int = pcpu_index) -> None:
+                entry = health.value[i]
+                crews.remove()
+                entry["maint"] = 1
+                entry["due"] = 0
+                pcpu_entry = pcpus.value[i]
+                victim = None
+                if pcpu_entry["state"] == PCPUState.ASSIGNED:
+                    victim = pcpu_entry["vcpu"]
+                    _deschedule(victim, reason=_trace.OUT_MAINTENANCE)
+                # Out of service for the repair's duration.
+                pcpus.value[i] = {"state": PCPUState.FAILED, "vcpu": None}
+                tracer = _trace._ACTIVE
+                if tracer is not None:
+                    tracer.emit(_trace.MAINT_START, pcpu=i, policy=policy,
+                                health=entry["health"], victim=victim)
+
+            def maint_done(i: int = pcpu_index) -> None:
+                entry = health.value[i]
+                was_failed = entry["failed"]
+                entry["health"] = 0
+                entry["acc"] = 0.0
+                entry["maint"] = 0
+                entry["failed"] = 0
+                pcpus.value[i] = new_pcpu_entry()
+                crews.add()
+                tracer = _trace._ACTIVE
+                if tracer is not None:
+                    tracer.emit(_trace.MAINT_DONE, pcpu=i, policy=policy)
+                    if was_failed:
+                        # The matching pcpu.repair for the pcpu.fail a
+                        # runtime terminal degrade announced (an
+                        # initially-terminal PCPU announced no fail, so
+                        # it gets no repair record either).
+                        tracer.emit(_trace.PCPU_REPAIR, pcpu=i)
+
+            model.add_activity(
+                InstantaneousActivity(
+                    f"Maint_Start{pcpu_index}",
+                    priority=PRIORITY_MAINT,
+                    input_gates=[
+                        InputGate(
+                            f"Maint_trigger{pcpu_index}",
+                            lambda i=pcpu_index: crews.tokens > 0
+                            and maint_needed(i),
+                        )
+                    ],
+                    output_gates=[
+                        OutputGate(f"Maint_start_gate{pcpu_index}", maint_start)
+                    ],
+                )
+            )
+            model.add_activity(
+                TimedActivity(
+                    f"Maint_Done{pcpu_index}",
+                    Exponential(1.0 / maintenance.mttr),
+                    input_gates=[
+                        InputGate(
+                            f"In_maintenance{pcpu_index}",
+                            lambda i=pcpu_index: bool(health.value[i]["maint"]),
+                        )
+                    ],
+                    output_gates=[
+                        OutputGate(f"Maint_done_gate{pcpu_index}", maint_done)
+                    ],
+                )
+            )
+            if policy == "periodic":
+
+                def maint_due(i: int = pcpu_index) -> None:
+                    entry = health.value[i]
+                    if not entry["maint"]:
+                        entry["due"] = 1
+
+                model.add_activity(
+                    TimedActivity(
+                        f"Maint_Due{pcpu_index}",
+                        Deterministic(maintenance.period),
+                        input_gates=[
+                            InputGate(f"Due_clock{pcpu_index}", lambda: True)
+                        ],
+                        output_gates=[
+                            OutputGate(f"Maint_due_gate{pcpu_index}", maint_due)
+                        ],
+                    )
+                )
 
     def _status_of(g: int) -> str:
         """Hypervisor view of a slot's status (authoritative mid-tick)."""
@@ -462,10 +814,23 @@ def build_vcpu_scheduler(
                     pcpu=pcpu_places[g].value,
                 )
             )
-        pcpu_views = [
-            PCPUView(pcpu_id=i, state=entry["state"], vcpu=entry["vcpu"])
-            for i, entry in enumerate(pcpus.value)
-        ]
+        if health is None:
+            pcpu_views = [
+                PCPUView(pcpu_id=i, state=entry["state"], vcpu=entry["vcpu"])
+                for i, entry in enumerate(pcpus.value)
+            ]
+        else:
+            health_entries = health.value
+            pcpu_views = [
+                PCPUView(
+                    pcpu_id=i,
+                    state=entry["state"],
+                    vcpu=entry["vcpu"],
+                    health=health_entries[i]["health"],
+                    capacity=capacity[health_entries[i]["health"]],
+                )
+                for i, entry in enumerate(pcpus.value)
+            ]
 
         # 3. Call the plugged scheduling function.
         profiler = _profile._ACTIVE
@@ -553,6 +918,11 @@ def build_vcpu_scheduler(
     model.num_pcpus = num_pcpus
     model.algorithm = algorithm
     model.failures = failures
+    model.degradation = degradation
+    model.maintenance = maintenance
+    model.hv_overhead = hv_overhead
+    if degradation is None:
+        model.stream_bindings = []
     model.tick_fast_forward = ClockFastForward(
         model,
         clock,
@@ -562,5 +932,7 @@ def build_vcpu_scheduler(
         timeslice_places,
         pcpu_places,
         total_vcpus,
+        health=health,
+        hv_debts=hv_debts,
     )
     return model

@@ -39,6 +39,12 @@ from ..conftest import make_spec
 # The engines under test, measured against the rescan reference.
 FAST_ENGINES = tuple(engine for engine in ENGINES if engine != "rescan")
 
+# Aggressive health parameters so degradation, terminal failures and
+# maintenance all actually fire inside a 300-tick run.
+DEGRADATION = {"p": 0.3, "h_max": 3, "mtbe": 40.0}
+MAINTENANCE = {"policy": "condition_based", "crews": 1, "mttr": 15.0,
+               "threshold": 2}
+
 
 def assert_engines_agree(spec, replication=0, root_seed=7, **kwargs):
     reference = simulate_once(
@@ -139,6 +145,20 @@ class TestEverySchedulerBitIdentical:
         )
         assert_engines_agree(spec)
 
+    def test_with_degradation(self, scheduler):
+        spec = dataclasses.replace(small_spec(scheduler), degradation=DEGRADATION)
+        assert_engines_agree(spec)
+
+    def test_with_maintenance(self, scheduler):
+        spec = dataclasses.replace(
+            small_spec(scheduler), degradation=DEGRADATION, maintenance=MAINTENANCE
+        )
+        assert_engines_agree(spec)
+
+    def test_with_hv_overhead(self, scheduler):
+        spec = dataclasses.replace(small_spec(scheduler), hv_overhead={"cost": 2})
+        assert_engines_agree(spec)
+
     def test_traces_identical(self, scheduler):
         # Event-stream equality subsumes metric equality: the engines
         # must make every intermediate decision identically, not just
@@ -154,6 +174,19 @@ class TestEverySchedulerBitIdentical:
             guard=GuardPolicy(mode="degrade", quarantine_after=2),
             chaos=ChaosSpec(corrupt_replications=(0,), inject_after=100.0),
         )
+
+    def test_traces_identical_under_degradation(self, scheduler):
+        # The full health stack at once: Markov degradation, bounded
+        # repair crews, and per-world-switch overhead.  The invariant
+        # checker runs inside, so crew exclusivity and health/capacity
+        # accounting are asserted on every scheduler's trace too.
+        spec = dataclasses.replace(
+            small_spec(scheduler),
+            degradation=DEGRADATION,
+            maintenance=MAINTENANCE,
+            hv_overhead={"cost": 2},
+        )
+        assert_engine_traces_identical(spec)
 
 
 @pytest.mark.slow
@@ -228,6 +261,27 @@ def test_fast_forward_off_under_guard_and_chaos():
         small_spec("rrs"), guard=GuardPolicy(mode="degrade")
     )
     assert stats["ticks_fast_forwarded"] == 0
+
+
+def test_fast_forward_ablation_exact_under_degradation():
+    # Degraded health disables the certificate (capacity withholding
+    # changes per-tick arithmetic), but spans where every PCPU is still
+    # pristine may legally skip.  Either way the ablation is exact.
+    spec = dataclasses.replace(
+        small_spec("rrs"),
+        degradation=DEGRADATION,
+        maintenance=MAINTENANCE,
+        hv_overhead={"cost": 2},
+    )
+    result_on, stats_on = _compiled_stats(spec)
+    result_off, stats_off = _compiled_stats(spec, fast_forward=False)
+    assert result_on.metrics == result_off.metrics
+    assert result_on.completions == result_off.completions
+    assert stats_off["ticks_fast_forwarded"] == 0
+    assert (
+        stats_on["ticks_fired"] + stats_on["ticks_fast_forwarded"]
+        == stats_off["ticks_fired"]
+    )
 
 
 def test_fast_forward_off_with_impulse_rewards():

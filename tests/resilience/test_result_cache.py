@@ -112,6 +112,68 @@ class TestStoreLoad:
         cache.store(cache.key({}, "compiled", 0, 0), {"ok": True})
         assert cache.writes == 0
 
+    def test_concurrent_writers_last_wins_cleanly(self, tmp_path):
+        # Two processes may race on the same key (all writers hold the
+        # same value in production; here they differ so the test can
+        # see which one landed).  Interleave the tmp-file phase of both
+        # writers: each os.replace must land a *complete* entry and the
+        # final state must be one of the two payloads, never a blend or
+        # a torn file.
+        import threading
+
+        cache_a = ResultCache(str(tmp_path))
+        cache_b = ResultCache(str(tmp_path))
+        key = cache_a.key({"scheduler": "rrs"}, "compiled", 0, 0)
+        payload_a = {"ok": True, "metrics": {"writer": "a"}}
+        payload_b = {"ok": True, "metrics": {"writer": "b"}}
+        barrier = threading.Barrier(2)
+
+        def write(cache, payload):
+            barrier.wait()
+            for _ in range(50):
+                cache.store(key, payload)
+
+        threads = [
+            threading.Thread(target=write, args=(cache_a, payload_a)),
+            threading.Thread(target=write, args=(cache_b, payload_b)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        final = cache_a.load(key)
+        assert final in (payload_a, payload_b)
+        leftovers = [
+            name
+            for _, _, names in os.walk(str(tmp_path))
+            for name in names
+            if ".tmp." in name
+        ]
+        assert leftovers == []
+
+    def test_same_pid_tmp_collision_is_safe(self, tmp_path):
+        # Both writers in one process share the pid-suffixed temp name;
+        # sequential stores must still both succeed.
+        cache = ResultCache(str(tmp_path))
+        key = cache.key({}, "compiled", 0, 0)
+        cache.store(key, {"ok": True, "metrics": {"round": 1}})
+        cache.store(key, {"ok": True, "metrics": {"round": 2}})
+        assert cache.load(key) == {"ok": True, "metrics": {"round": 2}}
+
+    def test_stale_tmp_file_never_shadows_entries(self, tmp_path):
+        # A crashed writer may leave a stale *.tmp.<pid> behind (e.g.
+        # SIGKILL between write and replace).  It must not be read as
+        # an entry, and a later healthy store must still land.
+        cache = ResultCache(str(tmp_path))
+        key = cache.key({}, "compiled", 0, 0)
+        path = cache._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(f"{path}.tmp.99999", "w", encoding="utf-8") as handle:
+            handle.write('{"ok": true, "metrics": {"stale":')  # torn
+        assert cache.load(key) is None  # the tmp file is not the entry
+        cache.store(key, {"ok": True, "metrics": {}})
+        assert cache.load(key) == {"ok": True, "metrics": {}}
+
     def test_fingerprint_namespaces_entries(self, tmp_path):
         # A code change moves the fingerprint directory, so every entry
         # of the previous version reads as a miss.

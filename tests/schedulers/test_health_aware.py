@@ -1,0 +1,151 @@
+"""Unit tests for the health-aware wrapper scheduler."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.schedulers import (
+    BUILTIN_ALGORITHMS,
+    HealthAwareScheduler,
+    PCPUState,
+    PCPUView,
+    RoundRobinScheduler,
+    SchedulingAlgorithm,
+    VCPUHostView,
+    VCPUStatus,
+)
+
+
+def make_views(topology):
+    views = []
+    for vm_id, count in enumerate(topology):
+        for k in range(count):
+            views.append(VCPUHostView(vcpu_id=len(views), vm_id=vm_id, vcpu_index=k))
+    return views
+
+
+def make_pcpus(healths, capacity=None):
+    capacity = capacity or [1.0, 0.75, 0.5, 0.25, 0.0]
+    return [
+        PCPUView(pcpu_id=i, health=h, capacity=capacity[h])
+        for i, h in enumerate(healths)
+    ]
+
+
+class TestConstruction:
+    def test_registered(self):
+        assert BUILTIN_ALGORITHMS["health_aware"] is HealthAwareScheduler
+
+    def test_default_inner_is_rrs(self):
+        algo = HealthAwareScheduler()
+        assert type(algo.inner).name == "rrs"
+
+    def test_named_inner_gets_params(self):
+        algo = HealthAwareScheduler(inner="rrs", timeslice=7)
+        assert algo.inner.timeslice == 7
+        assert algo.timeslice == 7
+
+    def test_instance_inner(self):
+        inner = RoundRobinScheduler(timeslice=11)
+        algo = HealthAwareScheduler(inner=inner)
+        assert algo.inner is inner
+        assert algo.timeslice == 11
+
+    def test_instance_inner_rejects_params(self):
+        with pytest.raises(SchedulingError):
+            HealthAwareScheduler(inner=RoundRobinScheduler(), foo=1)
+
+    def test_rejects_unknown_inner(self):
+        with pytest.raises(SchedulingError):
+            HealthAwareScheduler(inner="quantum")
+
+    def test_rejects_wrapping_itself(self):
+        with pytest.raises(SchedulingError):
+            HealthAwareScheduler(inner="health_aware")
+
+    def test_inherits_tick_skip_certificate(self):
+        assert HealthAwareScheduler(inner="rrs").tick_skip_safe
+        assert not HealthAwareScheduler(inner="sedf").tick_skip_safe
+
+
+class TestPlacement:
+    def _run(self, healths, topology=(1,), pin=None):
+        algo = HealthAwareScheduler(inner="rrs")
+        views = make_views(list(topology))
+        for view in views:
+            view.status = VCPUStatus.INACTIVE
+        pcpus = make_pcpus(healths)
+        algo.schedule(views, len(views), pcpus, len(pcpus), timestamp=0.0)
+        return views
+
+    def test_routes_default_placement_to_healthiest(self):
+        views = self._run([2, 0, 1])
+        assert views[0].schedule_in
+        assert views[0].next_pcpu == 1
+
+    def test_healthy_host_matches_first_free_default(self):
+        # The framework default is the lowest-numbered free PCPU; on a
+        # pristine host the wrapper must pick exactly that, so wrapped
+        # and bare inner schedules are bit-identical until degradation.
+        views = self._run([0, 0, 0])
+        assert views[0].next_pcpu == 0
+
+    def test_ties_break_to_lowest_id(self):
+        views = self._run([1, 1, 0, 0])
+        assert views[0].next_pcpu == 2
+
+    def test_skips_busy_and_taken_pcpus(self):
+        algo = HealthAwareScheduler(inner="rrs")
+        views = make_views([1, 1])
+        pcpus = make_pcpus([0, 1, 2])
+        pcpus[0].state = PCPUState.ASSIGNED
+        pcpus[0].vcpu = 99
+        algo.schedule(views, len(views), pcpus, len(pcpus), timestamp=0.0)
+        placed = [v.next_pcpu for v in views if v.schedule_in]
+        assert sorted(placed) == [1, 2]  # distinct, healthiest-first
+
+    def test_honors_explicit_pins(self):
+        class Pinning(SchedulingAlgorithm):
+            name = "pinning"
+            def schedule(self, vcpus, num_vcpu, pcpus, num_pcpu, timestamp):
+                for view in vcpus:
+                    if not view.active:
+                        self.start(view, pcpu=num_pcpu - 1)
+                return True
+
+        algo = HealthAwareScheduler(inner=Pinning())
+        views = make_views([1])
+        pcpus = make_pcpus([2, 0])
+        algo.schedule(views, 1, pcpus, 2, timestamp=0.0)
+        assert views[0].next_pcpu == 1  # the pin wins over health
+
+    def test_overcommit_leaves_default_for_diagnostic(self):
+        class StartBoth(SchedulingAlgorithm):
+            name = "start-both"
+            def schedule(self, vcpus, num_vcpu, pcpus, num_pcpu, timestamp):
+                for view in vcpus:
+                    self.start(view)
+                return True
+
+        algo = HealthAwareScheduler(inner=StartBoth())
+        views = make_views([1, 1])
+        pcpus = make_pcpus([1])
+        algo.schedule(views, 2, pcpus, 1, timestamp=0.0)
+        placements = [v.next_pcpu for v in views]
+        # One VCPU placed on the only core; the surplus keeps the
+        # framework default (None) so over-commitment still raises the
+        # framework's own diagnostic, not a silent double-assign.
+        assert sorted(placements, key=lambda x: (x is None, x)) == [0, None]
+
+    def test_reset_cascades_to_inner(self):
+        class Spy(SchedulingAlgorithm):
+            name = "spy"
+            resets = 0
+            def reset(self):
+                super().reset()
+                Spy.resets += 1
+            def schedule(self, *args):
+                return False
+
+        algo = HealthAwareScheduler(inner=Spy())
+        algo.reset()
+        assert Spy.resets == 1

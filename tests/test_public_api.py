@@ -101,6 +101,7 @@ def test_scheduler_api():
         CreditScheduler,
         FifoScheduler,
         FunctionScheduler,
+        HealthAwareScheduler,
         HybridScheduler,
         RelaxedCoScheduler,
         RoundRobinScheduler,
@@ -112,6 +113,7 @@ def test_scheduler_api():
 
     assert set(BUILTIN_ALGORITHMS) == {
         "rrs", "scs", "rcs", "balance", "credit", "sedf", "hybrid", "fifo",
+        "health_aware",
     }
 
 
