@@ -30,6 +30,7 @@ from __future__ import annotations
 import argparse
 import contextlib
 import json
+import math
 import sys
 from typing import Any, Dict, List, Optional
 
@@ -49,12 +50,56 @@ def _cmd_list_schedulers(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Boolean-ish spellings we refuse to guess at: JSON specs spell booleans
+#: ``true``/``false``, so the CLI accepts exactly those and nothing else.
+_KV_AMBIGUOUS_BOOLS = frozenset({"yes", "no", "on", "off", "y", "n", "t", "f"})
+
+
+def _coerce_kv_value(value: str, flag: str, key: str) -> Any:
+    """Coerce one ``k=v`` value: bool, then int, then float, then str.
+
+    ``true``/``false`` (any case) become booleans; integer literals
+    become ints; anything ``float()`` accepts — including scientific
+    notation like ``1e3`` — becomes a float.  Values that could be read
+    more than one way (``yes``/``off``-style booleans, ``nan``, ``inf``,
+    or an empty value) are rejected outright rather than passed through
+    as surprise strings or non-finite numbers.
+    """
+    if not value:
+        raise ConfigurationError(f"{flag}: {key}= has an empty value")
+    lowered = value.lower()
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    if lowered in _KV_AMBIGUOUS_BOOLS:
+        raise ConfigurationError(
+            f"{flag}: ambiguous value {key}={value!r}; spell booleans true/false"
+        )
+    try:
+        return int(value)
+    except ValueError:
+        pass
+    try:
+        number = float(value)
+    except ValueError:
+        return value
+    if math.isnan(number) or math.isinf(number):
+        raise ConfigurationError(
+            f"{flag}: non-finite value {key}={value!r} is not allowed"
+        )
+    return number
+
+
 def _parse_kv(text: str, flag: str) -> Dict[str, Any]:
-    """Parse ``k=v,k=v`` flag payloads, coercing values int -> float -> str.
+    """Parse ``k=v,k=v`` flag payloads, coercing values bool -> int -> float -> str.
 
     Used by ``--degradation`` and ``--maintenance``; the resulting dict
     feeds the same ``from_dict`` validators the JSON spec path uses, so
-    unknown keys and bad values fail with the same messages.
+    unknown keys and bad values fail with the same messages.  Value
+    coercion (see :func:`_coerce_kv_value`) is normalized: ``true`` and
+    ``false`` parse as booleans, ``1e3`` parses as a float, and
+    ambiguous spellings fail with a one-line :class:`ConfigurationError`.
     """
     out: Dict[str, Any] = {}
     for chunk in text.split(","):
@@ -66,16 +111,8 @@ def _parse_kv(text: str, flag: str) -> Dict[str, Any]:
             raise ConfigurationError(
                 f"{flag} expects comma-separated k=v pairs, got {chunk!r}"
             )
-        value = value.strip()
-        coerced: Any
-        try:
-            coerced = int(value)
-        except ValueError:
-            try:
-                coerced = float(value)
-            except ValueError:
-                coerced = value
-        out[key.strip()] = coerced
+        key = key.strip()
+        out[key] = _coerce_kv_value(value.strip(), flag, key)
     return out
 
 
@@ -110,6 +147,7 @@ def _resilience_from_args(args: argparse.Namespace) -> Optional[ResilienceConfig
         and args.checkpoint is None
         and not args.resume
         and cache_dir is None
+        and args.batch_width is None
     ):
         return None
     config = ResilienceConfig(
@@ -121,6 +159,7 @@ def _resilience_from_args(args: argparse.Namespace) -> Optional[ResilienceConfig
         incremental=args.engine != "rescan",
         engine=args.engine,
         cache_dir=cache_dir,
+        batch_width=args.batch_width,
     )
     config.validate()
     return config
@@ -303,11 +342,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument(
         "--engine",
-        choices=("incremental", "rescan", "compiled"),
+        choices=("incremental", "rescan", "compiled", "batch"),
         default="incremental",
         help="enablement engine: incremental (cached, default), rescan "
-        "(full re-evaluation reference), or compiled (flat-array lowering "
-        "with clock-tick fast-forward); results are bit-identical",
+        "(full re-evaluation reference), compiled (flat-array lowering "
+        "with clock-tick fast-forward), or batch (replication groups "
+        "advanced in waves over one shared calendar); results are "
+        "bit-identical across all four",
+    )
+    run_parser.add_argument(
+        "--batch-width",
+        type=int,
+        default=None,
+        dest="batch_width",
+        metavar="N",
+        help="replications per batch-dispatch group (engine=batch only; "
+        "default: framework default)",
     )
     run_parser.add_argument(
         "--degradation",

@@ -20,7 +20,7 @@ import contextlib
 import json
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 from ..des.random_streams import StreamFactory
 from ..errors import ConfigurationError
@@ -37,7 +37,13 @@ from ..resilience.degradation import (
 )
 from ..resilience.failures import ReplicationFailure
 from ..resilience.guard import GuardedScheduler, GuardPolicy
-from ..san import ComposedModel, SANSimulator, build_simulator, resolve_engine
+from ..san import (
+    ComposedModel,
+    SANSimulator,
+    build_simulator,
+    resolve_engine,
+    run_lanes,
+)
 from .config import SystemSpec
 from .registry import create_scheduler
 from ..vmm.system import build_virtual_system
@@ -312,10 +318,7 @@ class Simulation:
         finally:
             # Even a faulted run may release: the next checkout resets the
             # simulator (markings, queue, rewards, streams) from scratch.
-            entry = self._cache_entry
-            if entry is not None:
-                entry.in_use = False
-                self._cache_entry = None
+            self._release_cache()
 
     def _run_once(self) -> RunResult:
         with contextlib.ExitStack() as stack:
@@ -335,6 +338,15 @@ class Simulation:
                     completions=self.simulator.completions,
                     degraded=self._guard.quarantined if self._guard else False,
                 )
+        return self._collect_result()
+
+    def _collect_result(self) -> RunResult:
+        """Assemble the RunResult after the simulator reached sim_time.
+
+        Split out of :meth:`_run_once` so an external driver (the batch
+        dispatcher) can advance ``self.simulator`` itself and still get
+        the identical result path.
+        """
         self._ran = True
         metrics = {name: reward.result() for name, reward in self.rewards.items()}
         failures: List[ReplicationFailure] = []
@@ -353,6 +365,13 @@ class Simulation:
             failures=failures,
             degraded=degraded,
         )
+
+    def _release_cache(self) -> None:
+        """Return a checked-out cached model (idempotent)."""
+        entry = self._cache_entry
+        if entry is not None:
+            entry.in_use = False
+            self._cache_entry = None
 
     def stats(self) -> Dict[str, Any]:
         """Engine counters plus (when enabled) profiling and trace stats."""
@@ -410,6 +429,121 @@ def simulate_once(
         engine=engine,
         reuse=reuse,
     ).run()
+
+
+# -- replication-batched dispatch ---------------------------------------------
+#
+# The batch engine runs R replications of one spec through a shared calendar
+# (see repro.san.compiled.run_lanes).  Guarded or chaos-wrapped replications
+# carry per-replication wrapper state that the trace/guard contract defines
+# in terms of a single serial run, so those fall back to the serial compiled
+# engine, one replication at a time; the module-level counters let tests and
+# stats assert which path actually executed.
+
+#: Lanes driven concurrently per group (bounds peak model memory).
+BATCH_WIDTH_DEFAULT = 8
+
+_BATCH_DISPATCH = {"groups": 0, "batched": 0, "fallback": 0}
+
+
+def batch_dispatch_stats() -> Dict[str, int]:
+    """Counters for the batch dispatcher: groups run, replications per path."""
+    return dict(_BATCH_DISPATCH)
+
+
+def reset_batch_dispatch_stats() -> None:
+    for key in _BATCH_DISPATCH:
+        _BATCH_DISPATCH[key] = 0
+
+
+def simulate_batch(
+    spec: SystemSpec,
+    replications: Sequence[int],
+    root_seed: int = 0,
+    extra_probes: bool = False,
+    guard: Optional[GuardPolicy] = None,
+    chaos: Optional[ChaosSpec] = None,
+    attempt: int = 0,
+    engine: Optional[str] = "batch",
+    reuse: bool = False,
+    width: Optional[int] = None,
+) -> List[RunResult]:
+    """Run several replications of one spec, batched through one calendar.
+
+    Groups of up to ``width`` replications each get their own model lane
+    (own marking, event wheel, and per-replication streams — the exact
+    serial sample paths) and advance together off a shared calendar, so
+    co-temporal clock ticks across replications execute back to back.
+    Results are returned in ``replications`` order and are bit-identical
+    to ``[simulate_once(spec, r, ...) for r in replications]``.
+
+    Fallback rules (each replication counted in
+    :func:`batch_dispatch_stats`): a ``guard`` or ``chaos`` wrapper, or
+    an active tracer, forces the serial ``compiled`` engine per
+    replication (wave interleaving would shuffle lanes' records into
+    one stream, breaking the checker's per-replication invariants); a
+    non-batch ``engine`` simply loops :func:`simulate_once` with that
+    engine.
+    """
+    replication_list = [int(r) for r in replications]
+    engine_name = resolve_engine(engine, True)
+    if engine_name != "batch":
+        return [
+            simulate_once(
+                spec,
+                replication=r,
+                root_seed=root_seed,
+                extra_probes=extra_probes,
+                guard=guard,
+                chaos=chaos,
+                attempt=attempt,
+                engine=engine_name,
+                reuse=reuse,
+            )
+            for r in replication_list
+        ]
+    if guard is not None or chaos is not None or _trace._ACTIVE is not None:
+        _BATCH_DISPATCH["fallback"] += len(replication_list)
+        return [
+            simulate_once(
+                spec,
+                replication=r,
+                root_seed=root_seed,
+                extra_probes=extra_probes,
+                guard=guard,
+                chaos=chaos,
+                attempt=attempt,
+                engine="compiled",
+                reuse=reuse,
+            )
+            for r in replication_list
+        ]
+    lane_width = int(width) if width is not None else BATCH_WIDTH_DEFAULT
+    if lane_width < 1:
+        raise ConfigurationError(f"batch width must be >= 1, got {lane_width}")
+    results: List[RunResult] = []
+    for start in range(0, len(replication_list), lane_width):
+        group = replication_list[start : start + lane_width]
+        sims = [
+            Simulation(
+                spec,
+                replication=r,
+                root_seed=root_seed,
+                extra_probes=extra_probes,
+                engine="batch",
+                reuse=reuse,
+            )
+            for r in group
+        ]
+        try:
+            run_lanes([sim.simulator for sim in sims], spec.sim_time)
+            results.extend(sim._collect_result() for sim in sims)
+        finally:
+            for sim in sims:
+                sim._release_cache()
+        _BATCH_DISPATCH["groups"] += 1
+        _BATCH_DISPATCH["batched"] += len(group)
+    return results
 
 
 def build_system(

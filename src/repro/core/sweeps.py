@@ -204,18 +204,49 @@ class _AffinityPool:
         self._spawn()
 
     def close(self) -> None:
-        for slot in self._slots.values():
+        """Shut every worker down and release every queue fd.
+
+        Sequence: sentinel -> join -> terminate -> join -> close queues.
+        Abandoned workers get the same treatment as live slots — they
+        never received a sentinel when they were replaced, and a
+        terminated process that is never joined stays a zombie (and its
+        queue feeder keeps two pipe fds open) for the life of the
+        parent, which leaks across repeated sweeps in one process.
+        """
+        slots = list(self._slots.values()) + self._abandoned
+        for slot in slots:
             try:
                 slot.tasks.put(None)
             except Exception:  # noqa: BLE001 — shutdown is best-effort
                 pass
         deadline = time.monotonic() + 1.0
-        for slot in self._slots.values():
+        for slot in slots:
             slot.process.join(timeout=max(0.0, deadline - time.monotonic()))
-        for slot in list(self._slots.values()) + self._abandoned:
+        for slot in slots:
             if slot.process.is_alive():
                 # Safe now: nothing reads the result queue after close().
                 slot.process.terminate()
+        deadline = time.monotonic() + 1.0
+        for slot in slots:
+            if slot.process.is_alive():
+                slot.process.join(timeout=max(0.0, deadline - time.monotonic()))
+        for slot in slots:
+            try:
+                slot.tasks.close()
+                slot.tasks.cancel_join_thread()
+            except Exception:  # noqa: BLE001
+                pass
+            try:
+                slot.process.close()
+            except Exception:  # noqa: BLE001 — still alive after SIGTERM
+                pass
+        try:
+            self._results.close()
+            self._results.cancel_join_thread()
+        except Exception:  # noqa: BLE001
+            pass
+        self._slots.clear()
+        self._abandoned.clear()
 
 
 class _InlineExecutor:
@@ -302,6 +333,37 @@ class _PointState:
         self.next_index += 1
         return self.run.task(index)
 
+    def batch_width(self) -> int:
+        """Lanes per floor grant (1 = batching off for this point)."""
+        if not self.run.batch_eligible():
+            return 1
+        from .framework import BATCH_WIDTH_DEFAULT  # local: lazy, no cycle
+
+        return self.run.config.batch_width or BATCH_WIDTH_DEFAULT
+
+    def take_fresh_floor(self) -> _Task:
+        """One floor grant: a batch of entitled replications when eligible.
+
+        Floor replications (< ``min_replications``) execute no matter
+        what the convergence monitor later says, so grouping them into
+        one shared-calendar dispatch never over-runs the budget the
+        serial path would spend.  Speculative (adaptive) grants stay
+        single so ``executed == cut`` is preserved.
+        """
+        width = self.batch_width()
+        group: List[int] = []
+        while len(group) < width:
+            index = self.peek_fresh()
+            if index is None or index >= self.min_replications:
+                break
+            group.append(index)
+            self.next_index += 1
+        if not group:  # caller guaranteed one floor index exists
+            return self.take_fresh()
+        if len(group) == 1:
+            return self.run.task(group[0])
+        return self.run.batch_task(group)
+
     def distance(self) -> float:
         return self.run.monitor.distance() if self.run.monitor else float("inf")
 
@@ -351,7 +413,7 @@ class _SweepScheduler:
         ]
         if floors:
             state = min(floors, key=lambda s: (s.peek_fresh(), s.index))
-            return state, state.take_fresh(), REASON_FLOOR
+            return state, state.take_fresh_floor(), REASON_FLOOR
         # 3. Adaptive: one speculative grant at a time per unconverged
         #    point, to whichever is furthest from the half-width target.
         #    The one-in-flight cap is what makes executed == cut.
@@ -384,6 +446,7 @@ class _SweepScheduler:
             "attempt": task.attempt,
             "worker": worker,
             "reason": reason,
+            "batch": len(task.batch) if task.batch else 1,
             "distance": None if distance == float("inf") else distance,
         }
         self.allocation_log.append(entry)
@@ -413,10 +476,35 @@ class _SweepScheduler:
         self.pool.release(worker)
         state.inflight -= 1
         if payload["ok"]:
-            state.run.resolve_success(task, payload)
+            if task.batch:
+                state.run.resolve_batch(task, payload)
+            else:
+                state.run.resolve_success(task, payload)
         else:
-            self._fail(state, task, payload)
+            self._fail_dispatch(state, task, payload)
         state.refresh_done()
+
+    def _fail_dispatch(
+        self,
+        state: _PointState,
+        task: _Task,
+        payload: Dict[str, Any],
+        kind: Optional[str] = None,
+    ) -> None:
+        """A dispatch failed: batch groups degrade to single attempts.
+
+        One bad lane (or one group timeout) must not sink its whole
+        group's accounting, so each member re-queues as an ordinary
+        attempt-0 task and takes the standard retry/timeout machinery
+        from there; single tasks go straight to ``fail_attempt``.
+        """
+        if task.batch:
+            for replication in task.batch:
+                state.ready.append(
+                    dataclasses.replace(task, replication=replication, batch=None)
+                )
+            return
+        self._fail(state, task, payload, kind)
 
     def _fail(
         self,
@@ -447,7 +535,7 @@ class _SweepScheduler:
             del self.outstanding[dispatch_id]
             self.pool.abandon(worker)
             state.inflight -= 1
-            self._fail(
+            self._fail_dispatch(
                 state,
                 task,
                 {
@@ -471,7 +559,7 @@ class _SweepScheduler:
             for dispatch_id, (state, task, _worker, _deadline) in lost:
                 del self.outstanding[dispatch_id]
                 state.inflight -= 1
-                self._fail(
+                self._fail_dispatch(
                     state,
                     task,
                     {"error": "worker process died"},

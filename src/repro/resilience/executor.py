@@ -72,8 +72,13 @@ class ResilienceConfig:
         incremental: legacy enablement-engine toggle (False forces the
             full-rescan reference engine); ignored when ``engine`` is set.
         engine: enablement engine for every replication —
-            ``"incremental"``, ``"rescan"``, or ``"compiled"``; results
-            are bit-identical across all three.
+            ``"incremental"``, ``"rescan"``, ``"compiled"``, or
+            ``"batch"``; results are bit-identical across all four.
+            ``"batch"`` additionally lets the serial driver and the
+            sweep pool dispatch groups of clean (unguarded, chaos-free)
+            replications through one shared calendar.
+        batch_width: lanes per batch-dispatch group (``None`` = the
+            framework default); only meaningful with ``engine="batch"``.
         reuse: reuse the built (and, for compiled, lowered) model across
             replications of the same spec — once per process, so each
             pool worker compiles once and resets thereafter.
@@ -98,6 +103,7 @@ class ResilienceConfig:
     engine: Optional[str] = None
     reuse: bool = True
     cache_dir: Optional[str] = None
+    batch_width: Optional[int] = None
 
     def validate(self) -> None:
         if self.jobs < 1:
@@ -118,10 +124,15 @@ class ResilienceConfig:
             "incremental",
             "rescan",
             "compiled",
+            "batch",
         ):
             raise ConfigurationError(
                 f"unknown engine {self.engine!r}; "
-                "expected 'incremental', 'rescan', or 'compiled'"
+                "expected 'incremental', 'rescan', 'compiled', or 'batch'"
+            )
+        if self.batch_width is not None and self.batch_width < 1:
+            raise ConfigurationError(
+                f"batch_width must be >= 1, got {self.batch_width}"
             )
 
 
@@ -193,7 +204,13 @@ class ExecutionOutcome:
 
 @dataclass
 class _Task:
-    """One replication attempt, picklable for the process pool."""
+    """One replication attempt, picklable for the process pool.
+
+    When ``batch`` is set the task covers that whole group of
+    replication indices at attempt 0 (``replication`` holds the first
+    index, for affinity/bookkeeping); the worker answers with a
+    ``batch`` list of per-replication payloads in the same order.
+    """
 
     spec: Any  # SystemSpec (kept loose: no core import at module level)
     replication: int
@@ -205,11 +222,40 @@ class _Task:
     incremental: bool = True
     engine: Optional[str] = None
     reuse: bool = True
+    batch: Optional[Tuple[int, ...]] = None
+
+
+def _run_payload(run: Any) -> Dict[str, Any]:
+    return {
+        "ok": True,
+        "metrics": run.metrics,
+        "completions": run.completions,
+        "degraded": run.degraded,
+        "failures": [f.to_dict() for f in run.failures],
+    }
 
 
 def _execute_task(task: _Task) -> Dict[str, Any]:
     """Worker entry: run one attempt, never raise across the boundary."""
-    from ..core.framework import simulate_once  # local: breaks an import cycle
+    # Local imports: break the core <-> resilience import cycle.
+    if task.batch:
+        from ..core.framework import simulate_batch
+
+        try:
+            runs = simulate_batch(
+                task.spec,
+                list(task.batch),
+                root_seed=task.root_seed,  # batch groups are always attempt 0
+                extra_probes=task.extra_probes,
+                guard=task.guard,
+                chaos=task.chaos,
+                engine=task.engine,
+                reuse=task.reuse,
+            )
+        except Exception as exc:  # noqa: BLE001 — every fault becomes a record
+            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+        return {"ok": True, "batch": [_run_payload(run) for run in runs]}
+    from ..core.framework import simulate_once
 
     try:
         run = simulate_once(
@@ -226,13 +272,7 @@ def _execute_task(task: _Task) -> Dict[str, Any]:
         )
     except Exception as exc:  # noqa: BLE001 — every fault becomes a record
         return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
-    return {
-        "ok": True,
-        "metrics": run.metrics,
-        "completions": run.completions,
-        "degraded": run.degraded,
-        "failures": [f.to_dict() for f in run.failures],
-    }
+    return _run_payload(run)
 
 
 def spec_payload(spec: Any) -> Any:
@@ -368,6 +408,22 @@ class _Run:
             engine=self.config.engine,
             reuse=self.config.reuse,
         )
+
+    def batch_eligible(self) -> bool:
+        """Clean batch-engine runs may dispatch replication groups."""
+        return (
+            self.config.engine == "batch"
+            and self.config.guard is None
+            and self.config.chaos is None
+        )
+
+    def batch_task(self, group: List[int]) -> _Task:
+        return replace(self.task(group[0]), batch=tuple(group))
+
+    def resolve_batch(self, task: _Task, payload: Dict[str, Any]) -> None:
+        """Unpack a batch answer into per-replication resolutions."""
+        for replication, sub in zip(task.batch, payload["batch"]):
+            self.resolve_success(replace(task, replication=replication, batch=None), sub)
 
     def _stamp(self, failures: List[ReplicationFailure], task: _Task) -> None:
         for failure in failures:
@@ -537,7 +593,62 @@ class _Run:
     # -- serial driver -------------------------------------------------------
 
     def run_serial(self) -> None:
-        for replication in range(self.max_replications):
+        if self.batch_eligible():
+            self._run_serial_batched()
+            return
+        self._run_serial_single()
+
+    def _run_serial_batched(self) -> None:
+        """Serial driver, batch engine: dispatch clean replication groups.
+
+        Groups share one calendar (see ``simulate_batch``); convergence
+        is judged between groups, so a group may over-run the cut — the
+        surplus is discarded by ``assemble`` exactly as the pool
+        driver's over-run is.  A faulted group falls back to the
+        per-replication driver for those indices, which restores the
+        full retry/reseed machinery.
+        """
+        from ..core.framework import BATCH_WIDTH_DEFAULT, simulate_batch
+
+        width = self.config.batch_width or BATCH_WIDTH_DEFAULT
+        next_index = 0
+        while True:
+            if self.converged_cut() is not None:
+                return
+            group: List[int] = []
+            while next_index < self.max_replications and len(group) < width:
+                if next_index not in self.resolved:
+                    group.append(next_index)
+                next_index += 1
+            if not group:
+                return
+            try:
+                runs = simulate_batch(
+                    self.spec,
+                    group,
+                    root_seed=self.root_seed,
+                    extra_probes=self.extra_probes,
+                    engine="batch",
+                    reuse=self.config.reuse,
+                    width=width,
+                )
+            except Exception:  # noqa: BLE001 — group fault: isolate per lane
+                self._run_serial_single(group)
+                continue
+            task = self.batch_task(group)
+            self.resolve_batch(task, {"ok": True, "batch": [
+                {
+                    "metrics": run.metrics,
+                    "completions": run.completions,
+                    "degraded": run.degraded,
+                    "failures": [f.to_dict() for f in run.failures],
+                }
+                for run in runs
+            ]})
+
+    def _run_serial_single(self, only: Optional[List[int]] = None) -> None:
+        replications = only if only is not None else range(self.max_replications)
+        for replication in replications:
             if replication not in self.resolved:
                 task = self.task(replication)
                 while task is not None:

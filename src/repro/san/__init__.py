@@ -9,7 +9,15 @@ the paper used.
 
 from .activities import Activity, Case, InstantaneousActivity, TimedActivity
 from .analysis import ReachabilityAnalyzer
-from .compiled import ENGINES, CompiledSANSimulator, build_simulator, resolve_engine
+from .compiled import (
+    ENGINES,
+    BatchCompiledSANSimulator,
+    CompiledSANSimulator,
+    build_simulator,
+    place_matrix,
+    resolve_engine,
+    run_lanes,
+)
 from .composed import ComposedModel, SharedVariable, join, replicate
 from .ctmc import CTMCSolver
 from .dot import save_dot, to_dot
@@ -48,8 +56,11 @@ __all__ = [
     "RewardVariable",
     "SANSimulator",
     "CompiledSANSimulator",
+    "BatchCompiledSANSimulator",
     "ENGINES",
     "build_simulator",
+    "place_matrix",
     "resolve_engine",
+    "run_lanes",
     "MarkingTrace",
 ]

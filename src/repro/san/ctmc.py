@@ -32,7 +32,14 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
 
 import numpy as np
-from scipy import linalg
+
+try:
+    from scipy import linalg
+except ImportError:  # pragma: no cover - exercised via masked-import test
+    # scipy is an optional extra; the simulation engines never need it.
+    # Only the CTMC steady-state solve below requires a linear-algebra
+    # backend, and it raises a clear error when scipy is absent.
+    linalg = None
 
 from ..des.distributions import Exponential, MarkingDependentExponential
 from ..errors import ModelError, SimulationError
@@ -190,6 +197,11 @@ class CTMCSolver:
             return self._pi
         if not self._snapshots:
             raise ModelError("call explore() before steady_state()")
+        if linalg is None:
+            raise SimulationError(
+                "CTMCSolver.steady_state() requires scipy; install the "
+                "'scipy' extra (pip install repro[scipy])"
+            )
         n = self.num_states
         q = np.zeros((n, n))
         for source, target, rate in self._transitions:

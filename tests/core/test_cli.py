@@ -156,6 +156,79 @@ class TestRun:
         assert first != second
 
 
+class TestParseKv:
+    """``k=v`` flag coercion: bool -> int -> float -> str, no guessing."""
+
+    def test_coercion_matrix(self):
+        from repro.cli import _parse_kv
+
+        parsed = _parse_kv(
+            "i=3,neg=-7,f=0.25,sci=1e3,negsci=-2.5E-2,s=condition_based,"
+            "t=true,T=TRUE,fa=false",
+            "--x",
+        )
+        assert parsed == {
+            "i": 3, "neg": -7, "f": 0.25, "sci": 1000.0, "negsci": -0.025,
+            "s": "condition_based", "t": True, "T": True, "fa": False,
+        }
+        # The coerced types are exact, not bool-as-int surprises.
+        assert type(parsed["i"]) is int
+        assert type(parsed["sci"]) is float
+        assert type(parsed["t"]) is bool
+
+    @pytest.mark.parametrize(
+        "payload",
+        ["a=yes", "a=no", "a=on", "a=OFF", "a=y", "a=nan", "a=inf",
+         "a=-inf", "a=Infinity", "a="],
+    )
+    def test_ambiguous_values_rejected(self, payload):
+        from repro.cli import _parse_kv
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            _parse_kv(payload, "--x")
+
+    def test_malformed_pairs_rejected(self):
+        from repro.cli import _parse_kv
+        from repro.errors import ConfigurationError
+
+        for text in ["novalue", "=5", "a=1,=2"]:
+            with pytest.raises(ConfigurationError):
+                _parse_kv(text, "--x")
+
+    def test_rejection_is_one_structured_line(self, spec_file, capsys):
+        assert main(["run", "--spec", spec_file,
+                     "--degradation", "p=nan"]) == 1
+        err = capsys.readouterr().err
+        lines = [line for line in err.splitlines() if line]
+        assert len(lines) == 1
+        assert lines[0].startswith("error: ConfigurationError:")
+
+    def test_degradation_flag_round_trips(self, spec_file, capsys):
+        assert main(["run", "--spec", spec_file, "--csv",
+                     "--min-replications", "2", "--max-replications", "2",
+                     "--degradation", "p=0.1,h_max=4,mtbe=50"]) == 0
+        assert capsys.readouterr().out.startswith("label,")
+
+
+class TestBatchEngineFlag:
+    def test_batch_engine_matches_compiled(self, spec_file, capsys):
+        base = ["run", "--spec", spec_file, "--csv",
+                "--min-replications", "3", "--max-replications", "3"]
+        assert main(base + ["--engine", "compiled"]) == 0
+        compiled = capsys.readouterr().out
+        assert main(base + ["--engine", "batch"]) == 0
+        batch = capsys.readouterr().out
+        assert batch == compiled
+        assert main(base + ["--engine", "batch", "--batch-width", "2"]) == 0
+        assert capsys.readouterr().out == compiled
+
+    def test_bad_batch_width_rejected(self, spec_file, capsys):
+        assert main(["run", "--spec", spec_file,
+                     "--engine", "batch", "--batch-width", "0"]) == 1
+        assert "error: ConfigurationError" in capsys.readouterr().err
+
+
 class TestTraceAndProfileFlags:
     """The ``--trace`` / ``--profile`` / ``--engine`` observability matrix."""
 

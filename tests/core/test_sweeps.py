@@ -209,9 +209,10 @@ class TestAccounting:
         for entry in log:
             assert set(entry) == {
                 "seq", "point", "replication", "attempt", "worker",
-                "reason", "distance",
+                "reason", "batch", "distance",
             }
             assert entry["reason"] in (REASON_FLOOR, REASON_ADAPTIVE, REASON_RETRY)
+            assert entry["batch"] == 1  # default engine never groups
         # Every point draws its floor entitlement, and the per-point
         # execution counts reconcile with the returned results.
         floors = [e for e in log if e["reason"] == REASON_FLOOR]
@@ -267,8 +268,83 @@ class TestAccounting:
         ]
         assert dispatches
         assert set(dispatches[0].data) == {
-            "point", "replication", "attempt", "worker", "reason", "distance",
+            "point", "replication", "attempt", "worker", "reason", "batch",
+            "distance",
         }
+
+
+class TestPoolLifecycle:
+    @pytest.mark.slow
+    def test_back_to_back_pools_leave_no_children(self, base, points):
+        # Regression: close() used to sentinel/join only the *active*
+        # slots and never terminate stragglers, so a second pooled sweep
+        # in the same process inherited zombie workers.
+        import multiprocessing
+
+        resolved = resolve_sweep_points(base, points[:3])
+        reference = None
+        for _ in range(2):
+            outcome = run_interleaved_sweep(resolved, sweep_jobs=2, **ARGS)
+            assert multiprocessing.active_children() == []
+            if reference is None:
+                reference = extract(outcome.results)
+            else:
+                assert extract(outcome.results) == reference
+
+
+class TestBatchEngine:
+    def test_batch_interleaved_equals_serial_compiled(self, base, points):
+        serial = run_sweep(
+            base, points[:3], sweep_engine="serial",
+            resilience=ResilienceConfig(engine="compiled"), **ARGS,
+        )
+        batched = run_sweep(
+            base, points[:3], sweep_engine="interleaved",
+            resilience=ResilienceConfig(engine="batch"), **ARGS,
+        )
+        assert extract(batched) == extract(serial)
+
+    def test_floor_grants_are_batched(self, base, points):
+        outcome = run_interleaved_sweep(
+            resolve_sweep_points(base, points[:2]),
+            resilience=ResilienceConfig(engine="batch"),
+            **ARGS,
+        )
+        log = outcome.stats.allocation_log
+        floors = [e for e in log if e["reason"] == REASON_FLOOR]
+        # The whole floor entitlement of a point fits one group.
+        assert {e["batch"] for e in floors} == {ARGS["min_replications"]}
+        # Adaptive grants stay single so executed still equals the cut.
+        for entry in log:
+            if entry["reason"] == REASON_ADAPTIVE:
+                assert entry["batch"] == 1
+        # Accounting counts members, not dispatches.
+        assert outcome.stats.executed == sum(
+            r.replications for r in outcome.results
+        )
+
+    @pytest.mark.slow
+    def test_batch_pooled_equals_serial(self, base, points):
+        import multiprocessing
+
+        serial = run_sweep(
+            base, points[:3], sweep_engine="serial",
+            resilience=ResilienceConfig(engine="compiled"), **ARGS,
+        )
+        pooled = run_sweep(
+            base, points[:3], sweep_engine="interleaved", sweep_jobs=2,
+            resilience=ResilienceConfig(engine="batch"), **ARGS,
+        )
+        assert extract(pooled) == extract(serial)
+        assert multiprocessing.active_children() == []
+
+    def test_batch_width_override_respected(self, base, points):
+        outcome = run_interleaved_sweep(
+            resolve_sweep_points(base, points[:1]),
+            resilience=ResilienceConfig(engine="batch", batch_width=1),
+            **ARGS,
+        )
+        assert {e["batch"] for e in outcome.stats.allocation_log} == {1}
 
 
 class TestAdaptiveAllocation:

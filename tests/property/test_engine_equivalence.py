@@ -1,12 +1,17 @@
-"""Differential tests: the three enablement engines must agree bit-for-bit.
+"""Differential tests: the four enablement engines must agree bit-for-bit.
 
 The incremental engine caches per-gate verdicts; the compiled engine
 lowers the model to flat arrays and fast-forwards idle clock ticks; the
-rescan engine re-evaluates everything every step and is the semantic
-reference.  For a fixed ``(root_seed, replication)`` all three must be
-*bit-for-bit* identical — same metrics, same completion count — for
-every registered scheduler, with and without the resilience layers
+batch engine drives compiled lanes in waves over one shared calendar;
+the rescan engine re-evaluates everything every step and is the
+semantic reference.  For a fixed ``(root_seed, replication)`` all four
+must be *bit-for-bit* identical — same metrics, same completion count —
+for every registered scheduler, with and without the resilience layers
 (decision guard, chaos injection) and the PCPU fail/repair extension.
+The batch *dispatch* layer additionally falls back to serial compiled
+runs under guard/chaos; tests below assert the fallback is actually
+taken (via :func:`repro.core.framework.batch_dispatch_stats`), not just
+that the numbers come out right.
 
 Any divergence here means an engine skipped work that mattered: the
 incremental tracker missed a write, or the compiled fast-forward
@@ -93,10 +98,11 @@ def assert_engine_traces_identical(spec, replication=0, root_seed=7, **kwargs):
             f"  incremental: {got}\n  rescan:      {want}"
         )
     want_norm = golden.normalize(tracers["rescan"].records)
-    got_norm = golden.normalize(tracers["compiled"].records)
-    assert got_norm == want_norm, "compiled trace normalizes differently"
-    violations = check_trace(tracers["compiled"].records)
-    assert not violations, "\n".join(str(v) for v in violations[:10])
+    for engine in ("compiled", "batch"):
+        got_norm = golden.normalize(tracers[engine].records)
+        assert got_norm == want_norm, f"{engine} trace normalizes differently"
+        violations = check_trace(tracers[engine].records)
+        assert not violations, "\n".join(str(v) for v in violations[:10])
 
 
 def small_spec(scheduler, **overrides):
@@ -289,6 +295,121 @@ def test_fast_forward_off_with_impulse_rewards():
     # span would never report; the engine must notice and stay exact.
     _result, stats = _compiled_stats(small_spec("rrs"), extra_probes=True)
     assert stats["ticks_fast_forwarded"] == 0
+
+
+# -- batch engine: grouped replications over one shared calendar ---------------
+
+
+def _serial_compiled(spec, replications, **kwargs):
+    return [
+        simulate_once(spec, replication=rep, root_seed=7, engine="compiled", **kwargs)
+        for rep in replications
+    ]
+
+
+def assert_runs_identical(got, want):
+    assert len(got) == len(want)
+    for fast, reference in zip(got, want):
+        assert fast.metrics == reference.metrics
+        assert fast.completions == reference.completions
+        assert fast.degraded == reference.degraded
+        assert len(fast.failures) == len(reference.failures)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("scheduler", list_schedulers())
+def test_simulate_batch_matches_serial_compiled(scheduler):
+    from repro.core.framework import simulate_batch
+
+    spec = small_spec(scheduler)
+    replications = list(range(5))
+    batched = simulate_batch(spec, replications, root_seed=7, width=2)
+    assert_runs_identical(batched, _serial_compiled(spec, replications))
+
+
+def test_simulate_batch_lane_width_is_irrelevant():
+    # Lanes are independent: any grouping must give the same bits.
+    from repro.core.framework import simulate_batch
+
+    spec = small_spec("rcs")
+    replications = list(range(4))
+    want = _serial_compiled(spec, replications)
+    for width in (1, 2, 3, 4, 8):
+        assert_runs_identical(
+            simulate_batch(spec, replications, root_seed=7, width=width), want
+        )
+
+
+def test_batch_dispatch_counts_groups():
+    from repro.core import framework
+
+    spec = small_spec("rrs")
+    framework.reset_batch_dispatch_stats()
+    framework.simulate_batch(spec, list(range(5)), root_seed=7, width=2)
+    stats = framework.batch_dispatch_stats()
+    assert stats["groups"] == 3  # 2 + 2 + 1
+    assert stats["batched"] == 5
+    assert stats["fallback"] == 0
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"guard": GuardPolicy(mode="degrade")},
+        {
+            "guard": GuardPolicy(mode="degrade", quarantine_after=2),
+            "chaos": ChaosSpec(corrupt_replications=(0,), inject_after=100.0),
+        },
+    ],
+    ids=["guard", "chaos"],
+)
+def test_batch_dispatch_falls_back_under_guard_and_chaos(kwargs):
+    # Guarded/sabotaged runs must not share a calendar: the dispatcher
+    # degrades to serial compiled replications, and says so.
+    from repro.core import framework
+
+    spec = small_spec("rrs")
+    replications = list(range(3))
+    framework.reset_batch_dispatch_stats()
+    runs = framework.simulate_batch(spec, replications, root_seed=7, **kwargs)
+    stats = framework.batch_dispatch_stats()
+    assert stats["fallback"] == len(replications)
+    assert stats["groups"] == 0
+    assert_runs_identical(runs, _serial_compiled(spec, replications, **kwargs))
+
+
+def test_batch_dispatch_falls_back_under_active_tracer():
+    # Wave interleaving would shuffle the lanes' records into one
+    # stream; with a tracer active the dispatcher must degrade to
+    # serial compiled so every replication's trace stays well-formed
+    # (run.start header first, then only that replication's events).
+    from repro.core import framework
+    from repro.observability.trace import tracing
+
+    spec = small_spec("rrs")
+    replications = list(range(3))
+    framework.reset_batch_dispatch_stats()
+    tracer = SimTracer()
+    with tracing(tracer):
+        runs = framework.simulate_batch(spec, replications, root_seed=7, width=3)
+    stats = framework.batch_dispatch_stats()
+    assert stats["fallback"] == len(replications)
+    assert stats["groups"] == 0
+    records = tracer.to_dicts()
+    assert sum(r["kind"] == "run.start" for r in records) == len(replications)
+    assert sum(r["kind"] == "run.end" for r in records) == len(replications)
+    assert not check_trace(tracer.records)
+    assert_runs_identical(runs, _serial_compiled(spec, replications))
+
+
+def test_batch_engine_single_run_equals_compiled_trace_for_trace():
+    # One lane through the batch driver is the degenerate case: its raw
+    # trace must normalize to the compiled engine's.
+    tracer_batch = _traced(small_spec("rrs"), "batch")
+    tracer_compiled = _traced(small_spec("rrs"), "compiled")
+    assert golden.normalize(tracer_batch.records) == golden.normalize(
+        tracer_compiled.records
+    )
 
 
 # -- cross-replication model reuse --------------------------------------------
