@@ -1,0 +1,278 @@
+"""Service load test: hundreds of concurrent clients against one server.
+
+Boots a real :class:`~repro.service.SimulationServer` on localhost and
+fires ``--clients`` concurrent stdlib-asyncio clients at it, each
+submitting one experiment and polling it to completion.  The client
+population shares ``--distinct`` experiment identities (different root
+seeds), deliberately oversubscribed — the realistic shape of a shared
+simulation service where many users ask overlapping questions — so the
+content-addressed cache carries most of the traffic.
+
+Three phases, written to ``BENCH_pr8.json``:
+
+* ``serial`` — the baseline: every *distinct* experiment through plain
+  ``run_experiment``, no server;
+* ``cold`` — the full client swarm against a fresh cache: the first
+  job of each identity executes, every duplicate warm-hits;
+* ``warm`` — the same swarm again: every job must execute **zero**
+  replications.
+
+Reported per phase: throughput (jobs/s), p50/p99 submit-to-done
+latency, executed/cached replication counts, and the server's cache
+hit ratio.  Hard gates (exit 1): every submit must be 202 and every
+job must finish ``done``, service results must be exactly ``==`` the
+serial baseline, the warm phase must execute zero replications, and
+shutdown must leave zero live children.
+
+``--smoke`` shrinks the swarm for CI; the same entry point is reused
+by ``tests/service/test_bench_smoke.py``.
+"""
+
+import argparse
+import asyncio
+import json
+import math
+import multiprocessing
+import shutil
+import sys
+import tempfile
+import time
+
+from repro.core import SystemSpec, run_experiment
+from repro.service import ServiceClient, ServiceConfig, SimulationServer
+
+SPEC = {
+    "vms": [{"vcpus": 2}, {"vcpus": 1}],
+    "pcpus": 2,
+    "scheduler": "rrs",
+    "sim_time": 250,
+    "warmup": 50,
+}
+
+PROTOCOL = {"min_replications": 2, "max_replications": 3}
+
+
+def _payload(seed, sim_time):
+    spec = dict(SPEC, sim_time=sim_time)
+    return {"spec": spec, "root_seed": seed, **PROTOCOL}
+
+
+def _percentile(samples, q):
+    """Nearest-rank percentile of a non-empty sample list."""
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+async def _one_client(client, payload, record):
+    """Submit one job, poll it to a terminal state, log the round trip."""
+    start = time.perf_counter()
+    status, body = await client.submit(payload)
+    if status != 202:
+        record.append({"ok": False, "submit_status": status, "body": body})
+        return
+    final = await client.wait(body["job"], timeout=600.0)
+    record.append(
+        {
+            "ok": final["status"] == "done",
+            "submit_status": status,
+            "final_status": final["status"],
+            "latency": time.perf_counter() - start,
+            "executed": final.get("executed", 0),
+            "cache_hits": final.get("cache_hits", 0),
+            "metrics": final.get("metrics"),
+            "root_seed": payload["root_seed"],
+        }
+    )
+
+
+async def _run_phase(server, payloads):
+    """Fire one coroutine per payload, all concurrently; return the log."""
+    client = ServiceClient("127.0.0.1", server.port)
+    record = []
+    start = time.perf_counter()
+    await asyncio.gather(
+        *[_one_client(client, payload, record) for payload in payloads]
+    )
+    wall = time.perf_counter() - start
+    latencies = [entry["latency"] for entry in record if "latency" in entry]
+    return {
+        "jobs": len(payloads),
+        "ok": sum(1 for entry in record if entry["ok"]),
+        "wall_seconds": wall,
+        "throughput_jobs_per_s": len(payloads) / wall if wall else 0.0,
+        "p50_ms": _percentile(latencies, 0.50) * 1000 if latencies else None,
+        "p99_ms": _percentile(latencies, 0.99) * 1000 if latencies else None,
+        "executed": sum(entry.get("executed", 0) for entry in record),
+        "cache_hits": sum(entry.get("cache_hits", 0) for entry in record),
+        "warm_jobs": sum(1 for entry in record if entry.get("executed") == 0),
+    }, record
+
+
+def _serial_baseline(seeds, sim_time):
+    """Every distinct experiment through plain ``run_experiment``."""
+    start = time.perf_counter()
+    reference = {}
+    for seed in seeds:
+        result = run_experiment(
+            SystemSpec.from_dict(dict(SPEC, sim_time=sim_time)),
+            root_seed=seed,
+            **PROTOCOL,
+        )
+        reference[seed] = {
+            name: {
+                "mean": estimate.mean,
+                "half_width": estimate.half_width,
+                "n": estimate.n,
+            }
+            for name, estimate in result.estimates.items()
+        }
+    return reference, time.perf_counter() - start
+
+
+def _identical_to_serial(record, reference):
+    """Every service result must be exactly == its serial counterpart."""
+    for entry in record:
+        if entry.get("metrics") is None:
+            return False
+        if entry["metrics"] != reference[entry["root_seed"]]:
+            return False
+    return True
+
+
+async def _run_load_test(clients, distinct, sim_time, cache_dir):
+    seeds = list(range(distinct))
+    payloads = [_payload(seeds[i % distinct], sim_time) for i in range(clients)]
+    # Gate on children *this* load test creates: under pytest the same
+    # process may hold unrelated stragglers from earlier suites.
+    preexisting = {child.pid for child in multiprocessing.active_children()}
+    server = SimulationServer(
+        ServiceConfig(port=0, queue_limit=max(16, 2 * clients), cache_dir=cache_dir)
+    )
+    await server.start()
+    try:
+        cold, cold_record = await _run_phase(server, payloads)
+        warm, warm_record = await _run_phase(server, payloads)
+        stats = server.stats()
+    finally:
+        await server.shutdown()
+    leaked = sum(
+        1
+        for child in multiprocessing.active_children()
+        if child.pid not in preexisting
+    )
+    return cold, cold_record, warm, warm_record, stats, leaked
+
+
+def run_benchmark(clients=200, distinct=20, sim_time=250):
+    """Run every phase; return the full report dict (no I/O)."""
+    seeds = list(range(distinct))
+    reference, serial_wall = _serial_baseline(seeds, sim_time)
+
+    cache_dir = tempfile.mkdtemp(prefix="bench_service_cache_")
+    try:
+        cold, cold_record, warm, warm_record, stats, leaked = asyncio.run(
+            _run_load_test(clients, distinct, sim_time, cache_dir)
+        )
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    all_ok = cold["ok"] == cold["jobs"] and warm["ok"] == warm["jobs"]
+    identical = _identical_to_serial(
+        cold_record, reference
+    ) and _identical_to_serial(warm_record, reference)
+    return {
+        "benchmark": "service-load",
+        "config": {
+            "clients": clients,
+            "distinct_experiments": distinct,
+            "sim_time": sim_time,
+            **PROTOCOL,
+            "spec": SPEC,
+        },
+        "results": {
+            "serial": {"jobs": distinct, "wall_seconds": serial_wall},
+            "cold": cold,
+            "warm": warm,
+        },
+        "summary": {
+            "throughput_jobs_per_s": cold["throughput_jobs_per_s"],
+            "p50_ms": cold["p50_ms"],
+            "p99_ms": cold["p99_ms"],
+            "warm_p99_ms": warm["p99_ms"],
+            "cache_hit_ratio": stats["cache"]["hit_ratio"],
+            "warm_executed": warm["executed"],
+            "all_responses_ok": all_ok,
+            "identical_to_serial": identical,
+            "leaked_children": leaked,
+        },
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Load-test the simulation service with concurrent clients"
+    )
+    parser.add_argument("--out", default="BENCH_pr8.json", help="report path")
+    parser.add_argument("--clients", type=int, default=200)
+    parser.add_argument(
+        "--distinct",
+        type=int,
+        default=20,
+        help="distinct experiment identities shared across the clients",
+    )
+    parser.add_argument("--sim-time", type=int, default=250)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small-scale CI mode (fewer clients, shorter horizon)",
+    )
+    args = parser.parse_args(argv)
+
+    clients, distinct, sim_time = args.clients, args.distinct, args.sim_time
+    if args.smoke:
+        clients, distinct, sim_time = 24, 4, 150
+
+    report = run_benchmark(clients=clients, distinct=distinct, sim_time=sim_time)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    summary = report["summary"]
+    for phase in ("serial", "cold", "warm"):
+        entry = report["results"][phase]
+        extra = (
+            f", p50 {entry['p50_ms']:.1f} ms, p99 {entry['p99_ms']:.1f} ms, "
+            f"executed {entry['executed']}, warm jobs {entry['warm_jobs']}"
+            if "p50_ms" in entry
+            else ""
+        )
+        print(f"{phase}: {entry['jobs']} jobs in {entry['wall_seconds']:.2f} s{extra}")
+    print(
+        f"throughput {summary['throughput_jobs_per_s']:.1f} jobs/s, "
+        f"cache hit ratio {summary['cache_hit_ratio']:.2f}, "
+        f"identical_to_serial={summary['identical_to_serial']}, "
+        f"leaked_children={summary['leaked_children']}, wrote {args.out}"
+    )
+
+    failures = []
+    if not summary["all_responses_ok"]:
+        failures.append("not every submit was accepted and finished 'done'")
+    if not summary["identical_to_serial"]:
+        failures.append("service results diverged from the serial baseline")
+    if summary["warm_executed"] != 0:
+        failures.append(
+            f"warm phase executed {summary['warm_executed']} replications "
+            "(expected 0)"
+        )
+    if summary["leaked_children"] != 0:
+        failures.append(
+            f"{summary['leaked_children']} child processes leaked past shutdown"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

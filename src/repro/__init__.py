@@ -20,10 +20,24 @@ Layers (bottom-up):
 * :mod:`repro.resilience` — parallel/fault-tolerant experiment
   execution: timeouts, retry/reseed, checkpoint/resume, the scheduler
   decision guard, and chaos injection;
-* :mod:`repro.core` — the public facade: specs, experiments, results.
+* :mod:`repro.core` — the public facade: specs, experiments, results;
+* :mod:`repro.service` — the long-lived JSON/HTTP job server over a
+  shared sweep pool and persistent result cache.
 """
 
-from . import analysis, core, des, metrics, paper, resilience, san, schedulers, vmm, workloads
+from . import (
+    analysis,
+    core,
+    des,
+    metrics,
+    paper,
+    resilience,
+    san,
+    schedulers,
+    service,
+    vmm,
+    workloads,
+)
 from .core import (
     SystemSpec,
     VMSpec,
@@ -47,6 +61,7 @@ __all__ = [
     "workloads",
     "metrics",
     "resilience",
+    "service",
     "SystemSpec",
     "VMSpec",
     "WorkloadSpec",

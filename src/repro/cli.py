@@ -13,6 +13,9 @@ Commands:
 * ``tables`` — print the paper's Tables 1 and 2.
 * ``figures [--figure 8|9|10|all] [--full]`` — regenerate the paper's
   figures (quick fidelity by default).
+* ``serve`` — run the long-lived simulation job server (JSON over
+  HTTP; see :mod:`repro.service`); ``--cache-dir`` makes repeated
+  queries warm-hit the persistent result cache.
 
 Example spec file::
 
@@ -224,6 +227,53 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "warning: results are degraded (quarantine fallback was used)",
             file=sys.stderr,
         )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from .service import ServiceConfig, SimulationServer
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        queue_limit=args.queue_limit,
+        quota_rate=args.quota_rate,
+        quota_burst=args.quota_burst,
+        cache_dir=_cache_dir_from_args(args),
+        timeout=args.timeout,
+    )
+    config.validate()
+
+    async def _serve() -> None:
+        server = SimulationServer(config)
+        await server.start()
+        print(
+            f"repro service listening on http://{config.host}:{server.port} "
+            f"(pool jobs={config.jobs}, queue limit={config.queue_limit})",
+            file=sys.stderr,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-Unix loops: ctrl-C raises KeyboardInterrupt instead
+        try:
+            await stop.wait()
+        finally:
+            print("repro service draining...", file=sys.stderr)
+            await server.shutdown()
+            print("repro service stopped", file=sys.stderr)
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -439,6 +489,68 @@ def build_parser() -> argparse.ArgumentParser:
         help="ignore --cache-dir (read nothing, write nothing)",
     )
     figures_parser.set_defaults(handler=_cmd_figures)
+
+    serve_parser = sub.add_parser(
+        "serve", help="run the long-lived simulation job server"
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=8642,
+        help="bind port (default: 8642; 0 = let the OS pick)",
+    )
+    serve_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="sweep-pool worker processes shared by every job "
+        "(default: 1, in-process)",
+    )
+    serve_parser.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        dest="queue_limit",
+        help="max queued-or-running jobs before submissions get 503",
+    )
+    serve_parser.add_argument(
+        "--quota-rate",
+        type=float,
+        default=None,
+        dest="quota_rate",
+        help="per-tenant admitted jobs per second (default: unlimited)",
+    )
+    serve_parser.add_argument(
+        "--quota-burst",
+        type=float,
+        default=10.0,
+        dest="quota_burst",
+        help="per-tenant token-bucket capacity (default: 10)",
+    )
+    serve_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        dest="cache_dir",
+        help="persistent result cache shared by every job: identical "
+        "queries warm-hit and execute zero replications",
+    )
+    serve_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        dest="no_cache",
+        help="ignore --cache-dir (read nothing, write nothing)",
+    )
+    serve_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="wall-clock seconds per replication attempt (forces "
+        "process workers)",
+    )
+    serve_parser.set_defaults(handler=_cmd_serve)
     return parser
 
 

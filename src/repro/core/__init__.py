@@ -36,7 +36,7 @@ from .registry import (
     register_scheduler,
 )
 from .results import ExperimentResult, MetricEstimate, render_table, results_to_csv
-from .sweeps import SweepOutcome, SweepStats, run_interleaved_sweep
+from .sweeps import SweepOutcome, SweepPool, SweepStats, run_interleaved_sweep
 
 __all__ = [
     "SystemSpec",
@@ -47,6 +47,7 @@ __all__ = [
     "run_interleaved_sweep",
     "resolve_sweep_points",
     "SweepOutcome",
+    "SweepPool",
     "SweepStats",
     "SWEEP_ENGINES",
     "DEFAULT_CONFIDENCE",

@@ -41,12 +41,13 @@ replications.
 from __future__ import annotations
 
 import dataclasses
+import itertools
 import multiprocessing
 import queue as _queue
 import time
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
-from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError
 from ..metrics.stats import ConvergenceMonitor
@@ -139,8 +140,16 @@ class _AffinityPool:
         self._slots: Dict[int, _WorkerSlot] = {}
         self._abandoned: List[_WorkerSlot] = []
         self._next_worker = 0
+        # Dispatch ids are unique for the *pool's* lifetime, not per
+        # scheduler run: a long-lived shared pool (see SweepPool) may
+        # serve many sequential schedulers, and a late result from an
+        # earlier run must never collide with a fresh dispatch id.
+        self._dispatch_ids = itertools.count()
         for _ in range(jobs):
             self._spawn()
+
+    def next_dispatch_id(self) -> int:
+        return next(self._dispatch_ids)
 
     def _spawn(self) -> int:
         worker = self._next_worker
@@ -175,6 +184,31 @@ class _AffinityPool:
         slot = self._slots.get(worker)
         if slot is not None:
             slot.busy = None
+
+    def release_by_dispatch(self, dispatch_id: int) -> None:
+        """Free whichever slot holds this dispatch (stale-result path).
+
+        A scheduler that stopped early (cooperative job cancellation)
+        leaves dispatches in flight; when their results surface under a
+        *later* scheduler on the same shared pool, that scheduler knows
+        only the dispatch id — this lets it still return the worker to
+        service instead of leaking the slot as busy forever.
+        """
+        for slot in self._slots.values():
+            if slot.busy == dispatch_id:
+                slot.busy = None
+                return
+
+    def busy_count(self) -> int:
+        return sum(1 for slot in self._slots.values() if slot.busy is not None)
+
+    def live_processes(self) -> List[Any]:
+        """Every worker process still alive, including abandoned ones."""
+        return [
+            slot.process
+            for slot in list(self._slots.values()) + self._abandoned
+            if slot.process.is_alive()
+        ]
 
     def poll(self, timeout: Optional[float]) -> Optional[Tuple[int, Dict[str, Any]]]:
         try:
@@ -261,6 +295,19 @@ class _InlineExecutor:
     def __init__(self) -> None:
         self._buffer: Deque[Tuple[int, Dict[str, Any]]] = deque()
         self._busy = False
+        self._dispatch_ids = itertools.count()
+
+    def next_dispatch_id(self) -> int:
+        return next(self._dispatch_ids)
+
+    def release_by_dispatch(self, dispatch_id: int) -> None:
+        self._busy = False
+
+    def busy_count(self) -> int:
+        return 1 if self._busy else 0
+
+    def live_processes(self) -> List[Any]:
+        return []
 
     def idle_workers(self) -> List[int]:
         return [] if self._busy else [0]
@@ -287,6 +334,77 @@ class _InlineExecutor:
 
     def close(self) -> None:
         pass
+
+
+class SweepPool:
+    """A long-lived shared worker pool, reusable across sweep calls.
+
+    ``run_interleaved_sweep`` normally builds and tears its pool down
+    per call; a service that answers many experiment jobs wants to pay
+    worker spin-up (and per-worker compiled-model warm-up) once.  Create
+    one ``SweepPool`` and pass it as ``pool=`` to any number of
+    sequential ``run_interleaved_sweep`` calls; close it (or use it as a
+    context manager) when the service drains.
+
+    Args:
+        jobs: worker processes.  ``jobs=1`` without a timeout runs
+            replications in the calling thread (no child processes).
+        timeout: per-replication wall-clock budget the pool must be able
+            to enforce; any non-``None`` value forces process workers.
+    """
+
+    def __init__(self, jobs: int = 1, timeout: Optional[float] = None) -> None:
+        if jobs < 1:
+            raise ConfigurationError(f"SweepPool jobs must be >= 1, got {jobs}")
+        if timeout is not None and timeout <= 0:
+            raise ConfigurationError(
+                f"SweepPool timeout must be > 0, got {timeout}"
+            )
+        self.jobs = jobs
+        self.timeout = timeout
+        self.closed = False
+        if jobs == 1 and timeout is None:
+            self._impl: Any = _InlineExecutor()
+        else:
+            self._impl = _AffinityPool(jobs)
+
+    def drain_stale(self) -> int:
+        """Consume buffered results from abandoned runs; free their slots.
+
+        Returns the number of stale results dropped.  Called by
+        ``run_interleaved_sweep`` before every borrowed-pool run so a
+        cancelled predecessor cannot bleed results into it.
+        """
+        dropped = 0
+        while True:
+            item = self._impl.poll(0)
+            if item is None:
+                return dropped
+            self._impl.release_by_dispatch(item[0])
+            dropped += 1
+
+    def live_children(self) -> List[Any]:
+        """Worker processes still alive (empty for the in-process pool)."""
+        return self._impl.live_processes()
+
+    def close(self) -> None:
+        """Shut every worker down; idempotent."""
+        if not self.closed:
+            self._impl.close()
+            self.closed = True
+
+    def __enter__(self) -> "SweepPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+#: Progress events (plain dicts) handed to a sweep ``progress`` callback:
+#: ``{"event": "dispatch" | "resolved", "point": i, "replication": r, ...}``.
+#: Raising from the callback aborts the sweep — the cooperative
+#: cancellation hook the service layer uses.
+ProgressCallback = Callable[[Dict[str, Any]], None]
 
 
 # -- per-point scheduling state -------------------------------------------
@@ -386,13 +504,27 @@ class _SweepScheduler:
         states: List[_PointState],
         pool: Any,
         timeout: Optional[float],
+        progress: Optional[ProgressCallback] = None,
     ) -> None:
         self.states = states
         self.pool = pool
         self.timeout = timeout
+        self.progress = progress
         self.outstanding: Dict[int, Tuple[_PointState, _Task, int, Optional[float]]] = {}
         self.allocation_log: List[Dict[str, Any]] = []
-        self._next_dispatch = 0
+
+    def _notify(self, event: str, state: _PointState, task: _Task, **extra: Any) -> None:
+        if self.progress is not None:
+            self.progress(
+                {
+                    "event": event,
+                    "point": state.index,
+                    "replication": task.replication,
+                    "attempt": task.attempt,
+                    "batch": len(task.batch) if task.batch else 1,
+                    **extra,
+                }
+            )
 
     # -- admission ---------------------------------------------------------
 
@@ -430,8 +562,9 @@ class _SweepScheduler:
         return None
 
     def _dispatch(self, state: _PointState, task: _Task, reason: str) -> None:
-        dispatch_id = self._next_dispatch
-        self._next_dispatch += 1
+        # The log's "seq" stays 0-based per sweep; the pool-scoped
+        # dispatch id (which may have served earlier runs) routes results.
+        dispatch_id = self.pool.next_dispatch_id()
         worker = self.pool.submit(dispatch_id, task, state.affinity_key)
         deadline = (
             time.monotonic() + self.timeout if self.timeout is not None else None
@@ -440,7 +573,7 @@ class _SweepScheduler:
         state.inflight += 1
         distance = state.distance()
         entry = {
-            "seq": dispatch_id,
+            "seq": len(self.allocation_log),
             "point": state.index,
             "replication": task.replication,
             "attempt": task.attempt,
@@ -458,6 +591,7 @@ class _SweepScheduler:
                 _trace.SWEEP_DISPATCH,
                 **{k: v for k, v in entry.items() if k != "seq"},
             )
+        self._notify("dispatch", state, task, reason=reason, worker=worker)
 
     def _fill(self) -> None:
         while self.pool.idle_workers():
@@ -471,7 +605,10 @@ class _SweepScheduler:
     def _handle_result(self, dispatch_id: int, payload: Dict[str, Any]) -> None:
         dispatch = self.outstanding.pop(dispatch_id, None)
         if dispatch is None:
-            return  # late result from an abandoned worker: dropped
+            # Late result from an abandoned worker or an earlier
+            # scheduler on a shared pool: drop it, but free its slot.
+            self.pool.release_by_dispatch(dispatch_id)
+            return
         state, task, worker, _deadline = dispatch
         self.pool.release(worker)
         state.inflight -= 1
@@ -483,6 +620,7 @@ class _SweepScheduler:
         else:
             self._fail_dispatch(state, task, payload)
         state.refresh_done()
+        self._notify("resolved", state, task, ok=bool(payload["ok"]), done=state.done)
 
     def _fail_dispatch(
         self,
@@ -547,6 +685,7 @@ class _SweepScheduler:
                 kind=FailureKind.TIMEOUT,
             )
             state.refresh_done()
+            self._notify("resolved", state, task, ok=False, done=state.done)
 
     def _reap_dead(self) -> None:
         for worker in self.pool.dead_workers():
@@ -566,6 +705,7 @@ class _SweepScheduler:
                     kind=FailureKind.WORKER_CRASH,
                 )
                 state.refresh_done()
+                self._notify("resolved", state, task, ok=False, done=state.done)
 
     # -- main loop ----------------------------------------------------------
 
@@ -575,6 +715,15 @@ class _SweepScheduler:
         while not all(state.done for state in self.states):
             self._fill()
             if not self.outstanding:
+                if self.pool.busy_count():
+                    # Every slot is held by an earlier run's abandoned
+                    # work (shared pool): wait for those late results to
+                    # surface and free workers, then try to fill again.
+                    stale = self.pool.poll(0.2)
+                    if stale is not None:
+                        self._handle_result(*stale)
+                    self._reap_dead()
+                    continue
                 # Nothing in flight and nothing dispatchable: every
                 # remaining point must be finishable right now (a point
                 # is only non-done while it has retries, fresh budget,
@@ -620,6 +769,8 @@ def run_interleaved_sweep(
     incremental: bool = True,
     engine: Optional[str] = None,
     sweep_jobs: Optional[int] = None,
+    pool: Optional[SweepPool] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> SweepOutcome:
     """Run a resolved sweep through the shared-pool adaptive engine.
 
@@ -629,6 +780,12 @@ def run_interleaved_sweep(
     :func:`~repro.core.experiment.resolve_sweep_points`.  Returns the
     per-point results (point order — order is preserved no matter how
     execution interleaved) plus the engine's accounting.
+
+    ``pool`` borrows a long-lived :class:`SweepPool` instead of building
+    one per call (the pool is *not* closed afterwards, and ``sweep_jobs``
+    is ignored); ``progress`` receives one plain-dict event per dispatch
+    and per resolution — raising from it aborts the sweep, which is how
+    the service layer implements cooperative job cancellation.
     """
     from .experiment import (  # local: experiment imports us lazily too
         DEFAULT_CONFIDENCE,
@@ -653,6 +810,14 @@ def run_interleaved_sweep(
     jobs = sweep_jobs if sweep_jobs is not None else resilience.jobs
     if jobs < 1:
         raise ConfigurationError(f"sweep_jobs must be >= 1, got {jobs}")
+    if pool is not None:
+        if pool.closed:
+            raise ConfigurationError("the borrowed SweepPool is already closed")
+        if resilience.timeout is not None and pool.timeout is None:
+            raise ConfigurationError(
+                "a per-replication timeout needs process workers: build the "
+                "shared pool with SweepPool(jobs=..., timeout=...)"
+            )
 
     checkpoint: Optional[CheckpointStore] = None
     if resilience.checkpoint:
@@ -704,15 +869,22 @@ def run_interleaved_sweep(
                 )
             )
 
-        if jobs == 1 and resilience.timeout is None:
-            pool: Any = _InlineExecutor()
+        if pool is not None:
+            pool.drain_stale()
+            impl: Any = pool._impl
+            owned = False
+        elif jobs == 1 and resilience.timeout is None:
+            impl = _InlineExecutor()
+            owned = True
         else:
-            pool = _AffinityPool(jobs)
-        scheduler = _SweepScheduler(states, pool, resilience.timeout)
+            impl = _AffinityPool(jobs)
+            owned = True
+        scheduler = _SweepScheduler(states, impl, resilience.timeout, progress)
         try:
             scheduler.drive()
         finally:
-            pool.close()
+            if owned:
+                impl.close()
     finally:
         if checkpoint is not None:
             checkpoint.close()

@@ -72,3 +72,12 @@ class CheckpointError(ReproError):
     against a checkpoint written by a different experiment (spec,
     seed, or protocol fingerprint mismatch).
     """
+
+
+class ServiceError(ReproError):
+    """The simulation service rejected or could not run a request.
+
+    Examples: a job payload with unknown keys or out-of-range values,
+    a lookup of a job id the server never issued, or an operation on a
+    server that is already shutting down.
+    """

@@ -67,6 +67,10 @@ CHAOS_CORRUPT = "chaos.corrupt"
 EXECUTOR_RETRY = "executor.retry"
 SWEEP_DISPATCH = "sweep.dispatch"
 CACHE_HIT = "cache.hit"
+JOB_ACCEPTED = "job.accepted"
+JOB_START = "job.start"
+JOB_PROGRESS = "job.progress"
+JOB_DONE = "job.done"
 
 #: Every kind -> the data fields its records carry (beyond kind/t/seq).
 RECORD_FIELDS: Dict[str, tuple] = {
@@ -101,6 +105,13 @@ RECORD_FIELDS: Dict[str, tuple] = {
     # replication, why (floor/adaptive/retry), and on which worker.
     SWEEP_DISPATCH: ("point", "replication", "attempt", "worker", "reason", "distance"),
     CACHE_HIT: ("scope", "replication", "key"),
+    # Service-layer job lifecycle records (the NDJSON wire format the
+    # simulation server streams to clients; ``t`` is seconds since the
+    # job was accepted rather than simulated time).
+    JOB_ACCEPTED: ("job", "tenant"),
+    JOB_START: ("job",),
+    JOB_PROGRESS: ("job", "event", "point", "replication", "ok"),
+    JOB_DONE: ("job", "status", "replications", "executed", "cache_hits"),
 }
 
 #: Schedule-out reasons the hypervisor model distinguishes.
@@ -238,6 +249,22 @@ class SimTracer:
             )
 
 
+def to_wire(record: RecordLike) -> str:
+    """One record as its canonical wire line (JSON, sorted keys).
+
+    The simulation service streams job progress as NDJSON: one
+    :func:`to_wire` line per record, ``\\n``-terminated by the caller.
+    The format is byte-identical to :meth:`SimTracer.write_jsonl` lines,
+    so trace tooling reads service streams unchanged.
+    """
+    return json.dumps(as_record(record).to_dict(), sort_keys=True)
+
+
+def from_wire(line: str) -> TraceRecord:
+    """Parse one NDJSON wire line back into a :class:`TraceRecord`."""
+    return TraceRecord.from_dict(json.loads(line))
+
+
 def read_jsonl(path: str) -> List[TraceRecord]:
     """Load a JSONL trace file back into records."""
     records = []
@@ -301,7 +328,8 @@ def chrome_trace_events(records: Iterable[RecordLike]) -> List[Dict[str, Any]]:
             })
         elif record.kind in (GUARD_FAULT, GUARD_QUARANTINE, CHAOS_CRASH,
                              CHAOS_STALL, CHAOS_CORRUPT, EXECUTOR_RETRY,
-                             SWEEP_DISPATCH, CACHE_HIT):
+                             SWEEP_DISPATCH, CACHE_HIT, JOB_ACCEPTED,
+                             JOB_START, JOB_PROGRESS, JOB_DONE):
             events.append({
                 "ph": "i", "s": "p", "pid": 1, "tid": _RESILIENCE_TID,
                 "ts": ts, "cat": "resilience", "name": record.kind,

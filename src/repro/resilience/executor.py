@@ -41,7 +41,7 @@ from .chaos import ChaosSpec
 from .checkpoint import CheckpointStore, fingerprint
 from .failures import FailureKind, ReplicationFailure, failure_summary
 from .guard import GuardPolicy
-from .result_cache import ResultCache, cacheable_spec_payload
+from .result_cache import ResultCache, cacheable_spec_payload, shared_cache
 
 ConvergenceCheck = Callable[[List[Dict[str, float]]], bool]
 
@@ -358,7 +358,7 @@ def bind_cache(
         return None
     engine = config.engine or ("incremental" if config.incremental else "rescan")
     return CacheBinding(
-        ResultCache(config.cache_dir), payload, engine, root_seed, extra_probes
+        shared_cache(config.cache_dir), payload, engine, root_seed, extra_probes
     )
 
 

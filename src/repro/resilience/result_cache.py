@@ -37,6 +37,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 from typing import Any, Dict, Optional
 
 #: Directory-name prefix length for the two fan-out levels.
@@ -111,6 +112,11 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        # A shared handle (see :func:`shared_cache`) is read and written
+        # from many service jobs at once; the store itself is safe under
+        # concurrency (atomic writes, equal values), the counters need
+        # the lock to stay exact.
+        self._lock = threading.Lock()
 
     def key(
         self,
@@ -147,12 +153,15 @@ class ResultCache:
             with open(self._path(key), "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
         except (OSError, ValueError):
-            self.misses += 1
+            with self._lock:
+                self.misses += 1
             return None
         if not isinstance(payload, dict) or not payload.get("ok"):
-            self.misses += 1
+            with self._lock:
+                self.misses += 1
             return None
-        self.hits += 1
+        with self._lock:
+            self.hits += 1
         return payload
 
     def store(self, key: str, payload: Dict[str, Any]) -> None:
@@ -171,4 +180,45 @@ class ResultCache:
             except OSError:
                 pass
             return
-        self.writes += 1
+        with self._lock:
+            self.writes += 1
+
+    def stats(self) -> Dict[str, Any]:
+        """This handle's traffic counters (hit ratio for dashboards)."""
+        with self._lock:
+            hits, misses, writes = self.hits, self.misses, self.writes
+        looked = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "writes": writes,
+            "hit_ratio": (hits / looked) if looked else 0.0,
+        }
+
+
+# -- shared multi-tenant handles ------------------------------------------
+#
+# Many concurrent service jobs — typically different tenants submitting
+# overlapping experiments — read and write the same content-addressed
+# store.  The *store* needs no coordination (keys are pure content
+# digests, writes are atomic, and every writer of a key writes the same
+# bytes), but sharing one handle per root directory makes the traffic
+# counters aggregate across jobs, which is what a server reports as its
+# cache-hit ratio.
+
+_SHARED: Dict[str, ResultCache] = {}
+_SHARED_LOCK = threading.Lock()
+
+
+def shared_cache(root: str) -> ResultCache:
+    """The process-wide :class:`ResultCache` handle for ``root``.
+
+    Repeated calls with the same directory return the same instance, so
+    counters accumulate across every experiment bound to it.
+    """
+    key = os.path.abspath(str(root))
+    with _SHARED_LOCK:
+        cache = _SHARED.get(key)
+        if cache is None:
+            cache = _SHARED[key] = ResultCache(key)
+        return cache

@@ -1,0 +1,36 @@
+"""Simulation-as-a-service: a long-lived asyncio job server.
+
+The one-shot CLI pays full startup and model-compile cost per
+experiment; this package turns the framework into a service in the
+CloudSim sense — one process holding a warm
+:class:`~repro.core.SweepPool` and a persistent result cache, answering
+many client queries over JSON/HTTP with typed progress streams.
+
+Layers:
+
+* :mod:`~repro.service.schemas` — validated request/response payloads
+  (round-trip dataclasses, unknown-key rejection);
+* :mod:`~repro.service.quotas` — per-tenant token-bucket admission;
+* :mod:`~repro.service.queue` — the job ledger and bounded backlog;
+* :mod:`~repro.service.server` — the asyncio HTTP server itself;
+* :mod:`~repro.service.client` — a stdlib asyncio client.
+"""
+
+from .client import ServiceClient
+from .queue import Job, JobQueue, QueueFull
+from .quotas import QuotaManager, TokenBucket
+from .schemas import SimulationOutput, SimulationPayload
+from .server import ServiceConfig, SimulationServer
+
+__all__ = [
+    "Job",
+    "JobQueue",
+    "QueueFull",
+    "QuotaManager",
+    "ServiceClient",
+    "ServiceConfig",
+    "SimulationOutput",
+    "SimulationPayload",
+    "SimulationServer",
+    "TokenBucket",
+]

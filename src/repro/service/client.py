@@ -1,0 +1,185 @@
+"""Stdlib asyncio client for the simulation service.
+
+A thin typed wrapper over one-request-per-connection HTTP/1.1 — the
+counterpart of the server's deliberately minimal parser.  Used by the
+end-to-end tests and the load-test harness; also a reasonable starting
+point for real clients (it is ~100 lines of stdlib).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, AsyncIterator, Dict, Optional, Tuple, Union
+
+from ..errors import ServiceError
+from ..observability.trace import TraceRecord, from_wire
+from .schemas import SimulationPayload
+
+
+class ServiceClient:
+    """Talks to one :class:`~repro.service.SimulationServer`.
+
+    Args:
+        host / port: where the server listens.
+
+    Every method opens its own connection (the server closes after each
+    response), so one client instance is safe to share across any
+    number of concurrent coroutines.
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+
+    async def request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+    ) -> Tuple[int, Dict[str, str], Dict[str, Any]]:
+        """One round-trip; returns ``(status, headers, parsed body)``."""
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            payload = (
+                json.dumps(body, sort_keys=True).encode("utf-8")
+                if body is not None
+                else b""
+            )
+            head = (
+                f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {self.host}:{self.port}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                f"Connection: close\r\n\r\n"
+            )
+            writer.write(head.encode("latin-1") + payload)
+            await writer.drain()
+            status, headers = await _read_head(reader)
+            raw = await reader.read()
+            parsed = json.loads(raw.decode("utf-8")) if raw else {}
+            return status, headers, parsed
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    # -- typed endpoints ---------------------------------------------------
+
+    async def health(self) -> bool:
+        status, _, body = await self.request("GET", "/healthz")
+        return status == 200 and bool(body.get("ok"))
+
+    async def stats(self) -> Dict[str, Any]:
+        _, _, body = await self.request("GET", "/v1/stats")
+        return body
+
+    async def submit(
+        self, payload: Union[SimulationPayload, Dict[str, Any]]
+    ) -> Tuple[int, Dict[str, Any]]:
+        """Submit one experiment; returns ``(http status, body)``."""
+        data = payload.to_dict() if isinstance(payload, SimulationPayload) else payload
+        status, _, body = await self.request("POST", "/v1/jobs", body=data)
+        return status, body
+
+    async def job(self, job_id: str) -> Dict[str, Any]:
+        _, _, body = await self.request("GET", f"/v1/jobs/{job_id}")
+        return body
+
+    async def cancel(self, job_id: str) -> Dict[str, Any]:
+        _, _, body = await self.request("POST", f"/v1/jobs/{job_id}/cancel")
+        return body
+
+    async def wait(
+        self,
+        job_id: str,
+        timeout: float = 60.0,
+        interval: float = 0.02,
+    ) -> Dict[str, Any]:
+        """Poll until the job is terminal; returns its final body."""
+        deadline = asyncio.get_running_loop().time() + timeout
+        while True:
+            body = await self.job(job_id)
+            if body.get("status") in ("done", "failed", "cancelled"):
+                return body
+            if asyncio.get_running_loop().time() > deadline:
+                raise ServiceError(
+                    f"job {job_id!r} still {body.get('status')!r} after {timeout}s"
+                )
+            await asyncio.sleep(interval)
+
+    async def submit_and_wait(
+        self,
+        payload: Union[SimulationPayload, Dict[str, Any]],
+        timeout: float = 60.0,
+    ) -> Dict[str, Any]:
+        """Submit; raise :class:`ServiceError` on rejection; await result."""
+        status, body = await self.submit(payload)
+        if status != 202:
+            raise ServiceError(
+                f"submit rejected ({status}): {body.get('message', body)}"
+            )
+        return await self.wait(body["job"], timeout=timeout)
+
+    async def stream_events(self, job_id: str) -> AsyncIterator[TraceRecord]:
+        """Yield the job's trace records as the server streams them."""
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            writer.write(
+                (
+                    f"GET /v1/jobs/{job_id}/events HTTP/1.1\r\n"
+                    f"Host: {self.host}:{self.port}\r\n"
+                    f"Connection: close\r\n\r\n"
+                ).encode("latin-1")
+            )
+            await writer.drain()
+            status, _ = await _read_head(reader)
+            if status != 200:
+                raw = await reader.read()
+                body = json.loads(raw.decode("utf-8")) if raw else {}
+                raise ServiceError(
+                    f"stream rejected ({status}): {body.get('message', body)}"
+                )
+            async for line in _iter_lines(reader):
+                yield from_wire(line)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+
+async def _read_head(
+    reader: asyncio.StreamReader,
+) -> Tuple[int, Dict[str, str]]:
+    """Parse status line + headers; leaves the body unread."""
+    head = await reader.readuntil(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ", 2)
+    if len(parts) < 2 or not parts[1].isdigit():
+        raise ServiceError(f"malformed response status line: {lines[0]!r}")
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if ":" in line:
+            name, value = line.split(":", 1)
+            headers[name.strip().lower()] = value.strip()
+    return int(parts[1]), headers
+
+
+async def _iter_lines(reader: asyncio.StreamReader) -> AsyncIterator[str]:
+    """NDJSON body lines until EOF (the server closes when done)."""
+    buffer = b""
+    while True:
+        chunk = await reader.read(4096)
+        if not chunk:
+            break
+        buffer += chunk
+        while b"\n" in buffer:
+            line, buffer = buffer.split(b"\n", 1)
+            if line.strip():
+                yield line.decode("utf-8")
+    if buffer.strip():
+        yield buffer.decode("utf-8")

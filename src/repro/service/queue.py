@@ -1,0 +1,165 @@
+"""Job ledger and bounded admission queue of the simulation service.
+
+A :class:`Job` is the server-side record of one submitted experiment:
+its validated payload, lifecycle status, cancellation flag, result, and
+an append-only list of :class:`~repro.observability.trace.TraceRecord`
+events — the same typed records the simulator traces with, reused as
+the NDJSON wire format for progress streaming.  Event timestamps are
+seconds since the job was accepted, sequenced per job.
+
+The :class:`JobQueue` bounds how much work the server will hold.  A
+full queue rejects the submit with :class:`QueueFull` (the server turns
+that into a structured 503): under overload the service sheds load at
+the door instead of accumulating unbounded latency.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+from ..errors import ServiceError
+from ..observability.trace import TraceRecord
+from .schemas import SimulationOutput, SimulationPayload
+
+#: Lifecycle states.  ``queued -> running -> done | failed | cancelled``;
+#: a queued job may also jump straight to ``cancelled``.
+JOB_STATUSES = ("queued", "running", "done", "failed", "cancelled")
+_TERMINAL = frozenset(("done", "failed", "cancelled"))
+
+
+class QueueFull(ServiceError):
+    """The bounded job queue is at capacity; submit rejected (503)."""
+
+
+class Job:
+    """One accepted experiment job and everything the server knows of it."""
+
+    def __init__(self, job_id: str, payload: SimulationPayload) -> None:
+        self.id = job_id
+        self.payload = payload
+        self.status = "queued"
+        self.output: Optional[SimulationOutput] = None
+        self.accepted_at = time.monotonic()
+        self.cancel = threading.Event()
+        self._events: List[TraceRecord] = []
+        self._seq = itertools.count()
+        self._lock = threading.Lock()
+
+    @property
+    def done(self) -> bool:
+        return self.status in _TERMINAL
+
+    def emit(self, kind: str, **fields: Any) -> TraceRecord:
+        """Append one progress record (t = seconds since acceptance)."""
+        with self._lock:
+            record = TraceRecord(
+                kind=kind,
+                t=time.monotonic() - self.accepted_at,
+                seq=next(self._seq),
+                data=fields,
+            )
+            self._events.append(record)
+        return record
+
+    def events(self, since: int = 0) -> List[TraceRecord]:
+        """Records with ``seq >= since`` (streaming cursors poll this)."""
+        with self._lock:
+            return self._events[since:]
+
+    def request_cancel(self) -> bool:
+        """Flag the job for cancellation; True if it was still live.
+
+        A queued job is finalized immediately; a running job sees the
+        flag through its progress callback and aborts cooperatively.
+        """
+        if self.done:
+            return False
+        self.cancel.set()
+        if self.status == "queued":
+            self.finish("cancelled", error="cancelled before start")
+        return True
+
+    def finish(
+        self,
+        status: str,
+        output: Optional[SimulationOutput] = None,
+        error: Optional[str] = None,
+    ) -> None:
+        if status not in _TERMINAL:
+            raise ServiceError(f"finish() needs a terminal status, got {status!r}")
+        self.status = status
+        if output is not None:
+            self.output = output
+        elif error is not None:
+            self.output = SimulationOutput(job=self.id, status=status, error=error)
+
+    def describe(self) -> Dict[str, Any]:
+        """The ``GET /v1/jobs/{id}`` body."""
+        if self.output is not None:
+            body = self.output.to_dict()
+            body["status"] = self.status
+        else:
+            body = {"job": self.id, "status": self.status}
+        body["tenant"] = self.payload.tenant
+        return body
+
+
+class JobQueue:
+    """All jobs ever accepted, plus the bounded runnable backlog.
+
+    Args:
+        limit: max jobs simultaneously queued-or-running; an admit past
+            the limit raises :class:`QueueFull`.
+    """
+
+    def __init__(self, limit: int = 64) -> None:
+        if limit < 1:
+            raise ServiceError(f"queue limit must be >= 1, got {limit}")
+        self.limit = limit
+        self._jobs: Dict[str, Job] = {}
+        self._pending: Deque[Job] = deque()
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+
+    def submit(self, payload: SimulationPayload) -> Job:
+        """Admit one payload as a queued job, or raise :class:`QueueFull`."""
+        with self._lock:
+            live = sum(1 for job in self._jobs.values() if not job.done)
+            if live >= self.limit:
+                raise QueueFull(
+                    f"job queue is full ({live}/{self.limit} live jobs)"
+                )
+            job = Job(f"job-{next(self._ids)}", payload)
+            self._jobs[job.id] = job
+            self._pending.append(job)
+        return job
+
+    def next_runnable(self) -> Optional[Job]:
+        """Pop the oldest queued job that was not cancelled meanwhile."""
+        with self._lock:
+            while self._pending:
+                job = self._pending.popleft()
+                if job.status == "queued":
+                    return job
+        return None
+
+    def get(self, job_id: str) -> Job:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise ServiceError(f"unknown job {job_id!r}")
+        return job
+
+    def jobs(self) -> List[Job]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    def counts(self) -> Dict[str, int]:
+        """Jobs per lifecycle status (for ``/v1/stats``)."""
+        counts = {status: 0 for status in JOB_STATUSES}
+        for job in self.jobs():
+            counts[job.status] += 1
+        return counts

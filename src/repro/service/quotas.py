@@ -1,0 +1,107 @@
+"""Per-tenant admission quotas: classic token buckets.
+
+Each tenant owns a bucket of ``burst`` tokens refilled continuously at
+``rate`` tokens per second; one job submission spends one token.  An
+empty bucket means the tenant is over quota and the server answers 429
+with a ``Retry-After`` derived from the exact refill arithmetic, so a
+well-behaved client never needs to guess a backoff.
+
+The clock is injectable for the tests: quota behavior over simulated
+hours is asserted in microseconds of real time.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+from ..errors import ServiceError
+
+
+class TokenBucket:
+    """One tenant's bucket: ``burst`` capacity, ``rate`` tokens/second."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if rate < 0:
+            raise ServiceError(f"quota rate must be >= 0, got {rate}")
+        if burst <= 0:
+            raise ServiceError(f"quota burst must be > 0, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock if clock is not None else time.monotonic
+        self._tokens = self.burst
+        self._stamp = self._clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(self.burst, self._tokens + (now - self._stamp) * self.rate)
+        self._stamp = now
+
+    def take(self, tokens: float = 1.0) -> Optional[float]:
+        """Spend ``tokens``; ``None`` on success, else seconds-to-retry.
+
+        A zero rate never refills — the bucket is a fixed allowance —
+        so exhaustion reports ``float("inf")``.
+        """
+        self._refill()
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return None
+        deficit = tokens - self._tokens
+        if self.rate <= 0:
+            return float("inf")
+        return deficit / self.rate
+
+    @property
+    def tokens(self) -> float:
+        self._refill()
+        return self._tokens
+
+
+class QuotaManager:
+    """Token buckets keyed by tenant, created lazily on first sight.
+
+    Args:
+        rate: tokens/second per tenant; ``None`` disables quotas
+            entirely (every admit succeeds).
+        burst: bucket capacity per tenant.
+        clock: monotonic-seconds source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        rate: Optional[float],
+        burst: float = 10.0,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if rate is not None and rate < 0:
+            raise ServiceError(f"quota rate must be >= 0, got {rate}")
+        self.rate = rate
+        self.burst = float(burst)
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    def admit(self, tenant: str) -> Optional[float]:
+        """``None`` = admitted; a float = rejected, retry after that many s."""
+        if self.rate is None:
+            return None
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = self._buckets[tenant] = TokenBucket(
+                    self.rate, self.burst, clock=self._clock
+                )
+        return bucket.take(1.0)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Remaining tokens per tenant seen so far (for ``/v1/stats``)."""
+        with self._lock:
+            buckets = dict(self._buckets)
+        return {tenant: bucket.tokens for tenant, bucket in sorted(buckets.items())}

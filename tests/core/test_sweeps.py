@@ -16,6 +16,7 @@ from repro.core.sweeps import (
     REASON_ADAPTIVE,
     REASON_FLOOR,
     REASON_RETRY,
+    SweepPool,
     run_interleaved_sweep,
 )
 from repro.errors import ConfigurationError
@@ -290,6 +291,91 @@ class TestPoolLifecycle:
                 reference = extract(outcome.results)
             else:
                 assert extract(outcome.results) == reference
+
+
+class TestSharedSweepPool:
+    def test_borrowed_pool_across_sequential_sweeps_equals_serial(
+        self, base, points
+    ):
+        serial = run_sweep(base, points[:3], sweep_engine="serial", **ARGS)
+        resolved = resolve_sweep_points(base, points[:3])
+        with SweepPool(jobs=1) as pool:
+            first = run_interleaved_sweep(resolved, pool=pool, **ARGS)
+            second = run_interleaved_sweep(resolved, pool=pool, **ARGS)
+            assert not pool.closed
+        assert pool.closed
+        assert extract(first.results) == extract(serial)
+        assert extract(second.results) == extract(serial)
+
+    def test_closed_pool_is_rejected(self, base, points):
+        resolved = resolve_sweep_points(base, points[:1])
+        pool = SweepPool(jobs=1)
+        pool.close()
+        with pytest.raises(ConfigurationError, match="already closed"):
+            run_interleaved_sweep(resolved, pool=pool, **ARGS)
+
+    def test_timeout_needs_process_pool(self, base, points):
+        resolved = resolve_sweep_points(base, points[:1])
+        with SweepPool(jobs=1) as pool:  # inline: cannot enforce timeouts
+            with pytest.raises(ConfigurationError, match="process workers"):
+                run_interleaved_sweep(
+                    resolved,
+                    pool=pool,
+                    resilience=ResilienceConfig(timeout=5.0),
+                    **ARGS,
+                )
+
+    def test_progress_events_cover_every_dispatch(self, base, points):
+        resolved = resolve_sweep_points(base, points[:2])
+        events = []
+        outcome = run_interleaved_sweep(resolved, progress=events.append, **ARGS)
+        dispatches = [e for e in events if e["event"] == "dispatch"]
+        resolutions = [e for e in events if e["event"] == "resolved"]
+        assert len(dispatches) == outcome.stats.dispatches
+        assert len(resolutions) == len(dispatches)
+        assert {e["point"] for e in dispatches} == {0, 1}
+        assert all(e["ok"] for e in resolutions)
+
+    def test_raising_progress_aborts_and_pool_recovers(self, base, points):
+        # Cooperative cancellation: the callback raises, the sweep
+        # aborts mid-flight, and the same pool still serves a clean run.
+        class Abort(Exception):
+            pass
+
+        resolved = resolve_sweep_points(base, points[:2])
+        seen = []
+
+        def bomb(event):
+            seen.append(event)
+            if len(seen) == 3:
+                raise Abort()
+
+        with SweepPool(jobs=1) as pool:
+            with pytest.raises(Abort):
+                run_interleaved_sweep(resolved, pool=pool, progress=bomb, **ARGS)
+            serial = run_sweep(base, points[:2], sweep_engine="serial", **ARGS)
+            retry = run_interleaved_sweep(resolved, pool=pool, **ARGS)
+            assert extract(retry.results) == extract(serial)
+
+    @pytest.mark.slow
+    def test_borrowed_process_pool_equals_serial(self, base, points):
+        import multiprocessing
+
+        # Gate on children the pool creates: other suites may leave
+        # deliberately-abandoned stalled workers in the shared process.
+        before = {child.pid for child in multiprocessing.active_children()}
+        serial = run_sweep(base, points[:3], sweep_engine="serial", **ARGS)
+        resolved = resolve_sweep_points(base, points[:3])
+        with SweepPool(jobs=2) as pool:
+            first = run_interleaved_sweep(resolved, pool=pool, **ARGS)
+            second = run_interleaved_sweep(resolved, pool=pool, **ARGS)
+        assert extract(first.results) == extract(serial)
+        assert extract(second.results) == extract(serial)
+        assert [
+            child
+            for child in multiprocessing.active_children()
+            if child.pid not in before
+        ] == []
 
 
 class TestBatchEngine:

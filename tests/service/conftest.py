@@ -1,0 +1,65 @@
+"""Shared plumbing for the service suite.
+
+The server is asyncio and the tests are plain pytest functions, so each
+test drives one event loop via :func:`run` and stands a real server up
+on an OS-assigned localhost port with :func:`running_server` — every
+test talks actual HTTP over an actual socket; nothing is mocked.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from typing import Any, AsyncIterator, Dict, Tuple
+
+from repro.service import ServiceClient, ServiceConfig, SimulationServer
+
+#: A deliberately tiny system: one VCPU on one PCPU, short horizon —
+#: a replication runs in milliseconds, so e2e tests stay snappy.
+SMALL_SPEC: Dict[str, Any] = {
+    "vms": [{"vcpus": 1}],
+    "pcpus": 1,
+    "scheduler": "rrs",
+    "sim_time": 120,
+    "warmup": 20,
+}
+
+#: A heavier system for cancellation races: enough forced replications
+#: that a job is still running when the test reacts to its stream.
+SLOW_SPEC: Dict[str, Any] = {
+    "vms": [{"vcpus": 2}, {"vcpus": 1}],
+    "pcpus": 2,
+    "scheduler": "rrs",
+    "sim_time": 1500,
+    "warmup": 100,
+}
+
+
+def small_payload(**overrides: Any) -> Dict[str, Any]:
+    """A fast, valid submit body; override any payload field."""
+    body: Dict[str, Any] = {
+        "spec": dict(SMALL_SPEC),
+        "min_replications": 2,
+        "max_replications": 3,
+    }
+    body.update(overrides)
+    return body
+
+
+def run(coroutine) -> Any:
+    """Drive one test coroutine on a fresh event loop."""
+    return asyncio.run(coroutine)
+
+
+@contextlib.asynccontextmanager
+async def running_server(
+    **config: Any,
+) -> AsyncIterator[Tuple[SimulationServer, ServiceClient]]:
+    """A started server on an ephemeral port, shut down on exit."""
+    server = SimulationServer(ServiceConfig(port=0, **config))
+    await server.start()
+    client = ServiceClient("127.0.0.1", server.port)
+    try:
+        yield server, client
+    finally:
+        await server.shutdown()

@@ -1,0 +1,40 @@
+"""The load-test harness at small scale, reused as a regression test.
+
+Runs the same ``benchmarks/bench_service.py`` code path CI's
+service-smoke job executes, at reduced size, and asserts its gates
+programmatically: all responses good, warm phase executes nothing,
+results exactly equal the serial baseline, zero leaked children.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+
+_BENCH = pathlib.Path(__file__).parents[2] / "benchmarks" / "bench_service.py"
+
+
+def _load_bench():
+    spec = importlib.util.spec_from_file_location("bench_service", _BENCH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_small_scale_load_test_passes_every_gate():
+    bench = _load_bench()
+    report = bench.run_benchmark(clients=12, distinct=3, sim_time=120)
+    summary = report["summary"]
+    assert summary["all_responses_ok"] is True
+    assert summary["identical_to_serial"] is True
+    assert summary["warm_executed"] == 0
+    assert summary["leaked_children"] == 0
+    assert summary["cache_hit_ratio"] > 0.0
+    cold = report["results"]["cold"]
+    warm = report["results"]["warm"]
+    assert cold["jobs"] == warm["jobs"] == 12
+    assert cold["ok"] == warm["ok"] == 12
+    # duplicates of an identity warm-hit even within the cold phase
+    assert cold["warm_jobs"] >= 12 - 3
+    assert warm["warm_jobs"] == 12
+    assert cold["p99_ms"] >= cold["p50_ms"] > 0.0

@@ -1,0 +1,97 @@
+"""Job ledger and bounded backlog semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import JobQueue, QueueFull, SimulationPayload
+
+from .conftest import SMALL_SPEC
+
+
+def payload(**overrides):
+    return SimulationPayload(spec=dict(SMALL_SPEC), **overrides)
+
+
+class TestJobQueue:
+    def test_submit_assigns_sequential_ids(self):
+        queue = JobQueue(limit=4)
+        jobs = [queue.submit(payload()) for _ in range(3)]
+        assert [job.id for job in jobs] == ["job-1", "job-2", "job-3"]
+        assert all(job.status == "queued" for job in jobs)
+
+    def test_get_unknown_job_raises(self):
+        queue = JobQueue(limit=4)
+        with pytest.raises(ServiceError, match="unknown job"):
+            queue.get("job-99")
+
+    def test_limit_counts_live_jobs_only(self):
+        queue = JobQueue(limit=2)
+        first = queue.submit(payload())
+        queue.submit(payload())
+        with pytest.raises(QueueFull, match="full"):
+            queue.submit(payload())
+        first.finish("done")  # terminal jobs free capacity
+        queue.submit(payload())
+
+    def test_next_runnable_is_fifo_and_skips_cancelled(self):
+        queue = JobQueue(limit=8)
+        a = queue.submit(payload())
+        b = queue.submit(payload())
+        c = queue.submit(payload())
+        b.request_cancel()
+        assert queue.next_runnable() is a
+        assert queue.next_runnable() is c
+        assert queue.next_runnable() is None
+
+    def test_counts_by_status(self):
+        queue = JobQueue(limit=8)
+        queue.submit(payload())
+        done = queue.submit(payload())
+        done.finish("done")
+        counts = queue.counts()
+        assert counts["queued"] == 1
+        assert counts["done"] == 1
+        assert counts["failed"] == 0
+
+
+class TestJob:
+    def test_cancel_of_queued_job_is_immediate(self):
+        queue = JobQueue(limit=2)
+        job = queue.submit(payload())
+        assert job.request_cancel() is True
+        assert job.status == "cancelled"
+        assert job.done
+        assert job.cancel.is_set()
+
+    def test_cancel_of_terminal_job_is_a_noop(self):
+        queue = JobQueue(limit=2)
+        job = queue.submit(payload())
+        job.finish("done")
+        assert job.request_cancel() is False
+        assert job.status == "done"
+
+    def test_events_are_sequenced_from_acceptance(self):
+        job = JobQueue(limit=2).submit(payload())
+        job.emit("job.accepted", job=job.id, tenant="default")
+        job.emit("job.start", job=job.id)
+        records = job.events()
+        assert [r.seq for r in records] == [0, 1]
+        assert all(r.t >= 0.0 for r in records)
+        assert records[0].t <= records[1].t
+        assert job.events(since=1) == records[1:]
+
+    def test_finish_requires_terminal_status(self):
+        job = JobQueue(limit=2).submit(payload())
+        with pytest.raises(ServiceError, match="terminal"):
+            job.finish("running")
+
+    def test_describe_carries_tenant_and_error(self):
+        job = JobQueue(limit=2).submit(payload(tenant="acme"))
+        job.finish("failed", error="SimulationError: boom")
+        body = job.describe()
+        assert body["job"] == job.id
+        assert body["status"] == "failed"
+        assert body["tenant"] == "acme"
+        assert body["error"] == "SimulationError: boom"

@@ -1,0 +1,85 @@
+"""Token-bucket quotas under a fake clock: exact refill arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import QuotaManager, TokenBucket
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_exhaustion(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=3, clock=clock)
+        assert [bucket.take() for _ in range(3)] == [None, None, None]
+        assert bucket.take() == pytest.approx(1.0)
+
+    def test_refill_is_continuous(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=1, clock=clock)
+        assert bucket.take() is None
+        retry = bucket.take()
+        assert retry == pytest.approx(0.5)
+        clock.advance(0.25)  # half a token back
+        assert bucket.take() == pytest.approx(0.25)
+        clock.advance(0.25)
+        assert bucket.take() is None
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=2, clock=clock)
+        clock.advance(1000.0)
+        assert bucket.tokens == pytest.approx(2.0)
+
+    def test_zero_rate_is_fixed_allowance(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=0.0, burst=2, clock=clock)
+        assert bucket.take() is None
+        assert bucket.take() is None
+        assert bucket.take() == float("inf")
+        clock.advance(1e9)  # no refill, ever
+        assert bucket.take() == float("inf")
+
+    @pytest.mark.parametrize("rate, burst", [(-1.0, 1.0), (1.0, 0.0), (1.0, -2.0)])
+    def test_bad_parameters_rejected(self, rate, burst):
+        with pytest.raises(ServiceError):
+            TokenBucket(rate=rate, burst=burst)
+
+
+class TestQuotaManager:
+    def test_none_rate_admits_everything(self):
+        quotas = QuotaManager(rate=None)
+        assert all(quotas.admit("t") is None for _ in range(1000))
+
+    def test_tenants_are_isolated(self):
+        clock = FakeClock()
+        quotas = QuotaManager(rate=0.0, burst=1, clock=clock)
+        assert quotas.admit("alpha") is None
+        assert quotas.admit("alpha") == float("inf")
+        assert quotas.admit("beta") is None  # fresh bucket, unaffected
+
+    def test_retry_after_matches_bucket_arithmetic(self):
+        clock = FakeClock()
+        quotas = QuotaManager(rate=0.5, burst=1, clock=clock)
+        assert quotas.admit("t") is None
+        assert quotas.admit("t") == pytest.approx(2.0)
+
+    def test_snapshot_reports_remaining_tokens(self):
+        clock = FakeClock()
+        quotas = QuotaManager(rate=0.0, burst=3, clock=clock)
+        quotas.admit("alpha")
+        quotas.admit("alpha")
+        quotas.admit("beta")
+        assert quotas.snapshot() == {"alpha": 1.0, "beta": 2.0}

@@ -1,0 +1,116 @@
+"""Schema contract: round-trip identity, rejection, and identity keys."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import SimulationOutput, SimulationPayload
+
+from .conftest import SMALL_SPEC, small_payload
+
+
+class TestSimulationPayload:
+    def test_round_trip_is_identity(self):
+        payload = SimulationPayload.from_dict(
+            small_payload(tenant="acme", label="exp-1", root_seed=7, engine="compiled")
+        )
+        assert SimulationPayload.from_dict(payload.to_dict()) == payload
+
+    def test_defaults_match_run_experiment_protocol(self):
+        payload = SimulationPayload(spec=dict(SMALL_SPEC))
+        assert payload.min_replications == 5
+        assert payload.max_replications == 30
+        assert payload.confidence == 0.95
+        assert payload.target_half_width == 0.1
+        assert payload.root_seed == 0
+        assert payload.tenant == "default"
+        assert payload.engine is None
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ServiceError, match="unknown payload keys"):
+            SimulationPayload.from_dict(small_payload(max_replication=9))
+
+    def test_missing_spec_rejected(self):
+        with pytest.raises(ServiceError, match="missing required key 'spec'"):
+            SimulationPayload.from_dict({"tenant": "acme"})
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ServiceError, match="must be an object"):
+            SimulationPayload.from_dict(["not", "a", "dict"])
+
+    @pytest.mark.parametrize(
+        "overrides, match",
+        [
+            ({"min_replications": 1}, "min_replications"),
+            ({"min_replications": 10, "max_replications": 5}, "max_replications"),
+            ({"confidence": 0.0}, "confidence"),
+            ({"confidence": 1.0}, "confidence"),
+            ({"confidence": "high"}, "confidence"),
+            ({"target_half_width": 0.0}, "target_half_width"),
+            ({"target_half_width": -1.0}, "target_half_width"),
+            ({"root_seed": 1.5}, "root_seed"),
+            ({"root_seed": True}, "root_seed"),
+            ({"extra_probes": "yes"}, "extra_probes"),
+            ({"engine": "warp"}, "engine"),
+            ({"tenant": ""}, "tenant"),
+            ({"label": 7}, "label"),
+            ({"spec": {}}, "spec"),
+        ],
+    )
+    def test_out_of_range_values_rejected(self, overrides, match):
+        with pytest.raises(ServiceError, match=match):
+            SimulationPayload.from_dict(small_payload(**overrides)).validate()
+
+    def test_bad_system_spec_rejected_one_line(self):
+        payload = SimulationPayload(spec={"vms": [], "pcpus": 0})
+        with pytest.raises(ServiceError) as excinfo:
+            payload.validate()
+        assert "\n" not in str(excinfo.value)
+
+    def test_validate_returns_built_spec(self):
+        spec = SimulationPayload(spec=dict(SMALL_SPEC)).validate()
+        assert spec.pcpus == SMALL_SPEC["pcpus"]
+        assert spec.topology() == [1]
+
+
+class TestPayloadIdentity:
+    def test_identity_excludes_presentation_fields(self):
+        a = SimulationPayload.from_dict(small_payload(tenant="acme", label="x"))
+        b = SimulationPayload.from_dict(small_payload(tenant="zeta", label="y"))
+        assert a.identity() == b.identity()
+        assert a.identity_key() == b.identity_key()
+
+    def test_identity_sees_protocol_changes(self):
+        a = SimulationPayload.from_dict(small_payload(root_seed=0))
+        b = SimulationPayload.from_dict(small_payload(root_seed=1))
+        assert a.identity_key() != b.identity_key()
+
+    def test_identity_sees_spec_changes(self):
+        changed = dict(SMALL_SPEC, pcpus=2)
+        a = SimulationPayload.from_dict(small_payload())
+        b = SimulationPayload.from_dict(small_payload(spec=changed))
+        assert a.identity_key() != b.identity_key()
+
+
+class TestSimulationOutput:
+    def test_round_trip_is_identity(self):
+        output = SimulationOutput(
+            job="job-1",
+            status="done",
+            label="exp",
+            metrics={"vcpu_availability": {"mean": 0.9, "half_width": 0.01, "n": 5}},
+            replications=5,
+            executed=5,
+            cache_hits=0,
+            elapsed=0.25,
+        )
+        assert SimulationOutput.from_dict(output.to_dict()) == output
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ServiceError, match="unknown output keys"):
+            SimulationOutput.from_dict({"job": "j", "status": "done", "extra": 1})
+
+    def test_missing_required_rejected(self):
+        with pytest.raises(ServiceError, match="missing required key"):
+            SimulationOutput.from_dict({"job": "j"})
