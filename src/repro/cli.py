@@ -151,6 +151,7 @@ def _resilience_from_args(args: argparse.Namespace) -> Optional[ResilienceConfig
         and not args.resume
         and cache_dir is None
         and args.batch_width is None
+        and args.batch_wave_window is None
     ):
         return None
     config = ResilienceConfig(
@@ -163,6 +164,7 @@ def _resilience_from_args(args: argparse.Namespace) -> Optional[ResilienceConfig
         engine=args.engine,
         cache_dir=cache_dir,
         batch_width=args.batch_width,
+        batch_wave_window=args.batch_wave_window,
     )
     config.validate()
     return config
@@ -408,6 +410,16 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="replications per batch-dispatch group (engine=batch only; "
         "default: framework default)",
+    )
+    run_parser.add_argument(
+        "--batch-wave-window",
+        type=float,
+        default=None,
+        dest="batch_wave_window",
+        metavar="T",
+        help="wave-calendar interleaving window in simulated time "
+        "(engine=batch only; results are identical for any positive "
+        "value — tunes cache locality; default: engine default)",
     )
     run_parser.add_argument(
         "--degradation",

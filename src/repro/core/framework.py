@@ -467,6 +467,7 @@ def simulate_batch(
     engine: Optional[str] = "batch",
     reuse: bool = False,
     width: Optional[int] = None,
+    wave_window: Optional[float] = None,
 ) -> List[RunResult]:
     """Run several replications of one spec, batched through one calendar.
 
@@ -476,6 +477,12 @@ def simulate_batch(
     co-temporal clock ticks across replications execute back to back.
     Results are returned in ``replications`` order and are bit-identical
     to ``[simulate_once(spec, r, ...) for r in replications]``.
+
+    ``wave_window`` sets the wave calendar's interleaving granularity
+    (default: the engine's ``WAVE_WINDOW``); lanes are independent, so
+    any positive width yields the same per-lane results — only cache
+    locality changes.  Fully-IR models skip the wave loop entirely for
+    the vectorized kernel runner, which ignores the window.
 
     Fallback rules (each replication counted in
     :func:`batch_dispatch_stats`): a ``guard`` or ``chaos`` wrapper, or
@@ -536,7 +543,9 @@ def simulate_batch(
             for r in group
         ]
         try:
-            run_lanes([sim.simulator for sim in sims], spec.sim_time)
+            run_lanes(
+                [sim.simulator for sim in sims], spec.sim_time, window=wave_window
+            )
             results.extend(sim._collect_result() for sim in sims)
         finally:
             for sim in sims:

@@ -15,9 +15,14 @@ variable (in the SAN model)":
   exposed, as ``vcpu_busy_fraction``, since it is capped by
   availability and therefore mostly restates Figure 8.)
 
-Each factory returns :class:`repro.san.RateReward` objects closing
-over the system's places; attach them to a simulator with
-``sim.add_reward`` and read ``reward.time_average()`` after the run.
+Each factory returns :class:`repro.san.RateReward` objects whose rates
+are declarative :mod:`repro.san.exprs` expressions over the system's
+places — compiled to specialized evaluators that are bit-identical to
+the hand-written closures they replaced (indicators are ``bool * 1.0``,
+means sum ``bool * 1`` counts and divide by the population size, the
+exact float operations of the old ``sum(...)/len(...)`` idiom).  Attach
+them to a simulator with ``sim.add_reward`` and read
+``reward.time_average()`` after the run.
 
 Metric naming convention (used across the experiment runner, results
 tables, and benches):
@@ -33,6 +38,8 @@ from __future__ import annotations
 from typing import Dict, List
 
 from ..san import ComposedModel, RateReward, RatioRateReward
+from ..san import exprs as E
+from ..san.exprs import Expr
 from ..schedulers.interface import PCPUState, VCPUStatus
 from ..vmm.system import pcpus_place, slot_value_place, vcpu_label
 
@@ -40,6 +47,24 @@ AVAILABILITY = "vcpu_availability"
 PCPU_UTILIZATION = "pcpu_utilization"
 VCPU_UTILIZATION = "vcpu_utilization"
 VCPU_BUSY_FRACTION = "vcpu_busy_fraction"
+
+
+def _slot_active(slot) -> Expr:
+    """Boolean: the slot's VCPU holds a PCPU (READY or BUSY)."""
+    return E.isin(E.field(slot, "status"), VCPUStatus.ACTIVE)
+
+
+def _slot_busy(slot) -> Expr:
+    """Boolean: the slot's VCPU is processing a workload."""
+    return E.field(slot, "status") == E.const(VCPUStatus.BUSY)
+
+
+def _mean_count(parts: List[Expr]) -> Expr:
+    """``sum(count(p) for p in parts) / len(parts)`` as an expression."""
+    total = E.count(parts[0])
+    for part in parts[1:]:
+        total = total + E.count(part)
+    return total / E.const(len(parts))
 
 
 def per_vcpu_availability(system: ComposedModel, warmup: float = 0.0) -> List[RateReward]:
@@ -50,7 +75,7 @@ def per_vcpu_availability(system: ComposedModel, warmup: float = 0.0) -> List[Ra
         rewards.append(
             RateReward(
                 f"{AVAILABILITY}[{vcpu_label(system, g)}]",
-                lambda slot=slot: 1.0 if slot.value["status"] in VCPUStatus.ACTIVE else 0.0,
+                expr=E.indicator(_slot_active(slot)),
                 warmup=warmup,
             )
         )
@@ -60,24 +85,21 @@ def per_vcpu_availability(system: ComposedModel, warmup: float = 0.0) -> List[Ra
 def mean_vcpu_availability(system: ComposedModel, warmup: float = 0.0) -> RateReward:
     """Availability averaged over all VCPUs."""
     slots = [slot_value_place(system, g) for g in range(len(system.slot_map))]
-
-    def rate() -> float:
-        active = sum(1 for s in slots if s.value["status"] in VCPUStatus.ACTIVE)
-        return active / len(slots)
-
-    return RateReward(AVAILABILITY, rate, warmup=warmup)
+    return RateReward(
+        AVAILABILITY,
+        expr=_mean_count([_slot_active(slot) for slot in slots]),
+        warmup=warmup,
+    )
 
 
 def mean_pcpu_utilization(system: ComposedModel, warmup: float = 0.0) -> RateReward:
     """The averaged utilization of all PCPUs (paper Figure 9)."""
     pcpus = pcpus_place(system)
-
-    def rate() -> float:
-        entries = pcpus.value
-        assigned = sum(1 for e in entries if e["state"] == PCPUState.ASSIGNED)
-        return assigned / len(entries)
-
-    return RateReward(PCPU_UTILIZATION, rate, warmup=warmup)
+    assigned = [
+        E.field(pcpus, i, "state") == E.const(PCPUState.ASSIGNED)
+        for i in range(len(pcpus.value))
+    ]
+    return RateReward(PCPU_UTILIZATION, expr=_mean_count(assigned), warmup=warmup)
 
 
 def per_vcpu_utilization(system: ComposedModel, warmup: float = 0.0) -> List[RatioRateReward]:
@@ -92,8 +114,8 @@ def per_vcpu_utilization(system: ComposedModel, warmup: float = 0.0) -> List[Rat
         rewards.append(
             RatioRateReward(
                 f"{VCPU_UTILIZATION}[{vcpu_label(system, g)}]",
-                lambda slot=slot: 1.0 if slot.value["status"] == VCPUStatus.BUSY else 0.0,
-                lambda slot=slot: 1.0 if slot.value["status"] in VCPUStatus.ACTIVE else 0.0,
+                num_expr=E.indicator(_slot_busy(slot)),
+                den_expr=E.indicator(_slot_active(slot)),
                 warmup=warmup,
             )
         )
@@ -108,14 +130,12 @@ def mean_vcpu_utilization(system: ComposedModel, warmup: float = 0.0) -> RatioRa
     when some VCPU is never scheduled.
     """
     slots = [slot_value_place(system, g) for g in range(len(system.slot_map))]
-
-    def busy_rate() -> float:
-        return sum(1 for s in slots if s.value["status"] == VCPUStatus.BUSY) / len(slots)
-
-    def active_rate() -> float:
-        return sum(1 for s in slots if s.value["status"] in VCPUStatus.ACTIVE) / len(slots)
-
-    return RatioRateReward(VCPU_UTILIZATION, busy_rate, active_rate, warmup=warmup)
+    return RatioRateReward(
+        VCPU_UTILIZATION,
+        num_expr=_mean_count([_slot_busy(slot) for slot in slots]),
+        den_expr=_mean_count([_slot_active(slot) for slot in slots]),
+        warmup=warmup,
+    )
 
 
 def mean_vcpu_busy_fraction(system: ComposedModel, warmup: float = 0.0) -> RateReward:
@@ -126,12 +146,11 @@ def mean_vcpu_busy_fraction(system: ComposedModel, warmup: float = 0.0) -> RateR
     one number.  Exposed for the ablation benches.
     """
     slots = [slot_value_place(system, g) for g in range(len(system.slot_map))]
-
-    def rate() -> float:
-        busy = sum(1 for s in slots if s.value["status"] == VCPUStatus.BUSY)
-        return busy / len(slots)
-
-    return RateReward(VCPU_BUSY_FRACTION, rate, warmup=warmup)
+    return RateReward(
+        VCPU_BUSY_FRACTION,
+        expr=_mean_count([_slot_busy(slot) for slot in slots]),
+        warmup=warmup,
+    )
 
 
 def standard_rewards(system: ComposedModel, warmup: float = 0.0) -> Dict[str, RateReward]:

@@ -79,6 +79,11 @@ class ResilienceConfig:
             replications through one shared calendar.
         batch_width: lanes per batch-dispatch group (``None`` = the
             framework default); only meaningful with ``engine="batch"``.
+        batch_wave_window: wave-calendar interleaving granularity for
+            batch groups (``None`` = the engine's ``WAVE_WINDOW``).
+            Lanes are independent, so any positive value is
+            result-identical — the knob trades scheduling overhead
+            against cache locality.
         reuse: reuse the built (and, for compiled, lowered) model across
             replications of the same spec — once per process, so each
             pool worker compiles once and resets thereafter.
@@ -104,6 +109,7 @@ class ResilienceConfig:
     reuse: bool = True
     cache_dir: Optional[str] = None
     batch_width: Optional[int] = None
+    batch_wave_window: Optional[float] = None
 
     def validate(self) -> None:
         if self.jobs < 1:
@@ -133,6 +139,10 @@ class ResilienceConfig:
         if self.batch_width is not None and self.batch_width < 1:
             raise ConfigurationError(
                 f"batch_width must be >= 1, got {self.batch_width}"
+            )
+        if self.batch_wave_window is not None and not self.batch_wave_window > 0:
+            raise ConfigurationError(
+                f"batch_wave_window must be > 0, got {self.batch_wave_window}"
             )
 
 
@@ -223,6 +233,7 @@ class _Task:
     engine: Optional[str] = None
     reuse: bool = True
     batch: Optional[Tuple[int, ...]] = None
+    wave_window: Optional[float] = None
 
 
 def _run_payload(run: Any) -> Dict[str, Any]:
@@ -251,6 +262,7 @@ def _execute_task(task: _Task) -> Dict[str, Any]:
                 chaos=task.chaos,
                 engine=task.engine,
                 reuse=task.reuse,
+                wave_window=task.wave_window,
             )
         except Exception as exc:  # noqa: BLE001 — every fault becomes a record
             return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
@@ -407,6 +419,7 @@ class _Run:
             incremental=self.config.incremental,
             engine=self.config.engine,
             reuse=self.config.reuse,
+            wave_window=self.config.batch_wave_window,
         )
 
     def batch_eligible(self) -> bool:
@@ -631,6 +644,7 @@ class _Run:
                     engine="batch",
                     reuse=self.config.reuse,
                     width=width,
+                    wave_window=self.config.batch_wave_window,
                 )
             except Exception:  # noqa: BLE001 — group fault: isolate per lane
                 self._run_serial_single(group)

@@ -57,6 +57,8 @@ from ..des.random_streams import StreamFactory
 from ..errors import ConfigurationError, SimulationError
 from ..observability import profile as _profile
 from ..observability import trace as _trace
+from . import exprs as _exprs
+from . import gates as _gates
 from . import places as _places
 from .activities import Activity, TimedActivity
 from .model import ModelBase
@@ -89,12 +91,16 @@ def build_simulator(
     engine: Optional[str] = None,
     incremental: bool = True,
     max_instantaneous_chain: int = 100_000,
+    wave_window: Optional[float] = None,
 ) -> SANSimulator:
     """Construct the simulator for the selected enablement engine."""
     name = resolve_engine(engine, incremental)
     if name == "batch":
         return BatchCompiledSANSimulator(
-            model, streams, max_instantaneous_chain=max_instantaneous_chain
+            model,
+            streams,
+            max_instantaneous_chain=max_instantaneous_chain,
+            wave_window=wave_window,
         )
     if name == "compiled":
         return CompiledSANSimulator(
@@ -187,8 +193,29 @@ class CompiledSANSimulator(SANSimulator):
         # volatile gates up front, empty observed read sets on demand.
         self._always_inst: List[int] = []
         self._always_timed: List[int] = []
+        # Scalar IR fast path: an activity whose every gate carries an
+        # expression gets one fused specialized conjunction — no read
+        # sink, no per-gate holds() dispatch, no demote-to-volatile
+        # (its read set is fully derived).  A fully-constant conjunction
+        # (TRUE/FALSE gates) is pinned: refreshed only when explicitly
+        # staled, never re-evaluated every settle pass — previously a
+        # `lambda: True` gate had an empty observed read set and paid
+        # the conservative always-re-evaluate path forever.
+        self._ir_preds: List[Optional[Any]] = [None] * n
+        self._ir_costs: List[int] = [0] * n
+        self._ir_consts: List[Optional[int]] = [None] * n
         for index, activity in enumerate(acts):
-            if activity.input_gates and activity.is_volatile():
+            gates = self._act_gates[index]
+            if gates and all(g.expr is not None for g in gates):
+                verdicts = [g.constant_verdict for g in gates]
+                if all(v is not None for v in verdicts):
+                    self._ir_consts[index] = 1 if all(verdicts) else 0
+                else:
+                    self._ir_preds[index] = _exprs.compile_scalar_predicate(
+                        _exprs.conjunction([g.expr for g in gates])
+                    )
+                self._ir_costs[index] = len(gates)
+            elif activity.input_gates and activity.is_volatile():
                 self._always_for(index).append(index)
             for cell in activity.declared_read_cells():
                 self._watch(index, cell)
@@ -265,6 +292,27 @@ class CompiledSANSimulator(SANSimulator):
             self._stale[index] = 0
             self._enabled[index] = 0
             return 0
+        const = self._ir_consts[index]
+        if const is not None:
+            # Pinned constant conjunction: no evaluation at all, but
+            # account the gates so counters stay comparable.
+            self.refreshes += 1
+            _gates.count_evaluations(self._ir_costs[index])
+            self._stale[index] = 0
+            self._enabled[index] = const
+            return const
+        pred = self._ir_preds[index]
+        if pred is not None:
+            # Fused IR conjunction: reads are derived (already watched),
+            # so the read-sink protocol is skipped entirely.  The cost
+            # is accounted as the gate count — an upper bound, since
+            # the generated conjunction short-circuits like holds().
+            self.refreshes += 1
+            _gates.count_evaluations(self._ir_costs[index])
+            enabled = 1 if pred() else 0
+            self._stale[index] = 0
+            self._enabled[index] = enabled
+            return enabled
         self.refreshes += 1
         scratch = self._scratch
         scratch.clear()
@@ -518,6 +566,7 @@ class CompiledSANSimulator(SANSimulator):
         fired_before = self.ticks_fired
         skipped_before = self.ticks_fast_forwarded
         self._sync_in()
+        eval_base = _gates._EVALUATIONS
         try:
             self._ensure_started()
             queue = self._queue
@@ -540,6 +589,7 @@ class CompiledSANSimulator(SANSimulator):
             self._advance_rewards(until)
             self.clock.advance_to(until)
         finally:
+            self._own_gate_evaluations += _gates._EVALUATIONS - eval_base
             profiler = _profile._ACTIVE
             if profiler is not None:
                 profiler.count(
@@ -574,7 +624,37 @@ class BatchCompiledSANSimulator(CompiledSANSimulator):
     is a single-lane batch: ``run`` drives the same wave loop with one
     entry, so every differential test of the serial API also exercises
     the batch driver.
+
+    Args:
+        wave_window: interleaving window width in clock periods for the
+            shared calendar (default: the module's ``WAVE_WINDOW``).
+            Lanes are independent, so any positive width is correct —
+            this only tunes cache locality vs switching granularity.
     """
+
+    def __init__(
+        self,
+        model: ModelBase,
+        streams: Optional[StreamFactory] = None,
+        max_instantaneous_chain: int = 100_000,
+        fast_forward: bool = True,
+        wave_window: Optional[float] = None,
+    ) -> None:
+        super().__init__(
+            model,
+            streams,
+            max_instantaneous_chain=max_instantaneous_chain,
+            fast_forward=fast_forward,
+        )
+        if wave_window is None:
+            self.wave_window = WAVE_WINDOW
+        else:
+            window = float(wave_window)
+            if not (window > 0.0):
+                raise ConfigurationError(
+                    f"batch wave window must be positive, got {wave_window!r}"
+                )
+            self.wave_window = window
 
     @property
     def engine(self) -> str:
@@ -598,7 +678,11 @@ class BatchCompiledSANSimulator(CompiledSANSimulator):
         self._lane_fired_before = self.ticks_fired
         self._lane_skipped_before = self.ticks_fast_forwarded
         self._sync_in()
-        self._ensure_started()
+        base = _gates._EVALUATIONS
+        try:
+            self._ensure_started()
+        finally:
+            self._own_gate_evaluations += _gates._EVALUATIONS - base
         self._lane_ff = (
             self._ff_spec
             if self.fast_forward
@@ -624,18 +708,22 @@ class BatchCompiledSANSimulator(CompiledSANSimulator):
         tick = self._tick_activity
         spec = self._lane_ff
         steps = 0
-        while True:
-            head = peek()
-            if head is None:
-                return math.inf, steps
-            time = head.time
-            if time >= boundary:
-                return time, steps
-            if spec is None or head.payload is not tick:
-                step()
-            elif not self._try_fast_forward(head, until, spec):
-                step()
-            steps += 1
+        base = _gates._EVALUATIONS
+        try:
+            while True:
+                head = peek()
+                if head is None:
+                    return math.inf, steps
+                time = head.time
+                if time >= boundary:
+                    return time, steps
+                if spec is None or head.payload is not tick:
+                    step()
+                elif not self._try_fast_forward(head, until, spec):
+                    step()
+                steps += 1
+        finally:
+            self._own_gate_evaluations += _gates._EVALUATIONS - base
 
     def _settle_lane_run(self, until: float) -> None:
         """Advance rewards and the clock to the horizon (success path)."""
@@ -669,18 +757,30 @@ WAVE_WINDOW = 16.0
 
 
 def run_lanes(
-    lanes: Sequence[BatchCompiledSANSimulator], until: float
+    lanes: Sequence[BatchCompiledSANSimulator],
+    until: float,
+    window: Optional[float] = None,
 ) -> Dict[str, int]:
     """Drive R lanes to ``until`` off one shared numpy calendar.
 
-    The calendar is a ``(R,)`` float64 vector of per-lane head-event
-    times.  Each wave takes the global minimum ``t`` and advances every
-    lane whose head falls inside the window ``[t, t + WAVE_WINDOW)``
-    (in ascending lane order), draining the lane's events up to the
-    window edge before moving on, so lanes whose deterministic Clocks
-    align — the common case, every tick lands on integer time — execute
-    their tick pipelines back to back with the interpreter's caches
-    hot.  Lanes are independent, so the window width affects only
+    When every lane's model carries a fully-IR form — all gates carry
+    vectorizable expressions and effects, all rewards vectorizable
+    rates (see :mod:`repro.san.vector`) — the driver hands the whole
+    batch to the vectorized kernel runner, which advances all R lanes
+    per Python-level step through one ``(R, n_places)`` int64 matrix
+    and returns bit-identical per-lane results.  Models with any
+    closure gate (the VMM scheduler models, whose scheduling function
+    is irreducibly procedural) fall back to the wave loop below.
+
+    The wave calendar is a ``(R,)`` float64 vector of per-lane
+    head-event times.  Each wave takes the global minimum ``t`` and
+    advances every lane whose head falls inside the window
+    ``[t, t + window)`` (in ascending lane order), draining the lane's
+    events up to the window edge before moving on, so lanes whose
+    deterministic Clocks align — the common case, every tick lands on
+    integer time — execute their tick pipelines back to back with the
+    interpreter's caches hot.  Lanes are independent, so the window
+    width (default: lane 0's ``wave_window`` knob) affects only
     interleaving granularity, never any lane's sample path.  Per-lane
     fast-forward still engages: a lane that certifies an idle span
     simply re-enters the calendar at the far end of the span.
@@ -690,6 +790,13 @@ def run_lanes(
     """
     if not lanes:
         return {"waves": 0, "lane_steps": 0}
+    from . import vector as _vector  # deferred: vector imports this module
+
+    plan = _vector.plan_lanes(lanes)
+    if plan is not None:
+        return _vector.run_vectorized(plan, lanes, until)
+    if window is None:
+        window = getattr(lanes[0], "wave_window", WAVE_WINDOW)
     waves = 0
     lane_steps = 0
     begun: List[BatchCompiledSANSimulator] = []
@@ -706,7 +813,7 @@ def run_lanes(
             # Events at exactly the window edge wait for the next wave,
             # and the edge never exceeds the horizon, so every drained
             # event is strictly before ``until``.
-            boundary = min(t + WAVE_WINDOW, until)
+            boundary = min(t + window, until)
             for index in numpy.nonzero(heads < boundary)[0]:
                 head, steps = lanes[index]._drain_window(boundary, until)
                 lane_steps += steps

@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from ..errors import ModelError, StatisticsError
+from . import exprs as _exprs
 
 
 class RewardVariable:
@@ -50,16 +51,34 @@ class RateReward(RewardVariable):
         name: reward name.
         rate: zero-argument callable returning the instantaneous rate in
             the current marking (closes over places, like gate code).
+            Mutually exclusive with ``expr``.
         warmup: simulation time before which nothing accumulates.
+        expr: declarative rate expression (:mod:`repro.san.exprs`),
+            compiled to a specialized evaluator; additionally gives the
+            batch engine a lane-vectorized accumulation kernel.
 
     The simulator calls :meth:`observe` once per time advance with the
     rate evaluated in the state that held over the interval.
     """
 
-    def __init__(self, name: str, rate: Callable[[], float], warmup: float = 0.0) -> None:
+    def __init__(
+        self,
+        name: str,
+        rate: Optional[Callable[[], float]] = None,
+        warmup: float = 0.0,
+        *,
+        expr: Optional["_exprs.Expr"] = None,
+    ) -> None:
         super().__init__(name, warmup)
-        if not callable(rate):
+        if expr is not None:
+            if rate is not None:
+                raise ModelError(
+                    f"rate reward {name!r}: pass either rate or expr, not both"
+                )
+            rate = _exprs.compile_scalar_rate(expr)
+        elif not callable(rate):
             raise ModelError(f"rate reward {name!r}: rate must be callable")
+        self.expr = expr
         self.rate = rate
         self._integral = 0.0
         self._observed_time = 0.0
@@ -147,13 +166,24 @@ class RatioRateReward(RateReward):
     def __init__(
         self,
         name: str,
-        numerator: Callable[[], float],
-        denominator: Callable[[], float],
+        numerator: Optional[Callable[[], float]] = None,
+        denominator: Optional[Callable[[], float]] = None,
         warmup: float = 0.0,
+        *,
+        num_expr: Optional["_exprs.Expr"] = None,
+        den_expr: Optional["_exprs.Expr"] = None,
     ) -> None:
-        super().__init__(name, numerator, warmup)
-        if not callable(denominator):
+        super().__init__(name, numerator, warmup, expr=num_expr)
+        if den_expr is not None:
+            if denominator is not None:
+                raise ModelError(
+                    f"ratio reward {name!r}: pass either denominator or "
+                    "den_expr, not both"
+                )
+            denominator = _exprs.compile_scalar_rate(den_expr)
+        elif not callable(denominator):
             raise ModelError(f"ratio reward {name!r}: denominator must be callable")
+        self.den_expr = den_expr
         self.denominator = denominator
         self._denominator_integral = 0.0
 

@@ -125,7 +125,11 @@ class SANSimulator:
         # Write-epoch watermark for out-of-band mutation detection; the
         # cache starts invalid, so any initial value is safe.
         self._synced_epoch = -1
-        self._gate_eval_base = _gates.evaluation_count()
+        # Per-simulator gate-evaluation counter: public entry points
+        # capture the process-global counter delta around their body,
+        # so attribution stays exact even when simulators interleave
+        # (batch lanes, sweep pools).
+        self._own_gate_evaluations = 0
         self._reward_reads: set = set()  # discard sink for reward reads
         self._rngs: Dict[Activity, Any] = {}  # per-activity stream cache
         self._cell_names: Optional[Dict[int, str]] = None  # trace write names
@@ -163,11 +167,13 @@ class SANSimulator:
     def gate_evaluations(self) -> int:
         """Input-gate predicate evaluations attributable to this simulator.
 
-        Measured as the process-global counter delta since construction
-        (or the last :meth:`reset`); interleaving other simulators in
-        between skews the attribution.
+        Maintained per simulator by capturing the process-global
+        counter delta around each public entry point (``step``,
+        ``run``, ``run_to_quiescence``, and the batch lane hooks), so
+        the attribution is exact even when several simulators
+        interleave in one process.
         """
-        return _gates.evaluation_count() - self._gate_eval_base
+        return self._own_gate_evaluations
 
     def stats(self) -> Dict[str, Any]:
         """Machine-readable engine counters for benchmarks and tests."""
@@ -204,7 +210,7 @@ class SANSimulator:
             reward.reset()
         if self._cache is not None:
             self._cache.invalidate()
-        self._gate_eval_base = _gates.evaluation_count()
+        self._own_gate_evaluations = 0
 
     # -- core engine --------------------------------------------------------
 
@@ -525,9 +531,11 @@ class SANSimulator:
             (the simulation is quiescent).
         """
         self._sync_in()
+        base = _gates._EVALUATIONS
         try:
             return self._step()
         finally:
+            self._own_gate_evaluations += _gates._EVALUATIONS - base
             self._sync_out()
 
     def run(self, until: float) -> None:
@@ -542,6 +550,7 @@ class SANSimulator:
                 f"cannot run to t={until}: clock is already at {self.clock.now}"
             )
         self._sync_in()
+        base = _gates._EVALUATIONS
         try:
             self._ensure_started()
             queue = self._queue
@@ -553,11 +562,13 @@ class SANSimulator:
             self._advance_rewards(until)
             self.clock.advance_to(until)
         finally:
+            self._own_gate_evaluations += _gates._EVALUATIONS - base
             self._sync_out()
 
     def run_to_quiescence(self, max_events: int = 10_000_000) -> None:
         """Run until no timed activity is pending (absorbing marking)."""
         self._sync_in()
+        base = _gates._EVALUATIONS
         try:
             self._ensure_started()
             for _ in range(max_events):
@@ -567,4 +578,5 @@ class SANSimulator:
                 f"no quiescence after {max_events} events at t={self.clock.now}"
             )
         finally:
+            self._own_gate_evaluations += _gates._EVALUATIONS - base
             self._sync_out()

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Sequence, Set
 
+from . import gates as _gates
 from . import places as _places
 from .activities import Activity
 from .gates import InputGate
@@ -33,7 +34,10 @@ from .model import ModelBase
 class _GateRecord:
     """Cached verdict of one input gate (shared gates share a record)."""
 
-    __slots__ = ("gate", "holds", "stale", "cells", "declared", "volatile", "dependents")
+    __slots__ = (
+        "gate", "holds", "stale", "cells", "declared", "volatile",
+        "constant", "dependents",
+    )
 
     def __init__(self, gate: InputGate) -> None:
         self.gate = gate
@@ -42,6 +46,11 @@ class _GateRecord:
         self.cells: Set[Any] = set()  # cells the last evaluation read
         self.declared = frozenset(gate.declared_read_cells())
         self.volatile = gate.volatile
+        # Fixed verdict of a constant expression gate (TRUE/FALSE); a
+        # pinned record never demotes to volatile — previously a
+        # `lambda: True` gate observably read nothing and fell onto the
+        # conservative re-evaluate-every-flush path forever.
+        self.constant = getattr(gate, "constant_verdict", None)
         self.dependents: List[_ActivityState] = []  # states sharing this gate
 
 
@@ -235,6 +244,11 @@ class EnablementCache:
         # function calls per refresh).
         self.refreshes += 1
         record.stale = False
+        if record.constant is not None:
+            # Pinned verdict: no evaluation, no read sink, no demotion.
+            record.holds = record.constant
+            _gates.count_evaluations(1)
+            return
         if record.volatile:
             previous = _places._read_sink
             _places._read_sink = self._discard

@@ -78,6 +78,7 @@ from ..san import (
     SANModel,
     TimedActivity,
 )
+from ..san import exprs as E
 from ..schedulers.interface import (
     PCPUState,
     PCPUView,
@@ -493,7 +494,7 @@ def build_vcpu_scheduler(
         TimedActivity(
             "Clock",
             Deterministic(1),
-            input_gates=[InputGate("Always", lambda: True)],
+            input_gates=[InputGate("Always", expr=E.TRUE)],
             output_gates=[OutputGate("Tick_fanout", tick_fanout)],
         )
     )
@@ -563,8 +564,8 @@ def build_vcpu_scheduler(
                     input_gates=[
                         InputGate(
                             f"Operational{pcpu_index}",
-                            lambda i=pcpu_index: pcpus.value[i]["state"]
-                            != PCPUState.FAILED,
+                            expr=E.field(pcpus, pcpu_index, "state")
+                            != E.const(PCPUState.FAILED),
                         )
                     ],
                     output_gates=[OutputGate(f"Fail_gate{pcpu_index}", fail)],
@@ -577,8 +578,8 @@ def build_vcpu_scheduler(
                     input_gates=[
                         InputGate(
                             f"Down{pcpu_index}",
-                            lambda i=pcpu_index: pcpus.value[i]["state"]
-                            == PCPUState.FAILED,
+                            expr=E.field(pcpus, pcpu_index, "state")
+                            == E.const(PCPUState.FAILED),
                         )
                     ],
                     output_gates=[OutputGate(f"Repair_gate{pcpu_index}", repair)],
@@ -640,10 +641,8 @@ def build_vcpu_scheduler(
                     input_gates=[
                         InputGate(
                             f"Degradable{pcpu_index}",
-                            lambda i=pcpu_index: (
-                                health.value[i]["health"] < h_max
-                                and not health.value[i]["maint"]
-                            ),
+                            expr=(E.field(health, pcpu_index, "health") < h_max)
+                            & (E.field(health, pcpu_index, "maint") == 0),
                         )
                     ],
                     output_gates=[OutputGate(f"Degrade_gate{pcpu_index}", degrade)],
@@ -716,11 +715,17 @@ def build_vcpu_scheduler(
                     f"Maint_Start{pcpu_index}",
                     priority=PRIORITY_MAINT,
                     input_gates=[
+                        # Two gates preserve the closure's short-circuit:
+                        # the IR crew guard is scanned first, so the
+                        # policy closure only runs when a crew is free.
+                        InputGate(
+                            f"Maint_crew_free{pcpu_index}",
+                            expr=E.tokens(crews) > 0,
+                        ),
                         InputGate(
                             f"Maint_trigger{pcpu_index}",
-                            lambda i=pcpu_index: crews.tokens > 0
-                            and maint_needed(i),
-                        )
+                            lambda i=pcpu_index: maint_needed(i),
+                        ),
                     ],
                     output_gates=[
                         OutputGate(f"Maint_start_gate{pcpu_index}", maint_start)
@@ -734,7 +739,7 @@ def build_vcpu_scheduler(
                     input_gates=[
                         InputGate(
                             f"In_maintenance{pcpu_index}",
-                            lambda i=pcpu_index: bool(health.value[i]["maint"]),
+                            expr=E.field(health, pcpu_index, "maint") != 0,
                         )
                     ],
                     output_gates=[
@@ -754,7 +759,7 @@ def build_vcpu_scheduler(
                         f"Maint_Due{pcpu_index}",
                         Deterministic(maintenance.period),
                         input_gates=[
-                            InputGate(f"Due_clock{pcpu_index}", lambda: True)
+                            InputGate(f"Due_clock{pcpu_index}", expr=E.TRUE)
                         ],
                         output_gates=[
                             OutputGate(f"Maint_due_gate{pcpu_index}", maint_due)
@@ -907,7 +912,7 @@ def build_vcpu_scheduler(
         InstantaneousActivity(
             "Scheduling_Func",
             priority=PRIORITY_SCHEDULER,
-            input_gates=[InputGate("Sched_armed", lambda: sched_tick.tokens > 0)],
+            input_gates=[InputGate("Sched_armed", expr=E.tokens(sched_tick) > 0)],
             output_gates=[OutputGate("Scheduling_Func_gate", run_scheduling_func)],
         )
     )

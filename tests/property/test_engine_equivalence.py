@@ -340,6 +340,28 @@ def test_simulate_batch_lane_width_is_irrelevant():
         )
 
 
+def test_simulate_batch_width_and_window_are_irrelevant():
+    # The wave window only tunes interleaving granularity; combined
+    # with any lane grouping the per-lane sample paths must not move.
+    from repro.core.framework import simulate_batch
+
+    spec = small_spec("rrs")
+    replications = list(range(4))
+    want = _serial_compiled(spec, replications)
+    for width in (1, 3, 8):
+        for window in (0.5, 2.0, 16.0, 1e9):
+            assert_runs_identical(
+                simulate_batch(
+                    spec,
+                    replications,
+                    root_seed=7,
+                    width=width,
+                    wave_window=window,
+                ),
+                want,
+            )
+
+
 def test_batch_dispatch_counts_groups():
     from repro.core import framework
 
